@@ -1,0 +1,32 @@
+// Command awsmock serves the simulated AWS endpoint (S3, the AFI pipeline
+// and F1 instances) over HTTP, so the condor CLI and the examples can run
+// the full cloud deployment flow against a local process.
+//
+// Usage:
+//
+//	awsmock -addr 127.0.0.1:8780 -afi-delay 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"condor/internal/aws"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8780", "listen address")
+	afiDelay := flag.Duration("afi-delay", 2*time.Second, "simulated AFI generation time")
+	flag.Parse()
+
+	srv := aws.NewServer(aws.Options{AFIGenerationDelay: *afiDelay})
+	fmt.Printf("awsmock: S3 at http://%s/s3/, API at http://%s/api\n", *addr, *addr)
+	fmt.Printf("awsmock: AFI generation delay %v; licence token %q\n", *afiDelay, aws.DefaultLicense)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "awsmock:", err)
+		os.Exit(1)
+	}
+}

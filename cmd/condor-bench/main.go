@@ -1,0 +1,102 @@
+// Command condor-bench regenerates the paper's evaluation — Table 1,
+// Table 2 and Figure 5 — and prints each result side by side with the
+// numbers the paper reports. Absolute values come from this repository's
+// analytic models rather than the authors' testbed; the shapes (who wins,
+// by what factor, where the curves converge) are the reproduction target.
+//
+// Usage:
+//
+//	condor-bench            # everything
+//	condor-bench -only table1|table2|figure5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"condor"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment: table1 | table2 | figure5")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *only != "" && *only != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "condor-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	run("table1", table1)
+	run("table2", table2)
+	run("figure5", figure5)
+}
+
+func table1() error {
+	rows, err := condor.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1 — AWS F1 deployment results (paper values in parentheses)")
+	fmt.Printf("%-7s %12s %12s %12s %12s %14s %14s\n",
+		"", "LUT %", "FF %", "DSP %", "BRAM %", "GFLOPS", "GFLOPS/W")
+	for i, r := range rows {
+		p := condor.Table1Paper[i]
+		fmt.Printf("%-7s %5.2f (%5.2f) %5.2f (%5.2f) %5.2f (%5.2f) %5.2f (%5.2f) %6.2f (%6.2f) %6.2f (%6.2f)\n",
+			r.Name,
+			r.LUTPct, p.LUTPct, r.FFPct, p.FFPct,
+			r.DSPPct, p.DSPPct, r.BRAMPct, p.BRAMPct,
+			r.GFLOPS, p.GFLOPS, r.GFLOPSPerWatt, p.GFLOPSPerWatt)
+	}
+	fmt.Println()
+	return nil
+}
+
+func table2() error {
+	rows, err := condor.Table2()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 2 — improved methodology, features-extraction GFLOPS (paper in parentheses)")
+	for i, r := range rows {
+		p := condor.Table2Paper[i]
+		fmt.Printf("%-8s %7.2f (%7.2f)\n", r.Name, r.GFLOPS, p.GFLOPS)
+	}
+	if err := condor.VerifyVGGClassifierGate(); err != nil {
+		fmt.Printf("VGG-16 classifier: rejected as in the paper — %v\n", err)
+	} else {
+		fmt.Println("WARNING: VGG-16 classifier unexpectedly synthesizable")
+	}
+	fmt.Println()
+	return nil
+}
+
+func figure5() error {
+	series, err := condor.Figure5(condor.DefaultFigure5Batches)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 5 — mean time to process an image vs. batch size (ms/image)")
+	fmt.Printf("%8s", "batch")
+	for _, s := range series {
+		fmt.Printf(" %12s", s.Name)
+	}
+	fmt.Println()
+	for i, b := range condor.DefaultFigure5Batches {
+		fmt.Printf("%8d", b)
+		for _, s := range series {
+			fmt.Printf(" %12.4f", s.Points[i].MeanMsPerImage)
+		}
+		fmt.Println()
+	}
+	for _, s := range series {
+		fmt.Printf("%s: %d logical layers — convergence knee expected near batch %d\n",
+			s.Name, s.Layers, s.Layers)
+	}
+	fmt.Println()
+	return nil
+}

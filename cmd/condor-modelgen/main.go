@@ -1,0 +1,113 @@
+// Command condor-modelgen emits the paper's evaluation networks as input
+// files for the condor CLI: the LeNet Caffe pair (prototxt + caffemodel
+// with seeded synthetic weights) and the TC1/LeNet/VGG-16 Condor JSON
+// representations with matching .cndw weight files.
+//
+// Usage:
+//
+//	condor-modelgen -model lenet-caffe -out models/
+//	condor-modelgen -model tc1 -out models/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"condor/internal/condorir"
+	"condor/internal/models"
+	"condor/internal/onnx"
+)
+
+func main() {
+	model := flag.String("model", "lenet-caffe", "what to emit: lenet-caffe | lenet-onnx | tc1 | lenet | vgg16-features")
+	out := flag.String("out", ".", "output directory")
+	seed := flag.Int64("seed", 7, "weight generator seed")
+	flag.Parse()
+
+	if err := run(*model, *out, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "condor-modelgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model, out string, seed int64) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	switch model {
+	case "lenet-caffe":
+		blob, err := models.LeNetCaffeModel(seed)
+		if err != nil {
+			return err
+		}
+		if err := write(filepath.Join(out, "lenet.prototxt"), []byte(models.LeNetPrototxt)); err != nil {
+			return err
+		}
+		return write(filepath.Join(out, "lenet.caffemodel"), blob)
+	case "lenet-onnx":
+		ir, ws, err := models.LeNet()
+		if err != nil {
+			return err
+		}
+		net, err := ir.BuildNN(ws)
+		if err != nil {
+			return err
+		}
+		blob, err := onnx.Encode(net)
+		if err != nil {
+			return err
+		}
+		return write(filepath.Join(out, "lenet.onnx"), blob)
+	case "tc1":
+		ir, ws, err := models.TC1()
+		if err != nil {
+			return err
+		}
+		return writeIR(out, "tc1", ir, ws)
+	case "lenet":
+		ir, ws, err := models.LeNet()
+		if err != nil {
+			return err
+		}
+		return writeIR(out, "lenet", ir, ws)
+	case "vgg16-features":
+		ir := models.VGG16Features()
+		ws, err := models.RandomWeights(ir, seed)
+		if err != nil {
+			return err
+		}
+		return writeIR(out, "vgg16_features", ir, ws)
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+}
+
+func writeIR(dir, name string, ir *condorir.Network, ws *condorir.WeightSet) error {
+	js, err := ir.ToJSON()
+	if err != nil {
+		return err
+	}
+	if err := write(filepath.Join(dir, name+".json"), js); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".cndw"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ws.Write(f); err != nil {
+		return err
+	}
+	fmt.Println("wrote", f.Name())
+	return nil
+}
+
+func write(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}

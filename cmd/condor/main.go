@@ -1,0 +1,350 @@
+// Command condor is the framework driver: it turns a trained CNN (a Caffe
+// prototxt+caffemodel pair or the Condor JSON representation plus a weights
+// file) into a packaged FPGA accelerator, and deploys it on-premise or on
+// the AWS F1 instances.
+//
+// Usage:
+//
+//	condor build   -prototxt net.prototxt -caffemodel net.caffemodel -board aws-f1-vu9p -freq 180 -out build/
+//	condor build   -network net.json -weights net.cndw [-dse] -out build/
+//	condor info    -xclbin build/net.xclbin
+//	condor deploy  -xclbin build/net.xclbin -weights build/net.cndw \
+//	               -endpoint http://127.0.0.1:8780 -bucket my-bucket [-ami]
+//	condor boards
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"condor"
+	"condor/internal/aws"
+	"condor/internal/bitstream"
+	"condor/internal/board"
+	"condor/internal/condorir"
+	"condor/internal/hls"
+	"condor/internal/quant"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "deploy":
+		err = cmdDeploy(os.Args[2:])
+	case "cosim":
+		err = cmdCosim(os.Args[2:])
+	case "boards":
+		err = cmdBoards()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "condor: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "condor:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `condor — CNN-to-FPGA dataflow framework (IPDPSW'18 reproduction)
+
+commands:
+  build    generate the accelerator from a Caffe model or Condor JSON
+  info     inspect a compiled xclbin
+  deploy   deploy an F1 build to the (simulated) AWS cloud
+  cosim    co-simulate a build against the reference CNN engine
+  boards   list supported deployment targets`)
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	prototxt := fs.String("prototxt", "", "Caffe network description")
+	caffemodel := fs.String("caffemodel", "", "Caffe trained model (binary)")
+	onnxPath := fs.String("onnx", "", "ONNX model (binary)")
+	network := fs.String("network", "", "Condor network representation (JSON)")
+	weights := fs.String("weights", "", "Condor weights file (.cndw)")
+	boardID := fs.String("board", "", "deployment board (see 'condor boards')")
+	freq := fs.Float64("freq", 0, "requested kernel clock in MHz")
+	runDSE := fs.Bool("dse", false, "run automated design-space exploration")
+	precision := fs.String("precision", "float32", "fabric numeric format: float32 | int16 | int8")
+	emitHLS := fs.Bool("hls-project", false, "also emit the generated Vivado HLS project (sources + Tcl)")
+	outDir := fs.String("out", "build", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := condor.Input{Board: *boardID, FrequencyMHz: *freq, RunDSE: *runDSE}
+	switch *precision {
+	case "", "float32":
+	case "int16":
+		in.Precision = quant.Int16
+	case "int8":
+		in.Precision = quant.Int8
+	default:
+		return fmt.Errorf("unknown precision %q", *precision)
+	}
+	switch {
+	case *prototxt != "":
+		src, err := os.ReadFile(*prototxt)
+		if err != nil {
+			return err
+		}
+		in.Prototxt = string(src)
+		if *caffemodel == "" {
+			return fmt.Errorf("the Caffe input method requires -caffemodel")
+		}
+		blob, err := os.ReadFile(*caffemodel)
+		if err != nil {
+			return err
+		}
+		in.CaffeModel = blob
+	case *onnxPath != "":
+		blob, err := os.ReadFile(*onnxPath)
+		if err != nil {
+			return err
+		}
+		in.ONNXModel = blob
+	case *network != "":
+		js, err := os.ReadFile(*network)
+		if err != nil {
+			return err
+		}
+		in.NetworkJSON = js
+		if *weights == "" {
+			return fmt.Errorf("the Condor input method requires -weights")
+		}
+		wf, err := os.Open(*weights)
+		if err != nil {
+			return err
+		}
+		defer wf.Close()
+		in.WeightsFile = wf
+	default:
+		return fmt.Errorf("provide -prototxt/-caffemodel, -onnx, or -network/-weights")
+	}
+
+	f := &condor.Framework{Logf: func(format string, a ...any) {
+		fmt.Printf("  "+format+"\n", a...)
+	}}
+	b, err := f.BuildAccelerator(in)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	base := filepath.Join(*outDir, b.Meta.Name)
+	wbytes, err := b.WeightsBytes()
+	if err != nil {
+		return err
+	}
+	files := map[string][]byte{
+		base + ".xo":     b.XO,
+		base + ".xclbin": b.Xclbin,
+		base + ".cndw":   wbytes,
+		base + "_host.c": []byte(b.HostCode),
+	}
+	irJSON, err := b.IR.ToJSON()
+	if err != nil {
+		return err
+	}
+	files[base+".json"] = irJSON
+	for path, data := range files {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	if *emitHLS {
+		proj, err := hls.GenerateProject(b.Spec)
+		if err != nil {
+			return err
+		}
+		hlsDir := filepath.Join(*outDir, "hls")
+		if err := proj.WriteTo(hlsDir); err != nil {
+			return err
+		}
+		fmt.Printf("wrote HLS project (%d files) to %s\n", len(proj.Files), hlsDir)
+	}
+	s, err := b.Performance()
+	if err != nil {
+		return err
+	}
+	u := b.Report.Utilization
+	fmt.Printf("\n%s on %s: %.0f MHz (requested %.0f)\n", b.Meta.Name, b.Meta.Board, b.Meta.AchievedMHz, b.Meta.RequestedMHz)
+	fmt.Printf("  LUT %.2f%%  FF %.2f%%  DSP %.2f%%  BRAM %.2f%%\n", 100*u.LUT, 100*u.FF, 100*u.DSP, 100*u.BRAM)
+	fmt.Printf("  %.2f GFLOPS  %.2f GFLOPS/W  latency %.3f ms/image\n", s.GFLOPS, s.GFLOPSPerWatt, s.LatencyMs)
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	path := fs.String("xclbin", "", "compiled kernel binary")
+	dotPath := fs.String("dot", "", "write the accelerator netlist as Graphviz to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("-xclbin is required")
+	}
+	data, err := os.ReadFile(*path)
+	if err != nil {
+		return err
+	}
+	x, err := bitstream.ReadXclbin(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("name:      %s\nkernel:    %s\nboard:     %s (%s)\n",
+		x.Meta.Name, x.Meta.Kernel, x.Meta.Board, x.Meta.Part)
+	fmt.Printf("clock:     %.0f MHz achieved (%.0f requested)\n", x.Meta.AchievedMHz, x.Meta.RequestedMHz)
+	u := x.Meta.Utilization
+	fmt.Printf("resources: LUT %.2f%%  FF %.2f%%  DSP %.2f%%  BRAM %.2f%%\n",
+		100*u.LUT, 100*u.FF, 100*u.DSP, 100*u.BRAM)
+	if *dotPath != "" {
+		if err := os.WriteFile(*dotPath, []byte(x.Spec.DOT()), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote netlist to", *dotPath)
+	}
+	fmt.Printf("PEs:       %d\n", len(x.Spec.PEs))
+	for _, pe := range x.Spec.PEs {
+		names := ""
+		for i, l := range pe.Layers {
+			if i > 0 {
+				names += "+"
+			}
+			names += l.Name
+		}
+		fmt.Printf("  %-6s %-24s in=%d out=%d\n", pe.ID, names, pe.Par.In, pe.Par.Out)
+	}
+	return nil
+}
+
+func cmdDeploy(args []string) error {
+	fs := flag.NewFlagSet("deploy", flag.ExitOnError)
+	xclbinPath := fs.String("xclbin", "", "compiled F1 kernel binary")
+	weightsPath := fs.String("weights", "", "Condor weights file (.cndw)")
+	networkPath := fs.String("network", "", "Condor network representation (JSON)")
+	endpoint := fs.String("endpoint", "", "AWS endpoint (e.g. awsmock URL)")
+	bucket := fs.String("bucket", "", "S3 bucket for the design")
+	ami := fs.Bool("ami", true, "run as if inside the FPGA Developer AMI (provides tool licences)")
+	instanceType := fs.String("instance-type", "f1.2xlarge", "F1 instance size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *xclbinPath == "" || *weightsPath == "" || *networkPath == "" {
+		return fmt.Errorf("-xclbin, -weights and -network are required")
+	}
+	xclbin, err := os.ReadFile(*xclbinPath)
+	if err != nil {
+		return err
+	}
+	x, err := bitstream.ReadXclbin(xclbin)
+	if err != nil {
+		return err
+	}
+	wf, err := os.Open(*weightsPath)
+	if err != nil {
+		return err
+	}
+	ws, err := condorir.ReadWeights(wf)
+	wf.Close()
+	if err != nil {
+		return err
+	}
+	js, err := os.ReadFile(*networkPath)
+	if err != nil {
+		return err
+	}
+	ir, err := condorir.FromJSON(js)
+	if err != nil {
+		return err
+	}
+	license := ""
+	if *ami {
+		license = aws.LicenseFromAMI()
+	}
+	f := &condor.Framework{Logf: func(format string, a ...any) {
+		fmt.Printf("  "+format+"\n", a...)
+	}}
+	b := &condor.Build{IR: ir, Weights: ws, Spec: x.Spec, Xclbin: xclbin, Meta: x.Meta}
+	dep, err := f.DeployCloud(b, condor.CloudConfig{
+		Endpoint: *endpoint, License: license, Bucket: *bucket, InstanceType: *instanceType,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nAFI:      %s (%s), state %s\n", dep.AFI.FpgaImageID, dep.AFI.FpgaImageGlobalID, dep.AFI.State)
+	fmt.Printf("instance: %s, slot %d loaded\n", dep.InstanceID, dep.Slot)
+	fmt.Printf("weights:  s3://%s\n", dep.Bucket)
+	return nil
+}
+
+func cmdCosim(args []string) error {
+	fs := flag.NewFlagSet("cosim", flag.ExitOnError)
+	network := fs.String("network", "", "Condor network representation (JSON)")
+	weights := fs.String("weights", "", "Condor weights file (.cndw)")
+	n := fs.Int("n", 8, "number of random test vectors")
+	seed := fs.Int64("seed", 1, "test-vector seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *network == "" || *weights == "" {
+		return fmt.Errorf("-network and -weights are required")
+	}
+	js, err := os.ReadFile(*network)
+	if err != nil {
+		return err
+	}
+	wf, err := os.Open(*weights)
+	if err != nil {
+		return err
+	}
+	defer wf.Close()
+	b, err := condor.New().BuildAccelerator(condor.Input{NetworkJSON: js, WeightsFile: wf})
+	if err != nil {
+		return err
+	}
+	rep, err := b.Cosim(*n, *seed, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("co-simulation of %s: %d vectors\n", b.Meta.Name, rep.Images)
+	fmt.Printf("  max |fabric - reference| = %.3g (tolerance %.3g)\n", rep.MaxAbsDiff, rep.Tolerance)
+	fmt.Printf("  argmax agreement %.0f%%, cycle model %d vs measured %d\n",
+		100*rep.ArgMaxAgreement, rep.ModelCycles, rep.MeasuredCycles)
+	if !rep.Passed() {
+		return fmt.Errorf("co-simulation FAILED (%d mismatches)", rep.Mismatches)
+	}
+	fmt.Println("  PASSED")
+	return nil
+}
+
+func cmdBoards() error {
+	for _, id := range board.IDs() {
+		b, err := board.Lookup(id)
+		if err != nil {
+			return err
+		}
+		kind := "local"
+		if b.CloudOnly {
+			kind = "cloud (AFI flow)"
+		}
+		fmt.Printf("%-12s %-40s %s\n", b.ID, b.Name, kind)
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+// Package condor is the public facade of the Condor framework
+// (CONvolutional neural networks Dataflow Optimization using Reconfigurable
+// hardware), a reproduction of "A Framework with Cloud Integration for CNN
+// Acceleration on FPGA Devices" (Raspa, Natale, Bacis, Santambrogio —
+// IPDPSW 2018).
+//
+// The framework is the paper's three-tier architecture:
+//
+//   - the frontend collects the network (a Caffe prototxt+caffemodel pair or
+//     the Condor JSON representation plus external weights) and the
+//     deployment option;
+//   - the core logic maps the network onto the dataflow accelerator
+//     template (PEs, filters, FIFOs), optionally runs design-space
+//     exploration, and produces the packaged kernel (.xo → xclbin) together
+//     with the synthesis and performance reports;
+//   - the backend deploys the kernel either on a local board through the
+//     SDAccel-like runtime or on AWS F1 through the S3→AFI→instance flow.
+package condor
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"condor/internal/bitstream"
+	"condor/internal/board"
+	"condor/internal/caffe"
+	"condor/internal/condorir"
+	"condor/internal/dataflow"
+	"condor/internal/dse"
+	"condor/internal/hls"
+	"condor/internal/onnx"
+	"condor/internal/perf"
+	"condor/internal/power"
+	"condor/internal/quant"
+)
+
+// Input is what the frontend tier collects.
+type Input struct {
+	// Caffe path: a prototxt network description and the trained
+	// caffemodel bytes.
+	Prototxt   string
+	CaffeModel []byte
+
+	// ONNX path: a binary ONNX model (the format the paper lists as a
+	// planned frontend; supported here).
+	ONNXModel []byte
+
+	// Condor-native path: the internal JSON network representation and the
+	// external weights file.
+	NetworkJSON []byte
+	WeightsFile io.Reader
+
+	// Pre-parsed inputs (used by callers that already hold the IR).
+	IR      *condorir.Network
+	Weights *condorir.WeightSet
+
+	// Deployment option.
+	Board        string  // board id from the catalogue; defaults to the IR's
+	FrequencyMHz float64 // requested kernel clock; defaults to the IR's
+
+	// RunDSE enables the design-space exploration phase (the paper performs
+	// it manually; Condor automates it).
+	RunDSE bool
+
+	// Precision selects the fabric numeric format. The default Float32 is
+	// the paper's configuration; Int16/Int8 enable the fixed-point
+	// quantization of the related work (weights snapped to the fixed-point
+	// grid, MAC datapath and buffers shrunk accordingly).
+	Precision quant.Precision
+}
+
+// Build is the output of the core-logic tier: everything needed to deploy
+// and run the accelerator.
+type Build struct {
+	IR      *condorir.Network
+	Weights *condorir.WeightSet
+
+	Spec   *dataflow.Spec
+	Report *hls.Report
+
+	XO     []byte
+	Xclbin []byte
+	Meta   bitstream.Metadata
+
+	HostCode string
+
+	// DSETrace records the exploration moves when RunDSE was set.
+	DSETrace []dse.Move
+
+	// QuantReport describes the weight quantization when a fixed-point
+	// precision was selected (nil for float32).
+	QuantReport *quant.Report
+}
+
+// Framework drives the three tiers.
+type Framework struct {
+	// Logf, when set, receives progress lines for each step of the design
+	// automation flow.
+	Logf func(format string, args ...any)
+}
+
+// New returns a framework with no logging.
+func New() *Framework { return &Framework{} }
+
+func (f *Framework) logf(format string, args ...any) {
+	if f != nil && f.Logf != nil {
+		f.Logf(format, args...)
+	}
+}
+
+// Frontend runs the input-analysis step: it accepts either input method and
+// produces the validated internal representation plus the weight set.
+func (f *Framework) Frontend(in Input) (*condorir.Network, *condorir.WeightSet, error) {
+	var ir *condorir.Network
+	var ws *condorir.WeightSet
+	switch {
+	case in.IR != nil:
+		ir, ws = in.IR, in.Weights
+		if ws == nil {
+			return nil, nil, fmt.Errorf("condor: pre-parsed input requires a weight set")
+		}
+	case in.Prototxt != "":
+		f.logf("frontend: translating Caffe model to the Condor representation")
+		topo, err := caffe.ParsePrototxt(in.Prototxt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(in.CaffeModel) == 0 {
+			return nil, nil, fmt.Errorf("condor: the Caffe input method requires the caffemodel bytes")
+		}
+		trained, err := caffe.ParseCaffeModel(in.CaffeModel)
+		if err != nil {
+			return nil, nil, err
+		}
+		topo.MergeWeights(trained)
+		boardID := in.Board
+		if boardID == "" {
+			return nil, nil, fmt.Errorf("condor: the Caffe input method requires a deployment board")
+		}
+		if in.FrequencyMHz <= 0 {
+			return nil, nil, fmt.Errorf("condor: the Caffe input method requires an operating frequency")
+		}
+		ir, ws, err = condorir.FromCaffe(topo, boardID, in.FrequencyMHz)
+		if err != nil {
+			return nil, nil, err
+		}
+	case len(in.ONNXModel) > 0:
+		f.logf("frontend: translating ONNX model to the Condor representation")
+		m, err := onnx.Parse(in.ONNXModel)
+		if err != nil {
+			return nil, nil, err
+		}
+		net, err := m.ToNetwork()
+		if err != nil {
+			return nil, nil, err
+		}
+		if net.Name == "" {
+			net.Name = "onnx-model"
+		}
+		if in.Board == "" {
+			return nil, nil, fmt.Errorf("condor: the ONNX input method requires a deployment board")
+		}
+		if in.FrequencyMHz <= 0 {
+			return nil, nil, fmt.Errorf("condor: the ONNX input method requires an operating frequency")
+		}
+		ir, ws, err = condorir.FromNN(net, in.Board, in.FrequencyMHz)
+		if err != nil {
+			return nil, nil, err
+		}
+	case len(in.NetworkJSON) > 0:
+		f.logf("frontend: parsing the Condor network representation")
+		var err error
+		ir, err = condorir.FromJSON(in.NetworkJSON)
+		if err != nil {
+			return nil, nil, err
+		}
+		if in.WeightsFile == nil {
+			return nil, nil, fmt.Errorf("condor: the Condor input method requires the weights file")
+		}
+		ws, err = condorir.ReadWeights(in.WeightsFile)
+		if err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, fmt.Errorf("condor: no input provided (Caffe files, Condor JSON, or a pre-parsed IR)")
+	}
+
+	// Deployment overrides.
+	if in.Board != "" {
+		ir.Board = in.Board
+	}
+	if in.FrequencyMHz > 0 {
+		ir.FrequencyMHz = in.FrequencyMHz
+	}
+	if _, err := board.Lookup(ir.Board); err != nil {
+		return nil, nil, err
+	}
+	if err := ir.Validate(); err != nil {
+		return nil, nil, err
+	}
+	// The weights must match the network geometry (this also catches
+	// missing entries early, before any synthesis work).
+	if _, err := ir.BuildNN(ws); err != nil {
+		return nil, nil, err
+	}
+	return ir, ws, nil
+}
+
+// BuildAccelerator runs the full core-logic tier: layer creation, optional
+// design-space exploration, memory planning, synthesis estimation, IP
+// packaging and the XOCC compile.
+func (f *Framework) BuildAccelerator(in Input) (*Build, error) {
+	ir, ws, err := f.Frontend(in)
+	if err != nil {
+		return nil, err
+	}
+	b := &Build{IR: ir, Weights: ws}
+
+	if in.Precision != quant.Float32 {
+		f.logf("core: quantizing weights to %s", in.Precision)
+		qws, qrep, err := quant.QuantizeWeights(ws, in.Precision)
+		if err != nil {
+			return nil, err
+		}
+		b.Weights, b.QuantReport = qws, qrep
+		ws = qws
+		// Re-validate the quantized weights against the geometry.
+		if _, err := ir.BuildNN(ws); err != nil {
+			return nil, err
+		}
+	}
+
+	if in.RunDSE {
+		f.logf("core: design-space exploration")
+		res, err := dse.Explore(ir, dse.Options{})
+		if err != nil {
+			return nil, err
+		}
+		b.IR = res.IR
+		b.DSETrace = res.Trace
+		ir = res.IR
+	}
+
+	f.logf("core: creating layers and assembling the accelerator")
+	spec, err := dataflow.BuildSpec(ir)
+	if err != nil {
+		return nil, err
+	}
+	spec.WordBits = in.Precision.Bits()
+	f.logf("core: planning on-chip memory")
+	if err := hls.PlanMemory(spec); err != nil {
+		return nil, err
+	}
+	b.Spec = spec
+
+	f.logf("core: packaging the accelerator IP (.xo)")
+	b.XO, err = bitstream.PackageXO(spec)
+	if err != nil {
+		return nil, err
+	}
+	f.logf("backend: compiling with XOCC for %s", ir.Board)
+	b.Xclbin, b.Report, err = bitstream.XOCC(b.XO, ir.Board)
+	if err != nil {
+		return nil, err
+	}
+	x, err := bitstream.ReadXclbin(b.Xclbin)
+	if err != nil {
+		return nil, err
+	}
+	b.Meta = x.Meta
+	b.HostCode = x.Host
+	f.logf("backend: achieved %.0f MHz (requested %.0f), LUT %.1f%% FF %.1f%% DSP %.1f%% BRAM %.1f%%",
+		b.Meta.AchievedMHz, b.Meta.RequestedMHz,
+		100*b.Report.Utilization.LUT, 100*b.Report.Utilization.FF,
+		100*b.Report.Utilization.DSP, 100*b.Report.Utilization.BRAM)
+	return b, nil
+}
+
+// PerformanceSummary is the evaluation view of a build: the quantities the
+// paper's Table 1 reports.
+type PerformanceSummary struct {
+	BottleneckCycles int64
+	GFLOPS           float64
+	PowerW           float64
+	GFLOPSPerWatt    float64
+	LatencyMs        float64
+}
+
+// Performance evaluates the build with the cycle-level pipeline model and
+// the power model.
+func (b *Build) Performance() (PerformanceSummary, error) {
+	net, err := b.IR.BuildNN(b.Weights)
+	if err != nil {
+		return PerformanceSummary{}, err
+	}
+	stages := perf.Stages(b.Spec)
+	bott := perf.Bottleneck(stages)
+	gflops := perf.SteadyStateGFLOPS(net.TotalFLOPs(), bott, b.Meta.AchievedMHz)
+	p := power.Model(b.Report.Total, b.Meta.AchievedMHz, gflops)
+	return PerformanceSummary{
+		BottleneckCycles: bott,
+		GFLOPS:           gflops,
+		PowerW:           p.TotalW(),
+		GFLOPSPerWatt:    power.GFLOPSPerWatt(gflops, p),
+		LatencyMs:        perf.CyclesToMs(perf.Latency(stages), b.Meta.AchievedMHz),
+	}, nil
+}
+
+// BatchCurve evaluates the Figure 5 series for the build.
+func (b *Build) BatchCurve(batches []int) ([]perf.BatchPoint, error) {
+	return perf.BatchCurve(perf.Stages(b.Spec), b.Meta.AchievedMHz, batches)
+}
+
+// WeightsBytes serialises the build's weight set in the Condor external
+// weights format (the file the datamover loads at runtime).
+func (b *Build) WeightsBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := b.Weights.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

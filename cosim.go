@@ -1,0 +1,98 @@
+package condor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"condor/internal/tensor"
+)
+
+// CosimReport is the outcome of a co-simulation run: the fabric simulator
+// executed against the golden reference engine on the same inputs — the
+// equivalent of Vivado HLS's C/RTL co-simulation step, which the real flow
+// would run before committing to a multi-hour synthesis.
+type CosimReport struct {
+	Images     int
+	MaxAbsDiff float64
+	Tolerance  float64
+	// Mismatches counts images whose outputs exceeded the tolerance.
+	Mismatches int
+	// ArgMaxAgreement is the fraction of images with identical argmax.
+	ArgMaxAgreement float64
+	// ModelCycles is the modeled bottleneck interval; MeasuredCycles the
+	// per-PE maximum measured by the functional simulator (they must agree).
+	ModelCycles    int64
+	MeasuredCycles int64
+}
+
+// Passed reports whether the co-simulation met the tolerance on every image
+// and the cycle model agreed with the measured fabric.
+func (r CosimReport) Passed() bool {
+	return r.Mismatches == 0 && r.ModelCycles == r.MeasuredCycles
+}
+
+// DefaultCosimTolerance allows for float32 reassociation between the
+// fabric's accumulation order and the reference engine's.
+const DefaultCosimTolerance = 2e-3
+
+// Cosim validates a build: n random inputs are pushed through the
+// functional dataflow fabric and compared element-wise against the
+// reference CNN engine, and the analytic cycle model is checked against the
+// simulator's measured per-PE cycles.
+func (b *Build) Cosim(n int, seed int64, tolerance float64) (CosimReport, error) {
+	if n <= 0 {
+		return CosimReport{}, fmt.Errorf("condor: cosim needs at least one image")
+	}
+	if tolerance <= 0 {
+		tolerance = DefaultCosimTolerance
+	}
+	rep := CosimReport{Images: n, Tolerance: tolerance}
+
+	net, err := b.IR.BuildNN(b.Weights)
+	if err != nil {
+		return rep, err
+	}
+	acc, err := b.Fabric()
+	if err != nil {
+		return rep, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	imgs := make([]*tensor.Tensor, n)
+	for i := range imgs {
+		img := tensor.New(b.Spec.Input.Channels, b.Spec.Input.Height, b.Spec.Input.Width)
+		img.FillRandom(rng, 1)
+		imgs[i] = img
+	}
+	outs, stats, err := acc.Run(imgs)
+	if err != nil {
+		return rep, err
+	}
+	agree := 0
+	for i := range imgs {
+		want, err := net.Predict(imgs[i])
+		if err != nil {
+			return rep, err
+		}
+		d := tensor.MaxAbsDiff(outs[i], want)
+		if d > rep.MaxAbsDiff {
+			rep.MaxAbsDiff = d
+		}
+		if d > tolerance {
+			rep.Mismatches++
+		}
+		if outs[i].ArgMax() == want.ArgMax() {
+			agree++
+		}
+	}
+	rep.ArgMaxAgreement = float64(agree) / float64(n)
+
+	// Cycle-model cross check: the analytic bottleneck must equal the
+	// simulator's measured per-PE maximum.
+	rep.MeasuredCycles = stats.BottleneckCycles()
+	s, err := b.Performance()
+	if err != nil {
+		return rep, err
+	}
+	rep.ModelCycles = s.BottleneckCycles
+	return rep, nil
+}

@@ -1,0 +1,97 @@
+package condor
+
+import (
+	"testing"
+
+	"condor/internal/models"
+	"condor/internal/quant"
+)
+
+func TestCosimTC1Passes(t *testing.T) {
+	b, err := New().BuildAccelerator(tc1Input(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.Cosim(6, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("co-simulation failed: %+v", rep)
+	}
+	if rep.MaxAbsDiff > rep.Tolerance {
+		t.Fatalf("max diff %v over tolerance", rep.MaxAbsDiff)
+	}
+	if rep.ArgMaxAgreement != 1 {
+		t.Fatalf("argmax agreement %v", rep.ArgMaxAgreement)
+	}
+	if rep.ModelCycles != rep.MeasuredCycles {
+		t.Fatalf("cycle model %d vs measured %d", rep.ModelCycles, rep.MeasuredCycles)
+	}
+}
+
+func TestCosimLeNetViaCaffe(t *testing.T) {
+	blob, err := models.LeNetCaffeModel(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New().BuildAccelerator(Input{
+		Prototxt: models.LeNetPrototxt, CaffeModel: blob,
+		Board: "aws-f1-vu9p", FrequencyMHz: 180,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.Cosim(2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("LeNet co-simulation failed: %+v", rep)
+	}
+}
+
+func TestCosimQuantizedBuild(t *testing.T) {
+	in := tc1Input(t)
+	in.Precision = quant.Int16
+	b, err := New().BuildAccelerator(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fabric runs on the quantized weights, and so does the reference
+	// inside Cosim (both use b.Weights), so the run must still pass.
+	rep, err := b.Cosim(4, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("quantized co-simulation failed: %+v", rep)
+	}
+}
+
+func TestCosimDetectsImpossibleTolerance(t *testing.T) {
+	b, err := New().BuildAccelerator(tc1Input(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.Cosim(4, 4, 1e-12) // below float32 reassociation noise
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mismatches == 0 {
+		t.Fatal("sub-epsilon tolerance should report mismatches")
+	}
+	if rep.Passed() {
+		t.Fatal("report must not pass with mismatches")
+	}
+}
+
+func TestCosimInputValidation(t *testing.T) {
+	b, err := New().BuildAccelerator(tc1Input(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Cosim(0, 1, 0); err == nil {
+		t.Fatal("expected n<=0 error")
+	}
+}

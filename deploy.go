@@ -1,0 +1,357 @@
+package condor
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"condor/internal/aws"
+	"condor/internal/bitstream"
+	"condor/internal/sdaccel"
+	"condor/internal/tensor"
+)
+
+// LocalDeployment is a build loaded onto an on-premise board through the
+// SDAccel runtime.
+type LocalDeployment struct {
+	Device *sdaccel.Device
+	build  *Build
+}
+
+// DeployLocal programs a local device with the build's xclbin and loads the
+// weights (the on-premise path of the backend tier).
+func (f *Framework) DeployLocal(b *Build) (*LocalDeployment, error) {
+	f.logf("backend: programming local board %s", b.Meta.Board)
+	dev, err := sdaccel.NewDevice("fpga0", b.Meta.Board)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.LoadXclbin(b.Xclbin); err != nil {
+		return nil, err
+	}
+	if err := dev.LoadWeights(b.Weights); err != nil {
+		return nil, err
+	}
+	return &LocalDeployment{Device: dev, build: b}, nil
+}
+
+// Infer runs a batch on the local device and returns the outputs plus the
+// modeled kernel time in milliseconds.
+func (d *LocalDeployment) Infer(batch []*tensor.Tensor) ([]*tensor.Tensor, float64, error) {
+	spec := d.build.Spec
+	inVol := spec.Input.Volume()
+	outShape := spec.OutputShape()
+	outVol := outShape.Volume()
+
+	ctx := sdaccel.CreateContext(d.Device)
+	in := ctx.CreateBuffer(len(batch) * inVol)
+	out := ctx.CreateBuffer(len(batch) * outVol)
+	flat := make([]float32, 0, len(batch)*inVol)
+	for i, img := range batch {
+		if img.Len() != inVol {
+			return nil, 0, fmt.Errorf("condor: image %d has %d words, accelerator input is %d", i, img.Len(), inVol)
+		}
+		flat = append(flat, img.Data()...)
+	}
+	ctx.EnqueueWrite(in, flat)
+	ctx.EnqueueKernel(in, out, len(batch))
+	results := make([]float32, len(batch)*outVol)
+	ctx.EnqueueRead(out, results)
+	info, err := ctx.Finish()
+	if err != nil {
+		return nil, 0, err
+	}
+	outs := make([]*tensor.Tensor, len(batch))
+	for i := range outs {
+		t := tensor.New(outShape.Channels, outShape.Height, outShape.Width)
+		copy(t.Data(), results[i*outVol:(i+1)*outVol])
+		outs[i] = t
+	}
+	return outs, info.KernelMs, nil
+}
+
+// CloudConfig describes the AWS environment for an F1 deployment.
+type CloudConfig struct {
+	// Endpoint is the base URL of the AWS services (the in-process
+	// simulated cloud or cmd/awsmock).
+	Endpoint string
+	// License is the Xilinx tool licence; use aws.LicenseFromAMI() when
+	// running inside the FPGA Developer AMI. Without it AFI creation fails,
+	// as the paper describes.
+	License string
+	// Bucket is the user-specified S3 bucket for designs, weights and data.
+	Bucket string
+	// InstanceType selects the F1 size (default f1.2xlarge).
+	InstanceType string
+	// Slots is how many FPGA slots of the instance to program with the AFI
+	// (default 1). Inference batches are sharded across the programmed
+	// slots, the scale-out mode the F1 offering enables.
+	Slots int
+	// AFITimeout bounds the wait for AFI generation (default 2 minutes).
+	AFITimeout time.Duration
+}
+
+// CloudDeployment is a build deployed on an F1 instance.
+type CloudDeployment struct {
+	Client     *aws.Client
+	Bucket     string
+	AFI        *aws.AFIRecord
+	InstanceID string
+	Slot       int   // first programmed slot
+	Slots      []int // all programmed slots; batches shard across them
+	build      *Build
+}
+
+// DeployCloud runs the full cloud path of the backend: package the AFI
+// tarball, upload it to the user's S3 bucket, start AFI generation, wait
+// for availability, launch an F1 instance and load the image on slot 0.
+func (f *Framework) DeployCloud(b *Build, cfg CloudConfig) (*CloudDeployment, error) {
+	if cfg.Endpoint == "" || cfg.Bucket == "" {
+		return nil, fmt.Errorf("condor: cloud deployment requires an endpoint and an S3 bucket")
+	}
+	if cfg.InstanceType == "" {
+		cfg.InstanceType = "f1.2xlarge"
+	}
+	if cfg.AFITimeout == 0 {
+		cfg.AFITimeout = 2 * time.Minute
+	}
+	client := aws.NewClient(cfg.Endpoint, cfg.License)
+
+	f.logf("backend: packaging the AFI tarball")
+	tarball, err := PackageAFITarball(b)
+	if err != nil {
+		return nil, err
+	}
+	// The bucket may pre-exist; only a genuinely new name is created.
+	if err := client.CreateBucket(cfg.Bucket); err != nil {
+		if !isBucketExists(err) {
+			return nil, err
+		}
+	}
+	designKey := "designs/" + b.Meta.Kernel + ".tar"
+	f.logf("backend: uploading design to s3://%s/%s", cfg.Bucket, designKey)
+	if err := client.PutObject(cfg.Bucket, designKey, tarball); err != nil {
+		return nil, err
+	}
+
+	f.logf("backend: starting AFI generation")
+	afi, err := client.CreateFpgaImage(b.Meta.Name, cfg.Bucket, designKey, cfg.Bucket)
+	if err != nil {
+		return nil, err
+	}
+	f.logf("backend: AFI %s (%s) pending", afi.FpgaImageID, afi.FpgaImageGlobalID)
+	final, err := client.WaitForAFI(afi.FpgaImageID, cfg.AFITimeout)
+	if err != nil {
+		return nil, err
+	}
+	if final.State != aws.AFIAvailable {
+		return nil, fmt.Errorf("condor: AFI generation failed: %s", final.StateReason)
+	}
+
+	f.logf("backend: launching %s and loading the AFI", cfg.InstanceType)
+	inst, err := client.RunInstance(cfg.InstanceType)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	if cfg.Slots > inst.Slots {
+		return nil, fmt.Errorf("condor: %s has %d FPGA slots, %d requested", cfg.InstanceType, inst.Slots, cfg.Slots)
+	}
+	slots := make([]int, cfg.Slots)
+	for s := 0; s < cfg.Slots; s++ {
+		if err := client.LoadFpgaImage(inst.InstanceID, s, final.FpgaImageGlobalID); err != nil {
+			return nil, err
+		}
+		slots[s] = s
+	}
+
+	// Stage the weights next to the design so remote inference can load
+	// them dynamically.
+	wbytes, err := b.WeightsBytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := client.PutObject(cfg.Bucket, weightsKey(b), wbytes); err != nil {
+		return nil, err
+	}
+	return &CloudDeployment{
+		Client: client, Bucket: cfg.Bucket, AFI: final,
+		InstanceID: inst.InstanceID, Slot: slots[0], Slots: slots, build: b,
+	}, nil
+}
+
+// PackageAFITarball wraps the build's xclbin into the AFI creation tarball.
+func PackageAFITarball(b *Build) ([]byte, error) {
+	return bitstream.PackageAFITarball(b.Xclbin)
+}
+
+// Infer uploads a batch to S3, runs it on the deployed slot and downloads
+// the outputs, returning them with the modeled kernel milliseconds.
+func (d *CloudDeployment) Infer(batch []*tensor.Tensor) ([]*tensor.Tensor, float64, error) {
+	spec := d.build.Spec
+	inVol := spec.Input.Volume()
+	outShape := spec.OutputShape()
+	outVol := outShape.Volume()
+	flat := make([]float32, 0, len(batch)*inVol)
+	for i, img := range batch {
+		if img.Len() != inVol {
+			return nil, 0, fmt.Errorf("condor: image %d has %d words, accelerator input is %d", i, img.Len(), inVol)
+		}
+		flat = append(flat, img.Data()...)
+	}
+	inKey := "runs/input.bin"
+	outKey := "runs/output.bin"
+	if err := d.Client.PutObject(d.Bucket, inKey, aws.EncodeBatch(flat)); err != nil {
+		return nil, 0, err
+	}
+	res, err := d.Client.ExecuteInference(aws.InferenceJob{
+		InstanceID: d.InstanceID, Slot: d.Slot,
+		Weights: aws.ObjectRef{Bucket: d.Bucket, Key: weightsKey(d.build)},
+		Input:   aws.ObjectRef{Bucket: d.Bucket, Key: inKey},
+		Output:  aws.ObjectRef{Bucket: d.Bucket, Key: outKey},
+		Batch:   len(batch),
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	outBytes, err := d.Client.GetObject(d.Bucket, outKey)
+	if err != nil {
+		return nil, 0, err
+	}
+	vals, err := aws.DecodeBatch(outBytes)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(vals) != len(batch)*outVol {
+		return nil, 0, fmt.Errorf("condor: remote output has %d words, want %d", len(vals), len(batch)*outVol)
+	}
+	outs := make([]*tensor.Tensor, len(batch))
+	for i := range outs {
+		t := tensor.New(outShape.Channels, outShape.Height, outShape.Width)
+		copy(t.Data(), vals[i*outVol:(i+1)*outVol])
+		outs[i] = t
+	}
+	return outs, res.KernelMs, nil
+}
+
+// InferSharded splits a batch across every programmed slot of the instance
+// and runs the shards concurrently, returning outputs in input order and
+// the wall kernel time (the slowest shard). With n slots the steady-state
+// throughput scales by ≈n — the scale-out mode the F1 instances enable.
+func (d *CloudDeployment) InferSharded(batch []*tensor.Tensor) ([]*tensor.Tensor, float64, error) {
+	slots := d.Slots
+	if len(slots) == 0 {
+		slots = []int{d.Slot}
+	}
+	if len(slots) == 1 || len(batch) <= 1 {
+		return d.Infer(batch)
+	}
+	n := len(slots)
+	if n > len(batch) {
+		n = len(batch)
+	}
+	type shardResult struct {
+		idx  int
+		outs []*tensor.Tensor
+		ms   float64
+		err  error
+	}
+	// Contiguous shards preserve output ordering on reassembly.
+	per := (len(batch) + n - 1) / n
+	results := make(chan shardResult, n)
+	shards := 0
+	for i := 0; i < n; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		if lo >= hi {
+			break
+		}
+		shards++
+		go func(idx, slot int, part []*tensor.Tensor) {
+			outs, ms, err := d.inferOnSlot(slot, idx, part)
+			results <- shardResult{idx: idx, outs: outs, ms: ms, err: err}
+		}(i, slots[i], batch[lo:hi])
+	}
+	outs := make([]*tensor.Tensor, len(batch))
+	var maxMs float64
+	var firstErr error
+	for i := 0; i < shards; i++ {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+			continue
+		}
+		if r.err == nil {
+			copy(outs[r.idx*per:], r.outs)
+			if r.ms > maxMs {
+				maxMs = r.ms
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	return outs, maxMs, nil
+}
+
+// inferOnSlot runs one shard against a specific slot using per-shard S3
+// keys so concurrent shards do not collide.
+func (d *CloudDeployment) inferOnSlot(slot, shard int, batch []*tensor.Tensor) ([]*tensor.Tensor, float64, error) {
+	spec := d.build.Spec
+	inVol := spec.Input.Volume()
+	outShape := spec.OutputShape()
+	outVol := outShape.Volume()
+	flat := make([]float32, 0, len(batch)*inVol)
+	for _, img := range batch {
+		flat = append(flat, img.Data()...)
+	}
+	inKey := fmt.Sprintf("runs/shard%d/input.bin", shard)
+	outKey := fmt.Sprintf("runs/shard%d/output.bin", shard)
+	if err := d.Client.PutObject(d.Bucket, inKey, aws.EncodeBatch(flat)); err != nil {
+		return nil, 0, err
+	}
+	res, err := d.Client.ExecuteInference(aws.InferenceJob{
+		InstanceID: d.InstanceID, Slot: slot,
+		Weights: aws.ObjectRef{Bucket: d.Bucket, Key: weightsKey(d.build)},
+		Input:   aws.ObjectRef{Bucket: d.Bucket, Key: inKey},
+		Output:  aws.ObjectRef{Bucket: d.Bucket, Key: outKey},
+		Batch:   len(batch),
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	outBytes, err := d.Client.GetObject(d.Bucket, outKey)
+	if err != nil {
+		return nil, 0, err
+	}
+	vals, err := aws.DecodeBatch(outBytes)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(vals) != len(batch)*outVol {
+		return nil, 0, fmt.Errorf("condor: shard %d output has %d words, want %d", shard, len(vals), len(batch)*outVol)
+	}
+	outs := make([]*tensor.Tensor, len(batch))
+	for i := range outs {
+		t := tensor.New(outShape.Channels, outShape.Height, outShape.Width)
+		copy(t.Data(), vals[i*outVol:(i+1)*outVol])
+		outs[i] = t
+	}
+	return outs, res.KernelMs, nil
+}
+
+// Terminate shuts the F1 instance down.
+func (d *CloudDeployment) Terminate() error {
+	return d.Client.TerminateInstance(d.InstanceID)
+}
+
+func weightsKey(b *Build) string { return "weights/" + b.Meta.Kernel + ".cndw" }
+
+func isBucketExists(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "BucketAlreadyExists")
+}

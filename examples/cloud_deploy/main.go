@@ -1,0 +1,83 @@
+// The cloud path end to end: an in-process AWS endpoint is started, the TC1
+// accelerator is built for the F1, the design tarball is uploaded to S3,
+// the AFI pipeline generates the image, an f1.2xlarge is launched, the AFI
+// is loaded on slot 0, and a batch is classified remotely — the exact flow
+// of Section 3.3, steps 7–8 of the paper.
+//
+//	go run ./examples/cloud_deploy
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"condor"
+	"condor/internal/aws"
+	"condor/internal/models"
+)
+
+func main() {
+	// Start the simulated AWS services on a local port (in production this
+	// would be the real AWS endpoint; `cmd/awsmock` serves the same thing
+	// as a standalone process).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := aws.NewServer(aws.Options{AFIGenerationDelay: 300 * time.Millisecond})
+	go http.Serve(ln, srv) //nolint:errcheck
+	endpoint := "http://" + ln.Addr().String()
+	fmt.Println("simulated AWS endpoint at", endpoint)
+
+	ir, ws, err := models.TC1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := &condor.Framework{Logf: func(format string, a ...any) {
+		fmt.Printf("[condor] "+format+"\n", a...)
+	}}
+	build, err := f.BuildAccelerator(condor.Input{IR: ir, Weights: ws})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy through S3 → AFI → F1. The licence comes from the FPGA
+	// Developer AMI, the environment the paper requires Condor to run in
+	// for cloud deployments.
+	start := time.Now()
+	dep, err := f.DeployCloud(build, condor.CloudConfig{
+		Endpoint: endpoint,
+		License:  aws.LicenseFromAMI(),
+		Bucket:   "condor-example",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndeployed in %v: AFI %s on instance %s slot %d\n",
+		time.Since(start).Round(time.Millisecond), dep.AFI.FpgaImageGlobalID, dep.InstanceID, dep.Slot)
+
+	imgs := models.USPSImages(6, 9)
+	outs, ms, err := dep.Infer(imgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote inference: %d images, %.4f ms modeled kernel time\n", len(outs), ms)
+	for i, out := range outs {
+		fmt.Printf("  image %d -> class %d\n", i, out.ArgMax())
+	}
+
+	// Without the Developer AMI licence the same flow fails at AFI
+	// creation — the accessibility constraint the paper designs around.
+	_, err = f.DeployCloud(build, condor.CloudConfig{
+		Endpoint: endpoint, Bucket: "condor-unlicensed",
+	})
+	fmt.Printf("\nwithout the FPGA Developer AMI licence: %v\n", err)
+
+	if err := dep.Terminate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("instance terminated")
+}

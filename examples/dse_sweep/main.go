@@ -1,0 +1,90 @@
+// Design-space exploration: the paper performs this phase manually and
+// lists its automation as future work; Condor automates it. This example
+// explores the VGG-16 features-extraction stage on the F1 VU9P — the
+// Table 2 experiment — and prints the accepted moves, the resource cost of
+// each step, and the final configuration, then contrasts unconstrained
+// exploration with the paper's preliminary 2-port configuration.
+//
+//	go run ./examples/dse_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"condor/internal/dse"
+	"condor/internal/models"
+	"condor/internal/perf"
+)
+
+func main() {
+	ir := models.VGG16Features()
+	fmt.Printf("exploring %s (%d layers) on %s at %.0f MHz\n\n",
+		ir.Name, len(ir.Layers), ir.Board, ir.FrequencyMHz)
+
+	// The paper's preliminary improved methodology: up to 2 feature maps
+	// read concurrently, 2 computed in parallel.
+	capped, err := dse.Explore(ir, dse.Options{
+		FeaturesOnly:       true,
+		MaxIterations:      96,
+		MaxPortParallelism: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("2-port cap (paper's preliminary configuration)", capped)
+
+	// Unconstrained: let the explorer spend the whole VU9P.
+	full, err := dse.Explore(ir, dse.Options{
+		FeaturesOnly:  true,
+		MaxIterations: 256,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("unconstrained (resource-limited)", full)
+
+	fmt.Println("accepted moves of the unconstrained run (first 15):")
+	for i, mv := range full.Trace {
+		if i >= 15 {
+			fmt.Printf("  ... %d more\n", len(full.Trace)-15)
+			break
+		}
+		fmt.Printf("  %-10s -> in=%d out=%d   bottleneck %d cycles\n",
+			mv.Layer, mv.Parallelism.In, mv.Parallelism.Out, mv.Bottleneck)
+	}
+}
+
+func report(name string, res *dse.Result) {
+	u := res.Report.Utilization
+	gflops := perf.SteadyStateGFLOPS(featFLOPs(res), res.BottleneckCycles, res.Report.AchievedMHz)
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  bottleneck %d cycles, %.1f GFLOPS (features only)\n", res.BottleneckCycles, gflops)
+	fmt.Printf("  LUT %.1f%%  DSP %.1f%%  BRAM %.1f%%, fmax %.0f MHz\n",
+		100*u.LUT, 100*u.DSP, 100*u.BRAM, res.Report.FmaxMHz)
+	fmt.Printf("  %d accepted moves\n\n", len(res.Trace))
+}
+
+// featFLOPs sums the features-extraction work of the explored network.
+func featFLOPs(res *dse.Result) int64 {
+	// VGG-16 features: ≈30.7 GFLOPs per 224x224 image; recompute from the
+	// per-PE MAC model for exactness.
+	var total int64
+	for _, pe := range res.Spec.PEs {
+		for _, l := range pe.Layers {
+			switch {
+			case l.Kind.IsFeatureExtraction():
+				if l.Kernel > 0 {
+					if l.OutShape.Channels == l.InShape.Channels && l.Stride == l.Kernel {
+						// pooling: one op per window element
+						total += int64(l.OutShape.Volume()) * int64(l.Kernel*l.Kernel)
+					} else {
+						macs := int64(l.OutShape.Volume()) * int64(l.InShape.Channels) * int64(l.Kernel*l.Kernel)
+						total += 2*macs + int64(l.OutShape.Volume())
+					}
+				}
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,71 @@
+// The Caffe integration path: start from a lenet.prototxt and a binary
+// caffemodel (exactly the files Caffe produces), let the frontend translate
+// them into the Condor representation, build the F1 accelerator at the
+// paper's 180 MHz, and study the batch-size behaviour of Figure 5.
+//
+//	go run ./examples/lenet_caffe
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"condor"
+	"condor/internal/models"
+)
+
+func main() {
+	// In a real deployment these bytes come from files on disk; the
+	// generator produces a genuine protobuf-wire-format caffemodel.
+	caffemodel, err := models.LeNetCaffeModel(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f := condor.New()
+	build, err := f.BuildAccelerator(condor.Input{
+		Prototxt:     models.LeNetPrototxt,
+		CaffeModel:   caffemodel,
+		Board:        "aws-f1-vu9p",
+		FrequencyMHz: 180,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	perf, err := build.Performance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := build.Report.Utilization
+	fmt.Printf("LeNet on the F1 VU9P @ %.0f MHz\n", build.Meta.AchievedMHz)
+	fmt.Printf("  LUT %.2f%%  FF %.2f%%  DSP %.2f%%  BRAM %.2f%%\n", 100*u.LUT, 100*u.FF, 100*u.DSP, 100*u.BRAM)
+	fmt.Printf("  %.2f GFLOPS, %.2f GFLOPS/W (Table 1 reports 3.35 and 0.78)\n\n", perf.GFLOPS, perf.GFLOPSPerWatt)
+
+	// Figure 5: the mean time per image drops as the batch grows, because
+	// consecutive images overlap across the per-layer PEs; convergence is
+	// reached once the batch exceeds the number of layers.
+	curve, err := build.BatchCurve([]int{1, 2, 4, 8, 16, 32, 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("batch size vs mean ms/image (Figure 5):")
+	for _, p := range curve {
+		fmt.Printf("  %4d  %8.4f\n", p.Batch, p.MeanMsPerImage)
+	}
+
+	// And a functional check: run a real batch through the simulated
+	// fabric and report the predicted classes.
+	acc, err := build.Fabric()
+	if err != nil {
+		log.Fatal(err)
+	}
+	imgs := models.MNISTImages(5, 3)
+	outs, _, err := acc.Run(imgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsample classifications:")
+	for i, out := range outs {
+		fmt.Printf("  digit image %d -> class %d\n", i, out.ArgMax())
+	}
+}

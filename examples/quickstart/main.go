@@ -1,0 +1,70 @@
+// Quickstart: build a small CNN accelerator from the Condor network
+// representation, deploy it on a local board, and classify a batch of
+// synthetic USPS digits.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"condor"
+	"condor/internal/condorir"
+	"condor/internal/models"
+)
+
+func main() {
+	// The Condor-specific network representation: topology plus the
+	// hardware knobs (board, clock, per-layer parallelism). This is the
+	// "manual" input method of the frontend; the JSON form of this struct
+	// is what `condor build -network` consumes.
+	ir := &condorir.Network{
+		Name:         "quickstart",
+		Board:        "zc706", // an on-premise board: no AFI flow needed
+		FrequencyMHz: 100,
+		Input:        condorir.InputShape{Channels: 1, Height: 16, Width: 16},
+		Layers: []condorir.Layer{
+			{Name: "conv1", Type: "Convolution", KernelSize: 5, Stride: 1, NumOutput: 8, Bias: true, PEGroup: -1},
+			{Name: "relu1", Type: "ReLU", PEGroup: -1},
+			{Name: "pool1", Type: "MaxPooling", KernelSize: 2, Stride: 2, PEGroup: -1},
+			{Name: "fc1", Type: "InnerProduct", NumOutput: 10, Bias: true, PEGroup: -1},
+			{Name: "prob", Type: "LogSoftMax", PEGroup: -1},
+		},
+	}
+	// Weights normally come from training; here they are seeded synthetic
+	// values in the external weights file format.
+	ws, err := models.RandomWeights(ir, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f := &condor.Framework{Logf: func(format string, a ...any) {
+		fmt.Printf("[condor] "+format+"\n", a...)
+	}}
+	build, err := f.BuildAccelerator(condor.Input{IR: ir, Weights: ws})
+	if err != nil {
+		log.Fatal(err)
+	}
+	perf, err := build.Performance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := build.Report.Utilization
+	fmt.Printf("\nbuilt %s for %s: %.0f MHz, LUT %.1f%%, DSP %.1f%%, %.2f GFLOPS\n\n",
+		build.Meta.Name, build.Meta.Board, build.Meta.AchievedMHz, 100*u.LUT, 100*u.DSP, perf.GFLOPS)
+
+	dep, err := f.DeployLocal(build)
+	if err != nil {
+		log.Fatal(err)
+	}
+	imgs := models.USPSImages(4, 1)
+	outs, ms, err := dep.Infer(imgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classified %d images in %.4f ms (modeled device time)\n", len(outs), ms)
+	for i, out := range outs {
+		fmt.Printf("  image %d -> class %d\n", i, out.ArgMax())
+	}
+}

@@ -1,0 +1,30 @@
+package aws
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// encodeFloats serialises a float32 slice as little-endian raw bytes — the
+// wire layout of input/output batches in S3 (the layout the generated host
+// code reads and writes).
+func encodeFloats(vals []float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// decodeFloats parses little-endian raw float32 bytes.
+func decodeFloats(data []byte) ([]float32, error) {
+	if len(data)%4 != 0 {
+		return nil, fmt.Errorf("payload of %d bytes is not a float32 array", len(data))
+	}
+	out := make([]float32, len(data)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"testing"
+
+	"condor/internal/models"
+)
+
+func TestEvaluateLeNet(t *testing.T) {
+	ir, _, err := models.LeNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(ir, Config{Rows: 16, Cols: 16, FreqMHz: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CyclesPerImage <= 0 || rep.GFLOPS <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Efficiency <= 0 || rep.Efficiency > 1 {
+		t.Fatalf("efficiency = %v", rep.Efficiency)
+	}
+	// FC layers run as GEMV: their efficiency is at most 1/Cols.
+	var ip1 *LayerReport
+	for i := range rep.Layers {
+		if rep.Layers[i].Name == "ip1" {
+			ip1 = &rep.Layers[i]
+		}
+	}
+	if ip1 == nil {
+		t.Fatal("ip1 missing")
+	}
+	if ip1.N != 1 || ip1.Efficiency > 1.0/16+1e-9 {
+		t.Fatalf("GEMV efficiency %v should be capped by 1/Cols", ip1.Efficiency)
+	}
+}
+
+func TestEfficiencyImprovesOnLargeLayers(t *testing.T) {
+	// VGG's big conv layers fill the array; LeNet's small ones do not.
+	cfg := Config{Rows: 32, Cols: 32, FreqMHz: 200}
+	lenet, _, err := models.LeNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Evaluate(lenet, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Evaluate(models.VGG16Features(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Efficiency <= small.Efficiency {
+		t.Fatalf("VGG efficiency %v should exceed LeNet %v", big.Efficiency, small.Efficiency)
+	}
+}
+
+func TestIm2ColTrafficExceedsDataflow(t *testing.T) {
+	// The blocked GEMM re-reads the im2col-expanded operand; on LeNet the
+	// baseline traffic must exceed the dataflow fabric's per-image traffic
+	// (which streams each input element once through the reuse buffers).
+	ir, _, err := models.LeNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(ir, Config{Rows: 16, Cols: 16, FreqMHz: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LeNet input is 784 words; conv1's im2col alone is 25x the conv input.
+	if rep.DDRBytes < 4*10*784 {
+		t.Fatalf("baseline traffic %d implausibly low", rep.DDRBytes)
+	}
+}
+
+func TestEvaluateInvalidConfig(t *testing.T) {
+	ir, _, err := models.TC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(ir, Config{}); err == nil {
+		t.Fatal("expected config error")
+	}
+}
+
+func TestBiggerArrayNeverSlower(t *testing.T) {
+	ir := models.VGG16Features()
+	small, err := Evaluate(ir, Config{Rows: 8, Cols: 8, FreqMHz: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Evaluate(ir, Config{Rows: 32, Cols: 32, FreqMHz: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.CyclesPerImage > small.CyclesPerImage {
+		t.Fatalf("bigger array slower: %d vs %d", big.CyclesPerImage, small.CyclesPerImage)
+	}
+}

@@ -1,0 +1,113 @@
+// Package bitstream implements the packaging half of the Condor backend:
+// the SDAccel kernel-description XML, the Xilinx Object (.xo) packaging of
+// the accelerator IP, the XOCC compile step that produces the xclbin binary
+// for a target device (with the placement/timing-closure model deciding the
+// achieved clock), and the AFI tarball the cloud flow uploads to S3. All
+// artifacts are real binary container files with integrity checks, so the
+// downstream runtime and cloud services consume exactly what this layer
+// produces.
+package bitstream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Section is one named payload of a container file.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// containerVersion is the format version of all Condor containers.
+const containerVersion = 1
+
+// WriteContainer serialises sections under a 4-byte magic:
+//
+//	magic [4]byte | version u32 | count u32 |
+//	{ nameLen u16 | name | size u32 | payload | crc32 }*
+func WriteContainer(magic string, sections []Section) ([]byte, error) {
+	if len(magic) != 4 {
+		return nil, fmt.Errorf("bitstream: magic %q must be 4 bytes", magic)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	binary.Write(&buf, binary.LittleEndian, uint32(containerVersion)) //nolint:errcheck
+	binary.Write(&buf, binary.LittleEndian, uint32(len(sections)))    //nolint:errcheck
+	for _, s := range sections {
+		if len(s.Name) > math.MaxUint16 {
+			return nil, fmt.Errorf("bitstream: section name too long")
+		}
+		binary.Write(&buf, binary.LittleEndian, uint16(len(s.Name))) //nolint:errcheck
+		buf.WriteString(s.Name)
+		binary.Write(&buf, binary.LittleEndian, uint32(len(s.Data))) //nolint:errcheck
+		buf.Write(s.Data)
+		binary.Write(&buf, binary.LittleEndian, crc32.ChecksumIEEE(s.Data)) //nolint:errcheck
+	}
+	return buf.Bytes(), nil
+}
+
+// ReadContainer parses and verifies a container, checking the magic and
+// every section checksum.
+func ReadContainer(magic string, data []byte) ([]Section, error) {
+	r := bytes.NewReader(data)
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(r, got); err != nil || string(got) != magic {
+		return nil, fmt.Errorf("bitstream: bad magic %q, want %q", got, magic)
+	}
+	var version, count uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != containerVersion {
+		return nil, fmt.Errorf("bitstream: unsupported container version %d", version)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	sections := make([]Section, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint16
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return nil, fmt.Errorf("bitstream: section %d: %w", i, err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, err
+		}
+		var size uint32
+		if err := binary.Read(r, binary.LittleEndian, &size); err != nil {
+			return nil, err
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("bitstream: section %q truncated", name)
+		}
+		var crc uint32
+		if err := binary.Read(r, binary.LittleEndian, &crc); err != nil {
+			return nil, err
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil, fmt.Errorf("bitstream: section %q checksum mismatch (file corrupt)", name)
+		}
+		sections = append(sections, Section{Name: string(name), Data: payload})
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("bitstream: %d trailing bytes after last section", r.Len())
+	}
+	return sections, nil
+}
+
+// FindSection returns the named section.
+func FindSection(sections []Section, name string) ([]byte, error) {
+	for _, s := range sections {
+		if s.Name == name {
+			return s.Data, nil
+		}
+	}
+	return nil, fmt.Errorf("bitstream: section %q not found", name)
+}

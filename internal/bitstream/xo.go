@@ -1,0 +1,155 @@
+package bitstream
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+
+	"condor/internal/dataflow"
+	"condor/internal/hls"
+)
+
+// Container magics.
+const (
+	xoMagic     = "CXO1"
+	xclbinMagic = "XCLB"
+	afiMagic    = "CAFI"
+)
+
+// Section names.
+const (
+	sectionKernelXML = "KERNEL_XML"
+	sectionFabric    = "FABRIC_SPEC"
+	sectionMetadata  = "METADATA"
+	sectionHostCode  = "HOST_CODE"
+	sectionDCP       = "DCP"
+	sectionManifest  = "MANIFEST"
+	sectionXclbin    = "XCLBIN"
+	peSourcePrefix   = "PE_SRC/"
+)
+
+// kernelXMLDoc mirrors the SDAccel RTL-kernel description file: name,
+// vendor and the AXI interfaces the kernel exposes to the host (step 6a of
+// the automation flow).
+type kernelXMLDoc struct {
+	XMLName xml.Name     `xml:"root"`
+	Kernel  kernelXMLKrn `xml:"kernel"`
+}
+
+type kernelXMLKrn struct {
+	Name     string         `xml:"name,attr"`
+	Vendor   string         `xml:"vendor,attr"`
+	Library  string         `xml:"library,attr"`
+	Version  string         `xml:"versionMajor,attr"`
+	Language string         `xml:"language,attr"`
+	Ports    []kernelXMLPrt `xml:"ports>port"`
+	Args     []kernelXMLArg `xml:"args>arg"`
+}
+
+type kernelXMLPrt struct {
+	Name     string `xml:"name,attr"`
+	Mode     string `xml:"mode,attr"`
+	Range    string `xml:"range,attr"`
+	DataWidt int    `xml:"dataWidth,attr"`
+	PortType string `xml:"portType,attr"`
+}
+
+type kernelXMLArg struct {
+	Name string `xml:"name,attr"`
+	Port string `xml:"port,attr"`
+	Type string `xml:"type,attr"`
+	ID   int    `xml:"id,attr"`
+}
+
+// KernelXML renders the kernel-description XML for an accelerator: the AXI4
+// master port to on-board memory and the AXI4-Lite control port, as the
+// paper describes.
+func KernelXML(spec *dataflow.Spec) (string, error) {
+	doc := kernelXMLDoc{
+		Kernel: kernelXMLKrn{
+			Name:     hls.KernelName(spec),
+			Vendor:   "necst.condor",
+			Library:  "condor",
+			Version:  "1",
+			Language: "ip",
+			Ports: []kernelXMLPrt{
+				{Name: "m_axi_gmem", Mode: "master", Range: "0xFFFFFFFF", DataWidt: 512, PortType: "addressable"},
+				{Name: "s_axi_control", Mode: "slave", Range: "0x1000", DataWidt: 32, PortType: "addressable"},
+			},
+			Args: []kernelXMLArg{
+				{Name: "input", Port: "m_axi_gmem", Type: "float*", ID: 0},
+				{Name: "output", Port: "m_axi_gmem", Type: "float*", ID: 1},
+				{Name: "weights", Port: "m_axi_gmem", Type: "float*", ID: 2},
+				{Name: "batch", Port: "s_axi_control", Type: "uint", ID: 3},
+			},
+		},
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return xml.Header + string(out) + "\n", nil
+}
+
+// XO is a parsed Xilinx Object file.
+type XO struct {
+	Spec      *dataflow.Spec
+	KernelXML string
+	Sources   map[string]string // generated PE sources by PE id
+}
+
+// PackageXO bundles the accelerator IP — fabric specification, generated
+// HLS sources, kernel XML — into a .xo container (step 6b).
+func PackageXO(spec *dataflow.Spec) ([]byte, error) {
+	kxml, err := KernelXML(spec)
+	if err != nil {
+		return nil, err
+	}
+	fabric, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	sections := []Section{
+		{Name: sectionKernelXML, Data: []byte(kxml)},
+		{Name: sectionFabric, Data: fabric},
+	}
+	for _, pe := range spec.PEs {
+		sections = append(sections, Section{
+			Name: peSourcePrefix + pe.ID,
+			Data: []byte(hls.GeneratePECode(pe)),
+		})
+	}
+	return WriteContainer(xoMagic, sections)
+}
+
+// ReadXO parses and validates a .xo container.
+func ReadXO(data []byte) (*XO, error) {
+	sections, err := ReadContainer(xoMagic, data)
+	if err != nil {
+		return nil, err
+	}
+	out := &XO{Sources: make(map[string]string)}
+	kx, err := FindSection(sections, sectionKernelXML)
+	if err != nil {
+		return nil, err
+	}
+	out.KernelXML = string(kx)
+	fabric, err := FindSection(sections, sectionFabric)
+	if err != nil {
+		return nil, err
+	}
+	var spec dataflow.Spec
+	if err := json.Unmarshal(fabric, &spec); err != nil {
+		return nil, fmt.Errorf("bitstream: fabric spec: %w", err)
+	}
+	out.Spec = &spec
+	for _, s := range sections {
+		if len(s.Name) > len(peSourcePrefix) && s.Name[:len(peSourcePrefix)] == peSourcePrefix {
+			out.Sources[s.Name[len(peSourcePrefix):]] = string(s.Data)
+		}
+	}
+	if len(out.Spec.PEs) == 0 {
+		return nil, fmt.Errorf("bitstream: .xo fabric has no PEs")
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+// Package board catalogues the FPGA deployment targets Condor supports and
+// their resource budgets. The headline target is the AWS F1 instance card
+// (Xilinx Virtex UltraScale+ VU9P behind the SDAccel shell); two on-premise
+// boards are included for the local deployment path.
+package board
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Resources is a bundle of FPGA fabric resources. BRAM is counted in
+// BRAM36 (36 Kb) blocks; fractional values represent BRAM18 halves.
+type Resources struct {
+	LUT  float64
+	FF   float64
+	DSP  float64
+	BRAM float64
+}
+
+// Add returns the element-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{LUT: r.LUT + o.LUT, FF: r.FF + o.FF, DSP: r.DSP + o.DSP, BRAM: r.BRAM + o.BRAM}
+}
+
+// Scale returns the resources multiplied by k.
+func (r Resources) Scale(k float64) Resources {
+	return Resources{LUT: r.LUT * k, FF: r.FF * k, DSP: r.DSP * k, BRAM: r.BRAM * k}
+}
+
+// FitsIn reports whether every component of r is within budget b.
+func (r Resources) FitsIn(b Resources) bool {
+	return r.LUT <= b.LUT && r.FF <= b.FF && r.DSP <= b.DSP && r.BRAM <= b.BRAM
+}
+
+// Utilization returns the per-component fraction of r over the device total
+// (values in [0,1]; may exceed 1 for infeasible designs).
+func (r Resources) Utilization(device Resources) Utilization {
+	frac := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	return Utilization{
+		LUT:  frac(r.LUT, device.LUT),
+		FF:   frac(r.FF, device.FF),
+		DSP:  frac(r.DSP, device.DSP),
+		BRAM: frac(r.BRAM, device.BRAM),
+	}
+}
+
+// Utilization is a per-component occupancy fraction.
+type Utilization struct {
+	LUT  float64
+	FF   float64
+	DSP  float64
+	BRAM float64
+}
+
+// Max returns the largest component fraction, the binding constraint.
+func (u Utilization) Max() float64 {
+	m := u.LUT
+	for _, v := range []float64{u.FF, u.DSP, u.BRAM} {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Board describes one deployment target.
+type Board struct {
+	ID   string
+	Name string
+	Part string
+
+	// Device is the full fabric budget of the part.
+	Device Resources
+	// Shell is the static region consumed by the platform shell (the
+	// SDAccel/F1 shell for cloud parts, the base design for local boards).
+	Shell Resources
+
+	DDRBanks         int
+	DDRBandwidthGBps float64
+
+	// MaxClockMHz bounds the kernel clock the platform supports.
+	MaxClockMHz float64
+
+	// CloudOnly marks boards reachable only through the AFI flow (no local
+	// bitstream load), i.e. the F1 instances.
+	CloudOnly bool
+}
+
+// Available returns the budget left for the kernel after the shell.
+func (b *Board) Available() Resources {
+	return Resources{
+		LUT:  b.Device.LUT - b.Shell.LUT,
+		FF:   b.Device.FF - b.Shell.FF,
+		DSP:  b.Device.DSP - b.Shell.DSP,
+		BRAM: b.Device.BRAM - b.Shell.BRAM,
+	}
+}
+
+// catalogue lists the supported targets.
+var catalogue = map[string]*Board{
+	// The AWS F1 card: VU9P behind the F1/SDAccel shell. Device numbers are
+	// the public xcvu9p figures; the shell reservation follows the AWS shell
+	// release notes (one SLR's worth of static region).
+	"aws-f1-vu9p": {
+		ID:   "aws-f1-vu9p",
+		Name: "AWS EC2 F1 (Virtex UltraScale+ VU9P)",
+		Part: "xcvu9p-flgb2104-2-i",
+		Device: Resources{
+			LUT: 1182240, FF: 2364480, DSP: 6840, BRAM: 2160,
+		},
+		Shell: Resources{
+			LUT: 96000, FF: 180000, DSP: 12, BRAM: 48,
+		},
+		DDRBanks:         4,
+		DDRBandwidthGBps: 4 * 16.0,
+		MaxClockMHz:      250,
+		CloudOnly:        true,
+	},
+	// Zynq-7045 development board, a common on-premise target.
+	"zc706": {
+		ID:   "zc706",
+		Name: "Xilinx ZC706 (Zynq-7045)",
+		Part: "xc7z045-ffg900-2",
+		Device: Resources{
+			LUT: 218600, FF: 437200, DSP: 900, BRAM: 545,
+		},
+		Shell: Resources{
+			LUT: 22000, FF: 36000, DSP: 0, BRAM: 16,
+		},
+		DDRBanks:         1,
+		DDRBandwidthGBps: 12.8,
+		MaxClockMHz:      200,
+	},
+	// Kintex UltraScale KU115 PCIe card (the board family of the original
+	// SDAccel platforms).
+	"ku115": {
+		ID:   "ku115",
+		Name: "Xilinx KU115 PCIe card",
+		Part: "xcku115-flvb2104-2-e",
+		Device: Resources{
+			LUT: 663360, FF: 1326720, DSP: 5520, BRAM: 2160,
+		},
+		Shell: Resources{
+			LUT: 60000, FF: 110000, DSP: 8, BRAM: 32,
+		},
+		DDRBanks:         2,
+		DDRBandwidthGBps: 2 * 19.2,
+		MaxClockMHz:      250,
+	},
+}
+
+// Lookup returns the board with the given identifier.
+func Lookup(id string) (*Board, error) {
+	b, ok := catalogue[id]
+	if !ok {
+		return nil, fmt.Errorf("board: unknown board %q (supported: %v)", id, IDs())
+	}
+	return b, nil
+}
+
+// IDs returns the supported board identifiers, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(catalogue))
+	for id := range catalogue {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

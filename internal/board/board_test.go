@@ -1,0 +1,110 @@
+package board
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupKnownBoards(t *testing.T) {
+	for _, id := range []string{"aws-f1-vu9p", "zc706", "ku115"} {
+		b, err := Lookup(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if b.ID != id {
+			t.Fatalf("%s: ID mismatch %q", id, b.ID)
+		}
+		if b.Device.LUT <= 0 || b.Device.DSP <= 0 || b.Device.BRAM <= 0 {
+			t.Fatalf("%s: empty device budget %+v", id, b.Device)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("expected error for unknown board")
+	}
+}
+
+func TestF1IsCloudOnly(t *testing.T) {
+	f1, _ := Lookup("aws-f1-vu9p")
+	if !f1.CloudOnly {
+		t.Fatal("F1 must be cloud-only")
+	}
+	z, _ := Lookup("zc706")
+	if z.CloudOnly {
+		t.Fatal("zc706 must be locally deployable")
+	}
+}
+
+func TestAvailableSubtractsShell(t *testing.T) {
+	b, _ := Lookup("aws-f1-vu9p")
+	a := b.Available()
+	if a.LUT != b.Device.LUT-b.Shell.LUT || a.BRAM != b.Device.BRAM-b.Shell.BRAM {
+		t.Fatalf("Available = %+v", a)
+	}
+	if a.LUT <= 0 || a.FF <= 0 || a.DSP <= 0 || a.BRAM <= 0 {
+		t.Fatal("shell larger than device")
+	}
+}
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{LUT: 10, FF: 20, DSP: 2, BRAM: 1}
+	b := Resources{LUT: 5, FF: 5, DSP: 1, BRAM: 0.5}
+	sum := a.Add(b)
+	if sum != (Resources{LUT: 15, FF: 25, DSP: 3, BRAM: 1.5}) {
+		t.Fatalf("Add = %+v", sum)
+	}
+	if a.Scale(2) != (Resources{LUT: 20, FF: 40, DSP: 4, BRAM: 2}) {
+		t.Fatal("Scale wrong")
+	}
+	if !b.FitsIn(a) || a.FitsIn(b) {
+		t.Fatal("FitsIn wrong")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	dev := Resources{LUT: 100, FF: 200, DSP: 10, BRAM: 20}
+	u := Resources{LUT: 50, FF: 20, DSP: 9, BRAM: 1}.Utilization(dev)
+	if u.LUT != 0.5 || u.FF != 0.1 || u.DSP != 0.9 || u.BRAM != 0.05 {
+		t.Fatalf("utilization = %+v", u)
+	}
+	if u.Max() != 0.9 {
+		t.Fatalf("Max = %v", u.Max())
+	}
+}
+
+func TestUtilizationZeroDevice(t *testing.T) {
+	u := Resources{LUT: 5}.Utilization(Resources{})
+	if u.LUT != 0 {
+		t.Fatal("zero device should yield zero utilization, not NaN")
+	}
+}
+
+// Property: Add is commutative and Scale distributes over Add.
+func TestResourceAlgebraProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint16, kRaw uint8) bool {
+		a := Resources{LUT: float64(a1), FF: float64(a2), DSP: float64(a1 % 100), BRAM: float64(a2 % 50)}
+		b := Resources{LUT: float64(b1), FF: float64(b2), DSP: float64(b1 % 100), BRAM: float64(b2 % 50)}
+		k := float64(kRaw % 8)
+		if a.Add(b) != b.Add(a) {
+			return false
+		}
+		return a.Add(b).Scale(k) == a.Scale(k).Add(b.Scale(k))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("IDs not sorted")
+		}
+	}
+}

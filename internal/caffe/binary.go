@@ -1,0 +1,294 @@
+package caffe
+
+import (
+	"fmt"
+
+	"condor/internal/proto"
+)
+
+// ParseCaffeModel decodes a binary .caffemodel file (a serialized
+// NetParameter) into a Model carrying topology and trained blobs.
+func ParseCaffeModel(data []byte) (*Model, error) {
+	msg, err := proto.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("caffe: malformed caffemodel: %w", err)
+	}
+	return parseNetParameter(msg)
+}
+
+func parseNetParameter(msg proto.Message) (*Model, error) {
+	m := &Model{}
+	m.Name, _ = msg.GetString(netName)
+	if msg.Has(netLayersV1) && !msg.Has(netLayer) {
+		return nil, fmt.Errorf("caffe: model %q uses the deprecated V1 'layers' field; re-export it with a modern Caffe", m.Name)
+	}
+
+	// Input declaration: either repeated input_dim ints, or input_shape blobs.
+	if dims, err := msg.GetUints(netInputDim); err != nil {
+		return nil, err
+	} else if len(dims) > 0 {
+		for _, d := range dims {
+			m.Input = append(m.Input, int(d))
+		}
+	}
+	if len(m.Input) == 0 {
+		shapes, err := msg.GetMessages(netInputShape)
+		if err != nil {
+			return nil, err
+		}
+		if len(shapes) > 0 {
+			dims, err := shapes[0].GetUints(blobShapeDim)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dims {
+				m.Input = append(m.Input, int(d))
+			}
+		}
+	}
+
+	layers, err := msg.GetMessages(netLayer)
+	if err != nil {
+		return nil, err
+	}
+	for i, lm := range layers {
+		spec, err := parseLayerParameter(lm)
+		if err != nil {
+			return nil, fmt.Errorf("caffe: layer %d: %w", i, err)
+		}
+		m.Layers = append(m.Layers, spec)
+	}
+	return m, nil
+}
+
+func parseLayerParameter(msg proto.Message) (LayerSpec, error) {
+	var l LayerSpec
+	l.Name, _ = msg.GetString(layerName)
+	l.Type, _ = msg.GetString(layerType)
+	l.Bottom = msg.GetStrings(layerBottom)
+	l.Top = msg.GetStrings(layerTop)
+	l.BiasTerm = true // proto2 default for bias_term in conv and IP params
+
+	if cp, err := msg.GetMessage(layerConvParam); err != nil {
+		return l, err
+	} else if cp != nil {
+		l.NumOutput = cp.GetInt(convNumOutput, 0)
+		l.BiasTerm = cp.GetBool(convBiasTerm, true)
+		// kernel_size, pad and stride are repeated in modern caffe.proto;
+		// Condor supports square geometry so the first value applies to both
+		// spatial dimensions.
+		if v, err := firstUint(cp, convKernelSize); err != nil {
+			return l, err
+		} else {
+			l.Kernel = v
+		}
+		if v, err := firstUint(cp, convStride); err != nil {
+			return l, err
+		} else {
+			l.Stride = v
+		}
+		if v, err := firstUint(cp, convPad); err != nil {
+			return l, err
+		} else {
+			l.Pad = v
+		}
+		if g := cp.GetInt(convGroup, 1); g != 1 {
+			return l, fmt.Errorf("layer %q: grouped convolutions (group=%d) are not supported", l.Name, g)
+		}
+	}
+	if pp, err := msg.GetMessage(layerPoolParam); err != nil {
+		return l, err
+	} else if pp != nil {
+		switch pp.GetInt(poolMethod, 0) {
+		case 0:
+			l.Pool = "MAX"
+		case 1:
+			l.Pool = "AVE"
+		default:
+			return l, fmt.Errorf("layer %q: unsupported pooling method %d", l.Name, pp.GetInt(poolMethod, 0))
+		}
+		l.Kernel = pp.GetInt(poolKernelSize, 0)
+		l.Stride = pp.GetInt(poolStride, 1)
+		l.Pad = pp.GetInt(poolPad, 0)
+	}
+	if ip, err := msg.GetMessage(layerIPParam); err != nil {
+		return l, err
+	} else if ip != nil {
+		l.NumOutput = ip.GetInt(ipNumOutput, 0)
+		l.BiasTerm = ip.GetBool(ipBiasTerm, true)
+	}
+	if inp, err := msg.GetMessage(layerInputParam); err != nil {
+		return l, err
+	} else if inp != nil {
+		shapes, err := inp.GetMessages(inputShape)
+		if err != nil {
+			return l, err
+		}
+		if len(shapes) > 0 {
+			dims, err := shapes[0].GetUints(blobShapeDim)
+			if err != nil {
+				return l, err
+			}
+			for _, d := range dims {
+				l.InputShape = append(l.InputShape, int(d))
+			}
+		}
+	}
+
+	blobs, err := msg.GetMessages(layerBlobs)
+	if err != nil {
+		return l, err
+	}
+	for bi, bm := range blobs {
+		blob, err := parseBlobProto(bm)
+		if err != nil {
+			return l, fmt.Errorf("layer %q blob %d: %w", l.Name, bi, err)
+		}
+		l.Blobs = append(l.Blobs, blob)
+	}
+	return l, nil
+}
+
+// firstUint reads the first occurrence of a repeated uint field (kernel_size
+// and friends), returning 0 when absent.
+func firstUint(m proto.Message, num int) (int, error) {
+	vals, err := m.GetUints(num)
+	if err != nil {
+		return 0, err
+	}
+	if len(vals) == 0 {
+		return 0, nil
+	}
+	return int(vals[0]), nil
+}
+
+func parseBlobProto(msg proto.Message) (Blob, error) {
+	var b Blob
+	// Modern shape message, falling back to the legacy num/channels/height/
+	// width quadruple.
+	if sm, err := msg.GetMessage(blobShape); err != nil {
+		return b, err
+	} else if sm != nil {
+		dims, err := sm.GetUints(blobShapeDim)
+		if err != nil {
+			return b, err
+		}
+		for _, d := range dims {
+			b.Shape = append(b.Shape, int(d))
+		}
+	} else if msg.Has(blobNum) || msg.Has(blobChannels) || msg.Has(blobHeight) || msg.Has(blobWidth) {
+		b.Shape = []int{
+			msg.GetInt(blobNum, 1), msg.GetInt(blobChannels, 1),
+			msg.GetInt(blobHeight, 1), msg.GetInt(blobWidth, 1),
+		}
+	}
+	var err error
+	b.Data, err = msg.GetFloats(blobData)
+	if err != nil {
+		return b, err
+	}
+	if len(b.Shape) == 0 {
+		b.Shape = []int{len(b.Data)}
+	}
+	if b.Volume() != len(b.Data) {
+		return b, fmt.Errorf("blob shape %v implies %d values, got %d", b.Shape, b.Volume(), len(b.Data))
+	}
+	return b, nil
+}
+
+// EncodeCaffeModel serialises a Model (topology + blobs) as a binary
+// NetParameter, producing bytes that ParseCaffeModel (and Caffe itself)
+// accept. Used by the synthetic model generators.
+func EncodeCaffeModel(m *Model) []byte {
+	var out []byte
+	if m.Name != "" {
+		out = proto.AppendStringField(out, netName, m.Name)
+	}
+	if len(m.Input) > 0 {
+		// Emit the legacy input/input_dim pair, the layout of the reference
+		// lenet caffemodel.
+		out = proto.AppendStringField(out, netInput, "data")
+		for _, d := range m.Input {
+			out = proto.AppendVarintField(out, netInputDim, uint64(d))
+		}
+	}
+	for i := range m.Layers {
+		out = proto.AppendBytesField(out, netLayer, encodeLayerParameter(&m.Layers[i]))
+	}
+	return out
+}
+
+func encodeLayerParameter(l *LayerSpec) []byte {
+	var out []byte
+	out = proto.AppendStringField(out, layerName, l.Name)
+	out = proto.AppendStringField(out, layerType, l.Type)
+	for _, b := range l.Bottom {
+		out = proto.AppendStringField(out, layerBottom, b)
+	}
+	for _, t := range l.Top {
+		out = proto.AppendStringField(out, layerTop, t)
+	}
+	for i := range l.Blobs {
+		out = proto.AppendBytesField(out, layerBlobs, encodeBlobProto(&l.Blobs[i]))
+	}
+	switch l.Type {
+	case "Convolution":
+		var cp []byte
+		cp = proto.AppendVarintField(cp, convNumOutput, uint64(l.NumOutput))
+		if !l.BiasTerm {
+			cp = proto.AppendBoolField(cp, convBiasTerm, false)
+		}
+		if l.Pad != 0 {
+			cp = proto.AppendVarintField(cp, convPad, uint64(l.Pad))
+		}
+		cp = proto.AppendVarintField(cp, convKernelSize, uint64(l.Kernel))
+		if l.Stride != 0 {
+			cp = proto.AppendVarintField(cp, convStride, uint64(l.Stride))
+		}
+		out = proto.AppendBytesField(out, layerConvParam, cp)
+	case "Pooling":
+		var pp []byte
+		method := 0
+		if l.Pool == "AVE" {
+			method = 1
+		}
+		pp = proto.AppendVarintField(pp, poolMethod, uint64(method))
+		pp = proto.AppendVarintField(pp, poolKernelSize, uint64(l.Kernel))
+		if l.Stride != 0 {
+			pp = proto.AppendVarintField(pp, poolStride, uint64(l.Stride))
+		}
+		if l.Pad != 0 {
+			pp = proto.AppendVarintField(pp, poolPad, uint64(l.Pad))
+		}
+		out = proto.AppendBytesField(out, layerPoolParam, pp)
+	case "InnerProduct":
+		var ip []byte
+		ip = proto.AppendVarintField(ip, ipNumOutput, uint64(l.NumOutput))
+		if !l.BiasTerm {
+			ip = proto.AppendBoolField(ip, ipBiasTerm, false)
+		}
+		out = proto.AppendBytesField(out, layerIPParam, ip)
+	case "Input":
+		if len(l.InputShape) > 0 {
+			var bs []byte
+			for _, d := range l.InputShape {
+				bs = proto.AppendVarintField(bs, blobShapeDim, uint64(d))
+			}
+			var ip []byte
+			ip = proto.AppendBytesField(ip, inputShape, bs)
+			out = proto.AppendBytesField(out, layerInputParam, ip)
+		}
+	}
+	return out
+}
+
+func encodeBlobProto(b *Blob) []byte {
+	var out []byte
+	var bs []byte
+	for _, d := range b.Shape {
+		bs = proto.AppendVarintField(bs, blobShapeDim, uint64(d))
+	}
+	out = proto.AppendBytesField(out, blobShape, bs)
+	out = proto.AppendPackedFloats(out, blobData, b.Data)
+	return out
+}

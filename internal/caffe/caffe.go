@@ -1,0 +1,301 @@
+// Package caffe implements the subset of the Caffe model formats that the
+// Condor frontend consumes: the network description (prototxt, the protobuf
+// text format) and the trained model (caffemodel, the protobuf binary wire
+// format). Field numbers and semantics follow BVLC caffe.proto.
+//
+// The package parses both formats into a neutral Model description, merges
+// weights from a caffemodel into a prototxt topology (matching layers by
+// name, Caffe's own rule), and converts the result into an nn.Network. It
+// can also encode Models back to both formats, which the synthetic model
+// generators use to produce genuine Caffe files for the integration tests
+// and examples.
+package caffe
+
+import (
+	"fmt"
+
+	"condor/internal/nn"
+	"condor/internal/tensor"
+)
+
+// Field numbers from caffe.proto.
+const (
+	// NetParameter
+	netName       = 1
+	netLayersV1   = 2 // deprecated V1LayerParameter, rejected with a clear error
+	netInput      = 3
+	netInputDim   = 4
+	netInputShape = 8
+	netLayer      = 100
+
+	// BlobShape
+	blobShapeDim = 1
+
+	// BlobProto
+	blobNum      = 1
+	blobChannels = 2
+	blobHeight   = 3
+	blobWidth    = 4
+	blobData     = 5
+	blobShape    = 7
+
+	// LayerParameter
+	layerName       = 1
+	layerType       = 2
+	layerBottom     = 3
+	layerTop        = 4
+	layerBlobs      = 7
+	layerConvParam  = 106
+	layerInputParam = 143
+	layerIPParam    = 117
+	layerPoolParam  = 121
+
+	// ConvolutionParameter
+	convNumOutput  = 1
+	convBiasTerm   = 2
+	convPad        = 3
+	convKernelSize = 4
+	convGroup      = 5
+	convStride     = 6
+
+	// PoolingParameter
+	poolMethod     = 1
+	poolKernelSize = 2
+	poolStride     = 3
+	poolPad        = 4
+
+	// InnerProductParameter
+	ipNumOutput = 1
+	ipBiasTerm  = 2
+
+	// InputParameter
+	inputShape = 1
+)
+
+// Blob is a named weight array with its shape, matching Caffe's BlobProto.
+type Blob struct {
+	Shape []int
+	Data  []float32
+}
+
+// Volume returns the number of elements implied by the blob shape.
+func (b *Blob) Volume() int { return tensor.Volume(b.Shape) }
+
+// LayerSpec is the neutral description of one Caffe layer.
+type LayerSpec struct {
+	Name   string
+	Type   string // Caffe type string: Convolution, Pooling, InnerProduct, ReLU, ...
+	Bottom []string
+	Top    []string
+
+	NumOutput int
+	Kernel    int
+	Stride    int
+	Pad       int
+	BiasTerm  bool
+	Pool      string // MAX or AVE for Pooling layers
+
+	InputShape []int  // for Input layers: the declared NCHW shape
+	Blobs      []Blob // [weights, bias] when trained
+}
+
+// Model is a parsed Caffe network: name, input shape (NCHW) and layers in
+// file order.
+type Model struct {
+	Name   string
+	Input  []int // N, C, H, W; N is the batch dimension and is ignored downstream
+	Layers []LayerSpec
+}
+
+// InputCHW returns the per-image input shape, dropping the batch dimension.
+func (m *Model) InputCHW() (nn.Shape, error) {
+	switch len(m.Input) {
+	case 4:
+		return nn.Shape{Channels: m.Input[1], Height: m.Input[2], Width: m.Input[3]}, nil
+	case 3:
+		return nn.Shape{Channels: m.Input[0], Height: m.Input[1], Width: m.Input[2]}, nil
+	default:
+		return nn.Shape{}, fmt.Errorf("caffe: model %q has input shape %v, want rank 3 or 4", m.Name, m.Input)
+	}
+}
+
+// LayerByName returns the layer with the given name, or nil.
+func (m *Model) LayerByName(name string) *LayerSpec {
+	for i := range m.Layers {
+		if m.Layers[i].Name == name {
+			return &m.Layers[i]
+		}
+	}
+	return nil
+}
+
+// MergeWeights copies the blobs of every layer in weights into the matching
+// (by name) layer of m, Caffe's CopyTrainedLayersFrom rule. Layers present
+// only on one side are left untouched; a blob count/shape is not validated
+// here (ToNetwork validates against geometry).
+func (m *Model) MergeWeights(weights *Model) {
+	for i := range m.Layers {
+		if src := weights.LayerByName(m.Layers[i].Name); src != nil && len(src.Blobs) > 0 {
+			m.Layers[i].Blobs = src.Blobs
+		}
+	}
+}
+
+// dataLayerTypes are Caffe layer types that provide inputs or training-time
+// outputs; they do not take part in inference and are skipped by ToNetwork.
+var skippedLayerTypes = map[string]bool{
+	"Data":            true,
+	"ImageData":       true,
+	"HDF5Data":        true,
+	"Accuracy":        true,
+	"SoftmaxWithLoss": true,
+	"Dropout":         true, // identity at inference time
+}
+
+// ToNetwork converts the model into an nn.Network ready for the Condor core
+// logic. Data/loss/accuracy layers are dropped (inference only, as the
+// paper's frontend does); an Input layer, if present, supplies the input
+// shape.
+func (m *Model) ToNetwork() (*nn.Network, error) {
+	net := &nn.Network{Name: m.Name}
+	input := m.Input
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		if l.Type == "Input" {
+			if len(l.InputShape) > 0 {
+				input = l.InputShape
+			}
+			continue
+		}
+		if skippedLayerTypes[l.Type] {
+			continue
+		}
+		layer, err := l.toNNLayer()
+		if err != nil {
+			return nil, err
+		}
+		net.Layers = append(net.Layers, layer)
+	}
+	switch len(input) {
+	case 4:
+		net.Input = nn.Shape{Channels: input[1], Height: input[2], Width: input[3]}
+	case 3:
+		net.Input = nn.Shape{Channels: input[0], Height: input[1], Width: input[2]}
+	default:
+		return nil, fmt.Errorf("caffe: model %q has no usable input shape (got %v)", m.Name, input)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("caffe: converted network invalid: %w", err)
+	}
+	return net, nil
+}
+
+func (l *LayerSpec) toNNLayer() (*nn.Layer, error) {
+	out := &nn.Layer{Name: l.Name}
+	switch l.Type {
+	case "Convolution":
+		out.Kind = nn.Conv
+		out.Kernel, out.Stride, out.Pad = l.Kernel, defaultInt(l.Stride, 1), l.Pad
+		out.OutputCount = l.NumOutput
+		if out.Kernel <= 0 {
+			return nil, fmt.Errorf("caffe: conv layer %q missing kernel_size", l.Name)
+		}
+		if out.OutputCount <= 0 {
+			return nil, fmt.Errorf("caffe: conv layer %q missing num_output", l.Name)
+		}
+		if err := l.attachConvBlobs(out); err != nil {
+			return nil, err
+		}
+	case "Pooling":
+		switch l.Pool {
+		case "MAX", "":
+			out.Kind = nn.MaxPool
+		case "AVE":
+			out.Kind = nn.AvgPool
+		default:
+			return nil, fmt.Errorf("caffe: pooling layer %q has unsupported method %q", l.Name, l.Pool)
+		}
+		out.Kernel = l.Kernel
+		out.Stride = defaultInt(l.Stride, 1)
+		out.Pad = l.Pad
+		if out.Kernel <= 0 {
+			return nil, fmt.Errorf("caffe: pooling layer %q missing kernel_size", l.Name)
+		}
+	case "InnerProduct":
+		out.Kind = nn.FullyConnected
+		out.OutputCount = l.NumOutput
+		if out.OutputCount <= 0 {
+			return nil, fmt.Errorf("caffe: inner-product layer %q missing num_output", l.Name)
+		}
+		if err := l.attachFCBlobs(out); err != nil {
+			return nil, err
+		}
+	case "ReLU":
+		out.Kind = nn.ReLU
+	case "Sigmoid":
+		out.Kind = nn.Sigmoid
+	case "TanH":
+		out.Kind = nn.TanH
+	case "Softmax":
+		out.Kind = nn.SoftMax
+	case "LogSoftmax", "LogSoftMax":
+		out.Kind = nn.LogSoftMax
+	default:
+		return nil, fmt.Errorf("caffe: unsupported layer type %q (layer %q)", l.Type, l.Name)
+	}
+	return out, nil
+}
+
+func (l *LayerSpec) attachConvBlobs(out *nn.Layer) error {
+	if len(l.Blobs) == 0 {
+		return nil // untrained topology; weights attached later
+	}
+	w := l.Blobs[0]
+	shape := w.Shape
+	// Legacy 4-D blobs always carry rank 4; accept [out, in, kh, kw] only.
+	if len(shape) != 4 || shape[0] != out.OutputCount || shape[2] != out.Kernel || shape[3] != out.Kernel {
+		return fmt.Errorf("caffe: conv layer %q weight blob shape %v incompatible with num_output=%d kernel=%d",
+			l.Name, shape, out.OutputCount, out.Kernel)
+	}
+	if w.Volume() != len(w.Data) {
+		return fmt.Errorf("caffe: conv layer %q weight blob has %d values, shape %v needs %d",
+			l.Name, len(w.Data), shape, w.Volume())
+	}
+	out.Weights = tensor.FromSlice(w.Data, shape...)
+	if l.BiasTerm && len(l.Blobs) > 1 {
+		b := l.Blobs[1]
+		if len(b.Data) != out.OutputCount {
+			return fmt.Errorf("caffe: conv layer %q bias blob has %d values, want %d", l.Name, len(b.Data), out.OutputCount)
+		}
+		out.Bias = tensor.FromSlice(b.Data, out.OutputCount)
+	}
+	return nil
+}
+
+func (l *LayerSpec) attachFCBlobs(out *nn.Layer) error {
+	if len(l.Blobs) == 0 {
+		return nil
+	}
+	w := l.Blobs[0]
+	if w.Volume() != len(w.Data) || w.Volume()%out.OutputCount != 0 {
+		return fmt.Errorf("caffe: fc layer %q weight blob shape %v / %d values incompatible with num_output=%d",
+			l.Name, w.Shape, len(w.Data), out.OutputCount)
+	}
+	in := w.Volume() / out.OutputCount
+	out.Weights = tensor.FromSlice(w.Data, out.OutputCount, in)
+	if l.BiasTerm && len(l.Blobs) > 1 {
+		b := l.Blobs[1]
+		if len(b.Data) != out.OutputCount {
+			return fmt.Errorf("caffe: fc layer %q bias blob has %d values, want %d", l.Name, len(b.Data), out.OutputCount)
+		}
+		out.Bias = tensor.FromSlice(b.Data, out.OutputCount)
+	}
+	return nil
+}
+
+func defaultInt(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}

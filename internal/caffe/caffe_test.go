@@ -1,0 +1,537 @@
+package caffe
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"condor/internal/nn"
+	"condor/internal/proto"
+)
+
+// lenetDeploy is the deploy variant of the Caffe model-zoo LeNet referenced
+// by the paper (footnote 3), with Data/loss layers replaced by an input
+// declaration as in lenet.prototxt's deploy form.
+const lenetDeploy = `
+name: "LeNet"
+input: "data"
+input_dim: 64
+input_dim: 1
+input_dim: 28
+input_dim: 28
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  convolution_param { num_output: 20 kernel_size: 5 stride: 1 }
+}
+layer {
+  name: "pool1"
+  type: "Pooling"
+  bottom: "conv1"
+  top: "pool1"
+  pooling_param { pool: MAX kernel_size: 2 stride: 2 }
+}
+layer {
+  name: "conv2"
+  type: "Convolution"
+  bottom: "pool1"
+  top: "conv2"
+  convolution_param { num_output: 50 kernel_size: 5 stride: 1 }
+}
+layer {
+  name: "pool2"
+  type: "Pooling"
+  bottom: "conv2"
+  top: "pool2"
+  pooling_param { pool: MAX kernel_size: 2 stride: 2 }
+}
+layer {
+  name: "ip1"
+  type: "InnerProduct"
+  bottom: "pool2"
+  top: "ip1"
+  inner_product_param { num_output: 500 }
+}
+layer { name: "relu1" type: "ReLU" bottom: "ip1" top: "ip1" }
+layer {
+  name: "ip2"
+  type: "InnerProduct"
+  bottom: "ip1"
+  top: "ip2"
+  inner_product_param { num_output: 10 }
+}
+layer { name: "prob" type: "Softmax" bottom: "ip2" top: "prob" }
+`
+
+func parseLeNet(t *testing.T) *Model {
+	t.Helper()
+	m, err := ParsePrototxt(lenetDeploy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// attachRandomBlobs fills in weight blobs consistent with the topology so
+// the model converts to a valid network.
+func attachRandomBlobs(t *testing.T, m *Model) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	randBlob := func(shape ...int) Blob {
+		n := 1
+		for _, d := range shape {
+			n *= d
+		}
+		data := make([]float32, n)
+		for i := range data {
+			data[i] = rng.Float32() - 0.5
+		}
+		return Blob{Shape: shape, Data: data}
+	}
+	set := func(name string, blobs ...Blob) {
+		l := m.LayerByName(name)
+		if l == nil {
+			t.Fatalf("layer %q missing", name)
+		}
+		l.Blobs = blobs
+	}
+	set("conv1", randBlob(20, 1, 5, 5), randBlob(20))
+	set("conv2", randBlob(50, 20, 5, 5), randBlob(50))
+	set("ip1", randBlob(500, 800), randBlob(500))
+	set("ip2", randBlob(10, 500), randBlob(10))
+}
+
+func TestParseLeNetPrototxt(t *testing.T) {
+	m := parseLeNet(t)
+	if m.Name != "LeNet" {
+		t.Fatalf("name = %q", m.Name)
+	}
+	if !reflect.DeepEqual(m.Input, []int{64, 1, 28, 28}) {
+		t.Fatalf("input = %v", m.Input)
+	}
+	if len(m.Layers) != 8 {
+		t.Fatalf("got %d layers", len(m.Layers))
+	}
+	conv1 := m.LayerByName("conv1")
+	if conv1.NumOutput != 20 || conv1.Kernel != 5 || conv1.Stride != 1 || !conv1.BiasTerm {
+		t.Fatalf("conv1 = %+v", conv1)
+	}
+	pool1 := m.LayerByName("pool1")
+	if pool1.Pool != "MAX" || pool1.Kernel != 2 || pool1.Stride != 2 {
+		t.Fatalf("pool1 = %+v", pool1)
+	}
+	if ip1 := m.LayerByName("ip1"); ip1.NumOutput != 500 {
+		t.Fatalf("ip1 = %+v", ip1)
+	}
+}
+
+func TestLeNetToNetworkShapes(t *testing.T) {
+	m := parseLeNet(t)
+	attachRandomBlobs(t, m)
+	net, err := m.ToNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Input != (nn.Shape{Channels: 1, Height: 28, Width: 28}) {
+		t.Fatalf("input shape %v", net.Input)
+	}
+	out, err := net.OutputShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Channels != 10 {
+		t.Fatalf("output %v", out)
+	}
+	// Check the canonical LeNet intermediate shape: pool2 is 50x4x4 = 800.
+	s, err := net.ShapeAt(4) // input of ip1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Volume() != 800 {
+		t.Fatalf("ip1 input volume = %d, want 800", s.Volume())
+	}
+}
+
+func TestToNetworkWithoutWeightsFails(t *testing.T) {
+	m := parseLeNet(t)
+	if _, err := m.ToNetwork(); err == nil {
+		t.Fatal("expected validation error for missing weights")
+	}
+}
+
+func TestCaffeModelBinaryRoundTrip(t *testing.T) {
+	m := parseLeNet(t)
+	attachRandomBlobs(t, m)
+	data := EncodeCaffeModel(m)
+	m2, err := ParseCaffeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Name != "LeNet" || len(m2.Layers) != len(m.Layers) {
+		t.Fatalf("round trip lost structure: %q %d layers", m2.Name, len(m2.Layers))
+	}
+	if !reflect.DeepEqual(m2.Input, m.Input) {
+		t.Fatalf("input %v, want %v", m2.Input, m.Input)
+	}
+	for i := range m.Layers {
+		a, b := &m.Layers[i], &m2.Layers[i]
+		if a.Name != b.Name || a.Type != b.Type || a.NumOutput != b.NumOutput ||
+			a.Kernel != b.Kernel || a.Stride != b.Stride || a.Pad != b.Pad || a.Pool != b.Pool {
+			t.Fatalf("layer %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+		if len(a.Blobs) != len(b.Blobs) {
+			t.Fatalf("layer %q blob count %d vs %d", a.Name, len(a.Blobs), len(b.Blobs))
+		}
+		for j := range a.Blobs {
+			if !reflect.DeepEqual(a.Blobs[j].Shape, b.Blobs[j].Shape) {
+				t.Fatalf("layer %q blob %d shape %v vs %v", a.Name, j, a.Blobs[j].Shape, b.Blobs[j].Shape)
+			}
+			if !reflect.DeepEqual(a.Blobs[j].Data, b.Blobs[j].Data) {
+				t.Fatalf("layer %q blob %d data mismatch", a.Name, j)
+			}
+		}
+	}
+}
+
+func TestPrototxtRoundTrip(t *testing.T) {
+	m := parseLeNet(t)
+	src := EncodePrototxt(m)
+	m2, err := ParsePrototxt(src)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	if len(m2.Layers) != len(m.Layers) {
+		t.Fatalf("layer count %d vs %d", len(m2.Layers), len(m.Layers))
+	}
+	for i := range m.Layers {
+		a, b := m.Layers[i], m2.Layers[i]
+		a.Blobs, b.Blobs = nil, nil
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("layer %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestMergeWeights(t *testing.T) {
+	topo := parseLeNet(t)
+	trained := parseLeNet(t)
+	attachRandomBlobs(t, trained)
+	topo.MergeWeights(trained)
+	if len(topo.LayerByName("conv1").Blobs) != 2 {
+		t.Fatal("conv1 blobs not merged")
+	}
+	if _, err := topo.ToNetwork(); err != nil {
+		t.Fatalf("merged model should convert: %v", err)
+	}
+	// Merging must be by name, not position.
+	renamed := parseLeNet(t)
+	renamed.Layers[0].Name = "other"
+	renamed.MergeWeights(trained)
+	if len(renamed.Layers[0].Blobs) != 0 {
+		t.Fatal("blob merged into wrong layer")
+	}
+}
+
+func TestInputLayerProvidesShape(t *testing.T) {
+	src := `
+name: "mini"
+layer {
+  name: "data" type: "Input"
+  input_param { shape { dim: 1 dim: 3 dim: 8 dim: 8 } }
+}
+layer {
+  name: "pool" type: "Pooling"
+  pooling_param { pool: AVE kernel_size: 2 stride: 2 }
+}
+`
+	m, err := ParsePrototxt(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := m.ToNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Input != (nn.Shape{Channels: 3, Height: 8, Width: 8}) {
+		t.Fatalf("input %v", net.Input)
+	}
+	if net.Layers[0].Kind != nn.AvgPool {
+		t.Fatal("AVE pooling should map to AvgPool")
+	}
+}
+
+func TestSkippedLayersDropped(t *testing.T) {
+	src := `
+name: "train-net"
+input: "data" input_dim: 1 input_dim: 1 input_dim: 4 input_dim: 4
+layer { name: "data" type: "Data" }
+layer { name: "pool" type: "Pooling" pooling_param { kernel_size: 2 stride: 2 } }
+layer { name: "drop" type: "Dropout" }
+layer { name: "loss" type: "SoftmaxWithLoss" }
+layer { name: "acc" type: "Accuracy" }
+`
+	m, err := ParsePrototxt(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := m.ToNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Layers) != 1 || net.Layers[0].Name != "pool" {
+		t.Fatalf("layers = %v", net.Layers)
+	}
+}
+
+func TestRejectV1LayersField(t *testing.T) {
+	if _, err := ParsePrototxt(`layers { name: "x" }`); err == nil {
+		t.Fatal("expected V1 'layers' rejection")
+	}
+}
+
+func TestRejectGroupedConvolution(t *testing.T) {
+	src := `layer { name: "c" type: "Convolution" convolution_param { num_output: 4 kernel_size: 3 group: 2 } }`
+	if _, err := ParsePrototxt(src); err == nil {
+		t.Fatal("expected grouped-convolution rejection")
+	}
+}
+
+func TestRejectUnsupportedLayerType(t *testing.T) {
+	m := &Model{Name: "x", Input: []int{1, 1, 4, 4}, Layers: []LayerSpec{{Name: "l", Type: "LSTM"}}}
+	if _, err := m.ToNetwork(); err == nil {
+		t.Fatal("expected unsupported-type error")
+	}
+}
+
+func TestRejectBadBlobShape(t *testing.T) {
+	m := parseLeNet(t)
+	attachRandomBlobs(t, m)
+	m.LayerByName("conv1").Blobs[0].Shape = []int{20, 1, 3, 3} // wrong kernel
+	if _, err := m.ToNetwork(); err == nil {
+		t.Fatal("expected blob-shape mismatch error")
+	}
+}
+
+func TestParseCaffeModelRejectsGarbage(t *testing.T) {
+	if _, err := ParseCaffeModel([]byte{0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestBlobLegacyDims(t *testing.T) {
+	// A blob encoded with legacy num/channels/height/width instead of shape.
+	spec := LayerSpec{Name: "c", Type: "Convolution", NumOutput: 1, Kernel: 1, BiasTerm: false}
+	m := &Model{Name: "legacy", Input: []int{1, 1, 2, 2}, Layers: []LayerSpec{spec}}
+	data := EncodeCaffeModel(m)
+	// Splice a legacy blob into the layer by re-encoding manually is complex;
+	// instead test parseBlobProto via a hand-built message.
+	_ = data
+	blobMsg := buildLegacyBlob(t)
+	b, err := parseBlobProto(blobMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b.Shape, []int{1, 1, 2, 2}) {
+		t.Fatalf("legacy blob shape %v", b.Shape)
+	}
+	if len(b.Data) != 4 {
+		t.Fatalf("legacy blob data %v", b.Data)
+	}
+}
+
+// buildLegacyBlob constructs a BlobProto message using the deprecated
+// num/channels/height/width fields and unpacked float data.
+func buildLegacyBlob(t *testing.T) proto.Message {
+	t.Helper()
+	var b []byte
+	b = proto.AppendVarintField(b, blobNum, 1)
+	b = proto.AppendVarintField(b, blobChannels, 1)
+	b = proto.AppendVarintField(b, blobHeight, 2)
+	b = proto.AppendVarintField(b, blobWidth, 2)
+	for i := 0; i < 4; i++ {
+		b = proto.AppendFloatField(b, blobData, float32(i))
+	}
+	msg, err := proto.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return msg
+}
+
+// Property: encode→parse of random valid single-conv models preserves
+// geometry and weights exactly.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		out := rng.Intn(8) + 1
+		in := rng.Intn(4) + 1
+		k := rng.Intn(3) + 1
+		wdata := make([]float32, out*in*k*k)
+		for i := range wdata {
+			wdata[i] = rng.Float32()
+		}
+		m := &Model{
+			Name:  "p",
+			Input: []int{1, in, 8, 8},
+			Layers: []LayerSpec{{
+				Name: "c", Type: "Convolution", NumOutput: out, Kernel: k, Stride: 1,
+				BiasTerm: false,
+				Blobs:    []Blob{{Shape: []int{out, in, k, k}, Data: wdata}},
+			}},
+		}
+		m2, err := ParseCaffeModel(EncodeCaffeModel(m))
+		if err != nil {
+			return false
+		}
+		l := m2.LayerByName("c")
+		return l != nil && l.NumOutput == out && l.Kernel == k &&
+			reflect.DeepEqual(l.Blobs[0].Data, wdata)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInputCHW(t *testing.T) {
+	m := &Model{Name: "x", Input: []int{8, 3, 10, 12}}
+	s, err := m.InputCHW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != (nn.Shape{Channels: 3, Height: 10, Width: 12}) {
+		t.Fatalf("CHW = %v", s)
+	}
+	m.Input = []int{3, 10, 12}
+	if s, err = m.InputCHW(); err != nil || s.Channels != 3 {
+		t.Fatalf("rank-3 CHW = %v %v", s, err)
+	}
+	m.Input = []int{10, 12}
+	if _, err := m.InputCHW(); err == nil {
+		t.Fatal("expected rank error")
+	}
+}
+
+func TestEncodePrototxtWithInputLayer(t *testing.T) {
+	m := &Model{
+		Name: "with-input",
+		Layers: []LayerSpec{
+			{Name: "data", Type: "Input", InputShape: []int{1, 1, 4, 4}},
+			{Name: "pool", Type: "Pooling", Pool: "AVE", Kernel: 2, Stride: 2, Pad: 1},
+			{Name: "conv", Type: "Convolution", NumOutput: 2, Kernel: 3, BiasTerm: false, Pad: 1, Stride: 1},
+			{Name: "ip", Type: "InnerProduct", NumOutput: 3, BiasTerm: false},
+		},
+	}
+	src := EncodePrototxt(m)
+	m2, err := ParsePrototxt(src)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	if !reflect.DeepEqual(m2.LayerByName("data").InputShape, []int{1, 1, 4, 4}) {
+		t.Fatalf("input shape lost: %+v", m2.LayerByName("data"))
+	}
+	if m2.LayerByName("pool").Pool != "AVE" || m2.LayerByName("pool").Pad != 1 {
+		t.Fatalf("pool params lost: %+v", m2.LayerByName("pool"))
+	}
+	if m2.LayerByName("conv").BiasTerm {
+		t.Fatal("bias_term false lost")
+	}
+	if m2.LayerByName("ip").BiasTerm {
+		t.Fatal("ip bias_term false lost")
+	}
+}
+
+func TestBinaryRoundTripAvePoolingAndInput(t *testing.T) {
+	m := &Model{
+		Name: "bin-ave",
+		Layers: []LayerSpec{
+			{Name: "data", Type: "Input", InputShape: []int{1, 2, 6, 6}},
+			{Name: "p", Type: "Pooling", Pool: "AVE", Kernel: 3, Stride: 3, Pad: 0},
+		},
+	}
+	m2, err := ParseCaffeModel(EncodeCaffeModel(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.LayerByName("p").Pool != "AVE" {
+		t.Fatalf("pooling method lost: %+v", m2.LayerByName("p"))
+	}
+	if !reflect.DeepEqual(m2.LayerByName("data").InputShape, []int{1, 2, 6, 6}) {
+		t.Fatalf("input layer shape lost: %+v", m2.LayerByName("data"))
+	}
+}
+
+func TestBinaryRejectsV1Layers(t *testing.T) {
+	var b []byte
+	b = proto.AppendBytesField(b, netLayersV1, []byte{})
+	if _, err := ParseCaffeModel(b); err == nil {
+		t.Fatal("expected V1 rejection in binary path")
+	}
+}
+
+func TestBinaryRejectsStochasticPooling(t *testing.T) {
+	var pp []byte
+	pp = proto.AppendVarintField(pp, poolMethod, 2) // STOCHASTIC
+	pp = proto.AppendVarintField(pp, poolKernelSize, 2)
+	var lp []byte
+	lp = proto.AppendStringField(lp, layerName, "p")
+	lp = proto.AppendStringField(lp, layerType, "Pooling")
+	lp = proto.AppendBytesField(lp, layerPoolParam, pp)
+	var b []byte
+	b = proto.AppendBytesField(b, netLayer, lp)
+	if _, err := ParseCaffeModel(b); err == nil {
+		t.Fatal("expected stochastic-pooling rejection")
+	}
+}
+
+func TestBinaryRejectsGroupedConv(t *testing.T) {
+	var cp []byte
+	cp = proto.AppendVarintField(cp, convNumOutput, 4)
+	cp = proto.AppendVarintField(cp, convKernelSize, 3)
+	cp = proto.AppendVarintField(cp, convGroup, 2)
+	var lp []byte
+	lp = proto.AppendStringField(lp, layerName, "c")
+	lp = proto.AppendStringField(lp, layerType, "Convolution")
+	lp = proto.AppendBytesField(lp, layerConvParam, cp)
+	var b []byte
+	b = proto.AppendBytesField(b, netLayer, lp)
+	if _, err := ParseCaffeModel(b); err == nil {
+		t.Fatal("expected grouped-conv rejection in binary path")
+	}
+}
+
+func TestBlobShapeVolumeMismatch(t *testing.T) {
+	var bs []byte
+	bs = proto.AppendVarintField(bs, blobShapeDim, 3)
+	var bm []byte
+	bm = proto.AppendBytesField(bm, blobShape, bs)
+	bm = proto.AppendPackedFloats(bm, blobData, []float32{1, 2}) // 2 values for dim 3
+	msg, err := proto.Decode(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseBlobProto(msg); err == nil {
+		t.Fatal("expected volume mismatch error")
+	}
+}
+
+func TestFCBlobBadShape(t *testing.T) {
+	m := parseLeNet(t)
+	attachRandomBlobs(t, m)
+	// 7 values are not divisible by ip2's 10 outputs.
+	m.LayerByName("ip2").Blobs[0] = Blob{Shape: []int{7}, Data: make([]float32, 7)}
+	if _, err := m.ToNetwork(); err == nil {
+		t.Fatal("expected fc blob shape error")
+	}
+}
+
+func TestBiasBlobWrongLength(t *testing.T) {
+	m := parseLeNet(t)
+	attachRandomBlobs(t, m)
+	m.LayerByName("conv1").Blobs[1] = Blob{Shape: []int{3}, Data: make([]float32, 3)}
+	if _, err := m.ToNetwork(); err == nil {
+		t.Fatal("expected bias length error")
+	}
+}

@@ -1,0 +1,198 @@
+package caffe
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"condor/internal/proto"
+)
+
+// ParsePrototxt parses a network description in Caffe's prototxt format into
+// a Model (topology only; blobs come from the caffemodel).
+func ParsePrototxt(src string) (*Model, error) {
+	msg, err := proto.ParseText(src)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{}
+	m.Name, _ = msg.GetString("name")
+	if msg.Has("layers") && !msg.Has("layer") {
+		return nil, fmt.Errorf("caffe: prototxt for %q uses the deprecated V1 'layers' field", m.Name)
+	}
+
+	if dims, err := msg.GetInts("input_dim"); err != nil {
+		return nil, err
+	} else if len(dims) > 0 {
+		m.Input = dims
+	}
+	if len(m.Input) == 0 {
+		if shape, ok := msg.GetMessage("input_shape"); ok {
+			dims, err := shape.GetInts("dim")
+			if err != nil {
+				return nil, err
+			}
+			m.Input = dims
+		}
+	}
+
+	for i, lm := range msg.GetMessages("layer") {
+		spec, err := parseTextLayer(lm)
+		if err != nil {
+			return nil, fmt.Errorf("caffe: layer %d: %w", i, err)
+		}
+		m.Layers = append(m.Layers, spec)
+	}
+	return m, nil
+}
+
+func parseTextLayer(lm proto.TextMessage) (LayerSpec, error) {
+	var l LayerSpec
+	l.Name, _ = lm.GetString("name")
+	l.Type, _ = lm.GetString("type")
+	l.Bottom = lm.GetStrings("bottom")
+	l.Top = lm.GetStrings("top")
+	l.BiasTerm = true
+
+	if cp, ok := lm.GetMessage("convolution_param"); ok {
+		var err error
+		if l.NumOutput, err = cp.GetInt("num_output", 0); err != nil {
+			return l, err
+		}
+		if l.Kernel, err = cp.GetInt("kernel_size", 0); err != nil {
+			return l, err
+		}
+		if l.Stride, err = cp.GetInt("stride", 0); err != nil {
+			return l, err
+		}
+		if l.Pad, err = cp.GetInt("pad", 0); err != nil {
+			return l, err
+		}
+		if l.BiasTerm, err = cp.GetBool("bias_term", true); err != nil {
+			return l, err
+		}
+		if g, err := cp.GetInt("group", 1); err != nil {
+			return l, err
+		} else if g != 1 {
+			return l, fmt.Errorf("layer %q: grouped convolutions (group=%d) are not supported", l.Name, g)
+		}
+	}
+	if pp, ok := lm.GetMessage("pooling_param"); ok {
+		pool, _ := pp.GetString("pool")
+		switch pool {
+		case "", "MAX":
+			l.Pool = "MAX"
+		case "AVE":
+			l.Pool = "AVE"
+		default:
+			return l, fmt.Errorf("layer %q: unsupported pooling method %q", l.Name, pool)
+		}
+		var err error
+		if l.Kernel, err = pp.GetInt("kernel_size", 0); err != nil {
+			return l, err
+		}
+		if l.Stride, err = pp.GetInt("stride", 1); err != nil {
+			return l, err
+		}
+		if l.Pad, err = pp.GetInt("pad", 0); err != nil {
+			return l, err
+		}
+	}
+	if ip, ok := lm.GetMessage("inner_product_param"); ok {
+		var err error
+		if l.NumOutput, err = ip.GetInt("num_output", 0); err != nil {
+			return l, err
+		}
+		if l.BiasTerm, err = ip.GetBool("bias_term", true); err != nil {
+			return l, err
+		}
+	}
+	if inp, ok := lm.GetMessage("input_param"); ok {
+		if shape, ok := inp.GetMessage("shape"); ok {
+			dims, err := shape.GetInts("dim")
+			if err != nil {
+				return l, err
+			}
+			l.InputShape = dims
+		}
+	}
+	return l, nil
+}
+
+// EncodePrototxt renders a Model's topology in prototxt form. Blobs are not
+// included (prototxt never carries weights).
+func EncodePrototxt(m *Model) string {
+	var sb strings.Builder
+	if m.Name != "" {
+		fmt.Fprintf(&sb, "name: %q\n", m.Name)
+	}
+	if len(m.Input) > 0 {
+		sb.WriteString("input: \"data\"\n")
+		for _, d := range m.Input {
+			fmt.Fprintf(&sb, "input_dim: %d\n", d)
+		}
+	}
+	for i := range m.Layers {
+		writeTextLayer(&sb, &m.Layers[i])
+	}
+	return sb.String()
+}
+
+func writeTextLayer(sb *strings.Builder, l *LayerSpec) {
+	sb.WriteString("layer {\n")
+	fmt.Fprintf(sb, "  name: %q\n", l.Name)
+	fmt.Fprintf(sb, "  type: %q\n", l.Type)
+	for _, b := range l.Bottom {
+		fmt.Fprintf(sb, "  bottom: %q\n", b)
+	}
+	for _, t := range l.Top {
+		fmt.Fprintf(sb, "  top: %q\n", t)
+	}
+	switch l.Type {
+	case "Convolution":
+		sb.WriteString("  convolution_param {\n")
+		fmt.Fprintf(sb, "    num_output: %d\n", l.NumOutput)
+		if !l.BiasTerm {
+			sb.WriteString("    bias_term: false\n")
+		}
+		if l.Pad != 0 {
+			fmt.Fprintf(sb, "    pad: %d\n", l.Pad)
+		}
+		fmt.Fprintf(sb, "    kernel_size: %d\n", l.Kernel)
+		if l.Stride != 0 {
+			fmt.Fprintf(sb, "    stride: %d\n", l.Stride)
+		}
+		sb.WriteString("  }\n")
+	case "Pooling":
+		sb.WriteString("  pooling_param {\n")
+		pool := l.Pool
+		if pool == "" {
+			pool = "MAX"
+		}
+		fmt.Fprintf(sb, "    pool: %s\n", pool)
+		fmt.Fprintf(sb, "    kernel_size: %d\n", l.Kernel)
+		if l.Stride != 0 {
+			fmt.Fprintf(sb, "    stride: %d\n", l.Stride)
+		}
+		if l.Pad != 0 {
+			fmt.Fprintf(sb, "    pad: %d\n", l.Pad)
+		}
+		sb.WriteString("  }\n")
+	case "InnerProduct":
+		sb.WriteString("  inner_product_param {\n")
+		fmt.Fprintf(sb, "    num_output: %d\n", l.NumOutput)
+		if !l.BiasTerm {
+			sb.WriteString("    bias_term: false\n")
+		}
+		sb.WriteString("  }\n")
+	case "Input":
+		if len(l.InputShape) > 0 {
+			sb.WriteString("  input_param {\n    shape {\n")
+			for _, d := range l.InputShape {
+				fmt.Fprintf(sb, "      dim: %s\n", strconv.Itoa(d))
+			}
+			sb.WriteString("    }\n  }\n")
+		}
+	}
+	sb.WriteString("}\n")
+}

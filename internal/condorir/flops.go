@@ -1,0 +1,51 @@
+package condorir
+
+import "condor/internal/nn"
+
+// FLOPs returns the floating-point operations of one forward pass computed
+// from geometry alone (no weights needed) — used by the performance and
+// exploration layers for networks whose weights are not materialised.
+func (n *Network) FLOPs() (int64, error) {
+	return n.flops(false)
+}
+
+// FeatureFLOPs returns the FLOPs of the features-extraction stage only (the
+// quantity the paper's Table 2 reports throughput for).
+func (n *Network) FeatureFLOPs() (int64, error) {
+	return n.flops(true)
+}
+
+func (n *Network) flops(featuresOnly bool) (int64, error) {
+	shapes, err := n.Shapes()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	classifier := false
+	for i := range n.Layers {
+		l := &n.Layers[i]
+		kind, err := l.Kind()
+		if err != nil {
+			return 0, err
+		}
+		if kind.IsClassifier() {
+			classifier = true
+		}
+		if featuresOnly && classifier {
+			continue
+		}
+		skel := nn.Layer{
+			Name: l.Name, Kind: kind,
+			Kernel: l.KernelSize, Stride: defaultStride(l), Pad: l.Pad,
+			OutputCount: l.NumOutput,
+		}
+		fl := skel.FLOPs(shapes[i])
+		if l.Bias && (kind == nn.Conv || kind == nn.FullyConnected) {
+			// nn.Layer.FLOPs counts the bias only when a bias tensor is
+			// attached; add it from the declaration.
+			fl += int64(shapes[i+1].Volume())
+		}
+		total += fl
+	}
+	return total, nil
+}

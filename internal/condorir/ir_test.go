@@ -1,0 +1,394 @@
+package condorir
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"condor/internal/nn"
+	"condor/internal/tensor"
+)
+
+// testIR builds a small valid representation used across tests.
+func testIR() *Network {
+	return &Network{
+		Name:         "tiny",
+		Board:        "aws-f1-vu9p",
+		FrequencyMHz: 100,
+		Input:        InputShape{Channels: 1, Height: 8, Width: 8},
+		Layers: []Layer{
+			{Name: "conv1", Type: "Convolution", KernelSize: 3, Stride: 1, NumOutput: 2, Bias: true, PEGroup: -1},
+			{Name: "relu1", Type: "ReLU", PEGroup: -1},
+			{Name: "pool1", Type: "MaxPooling", KernelSize: 2, Stride: 2, PEGroup: -1},
+			{Name: "fc1", Type: "InnerProduct", NumOutput: 4, Bias: true, PEGroup: -1},
+			{Name: "prob", Type: "LogSoftMax", PEGroup: -1},
+		},
+	}
+}
+
+// testWeights builds a matching weight set.
+func testWeights(seed int64) *WeightSet {
+	rng := rand.New(rand.NewSource(seed))
+	ws := NewWeightSet()
+	w := tensor.New(2, 1, 3, 3)
+	w.FillRandom(rng, 0.5)
+	ws.Put("conv1", EntryWeights, w)
+	b := tensor.New(2)
+	b.FillRandom(rng, 0.5)
+	ws.Put("conv1", EntryBias, b)
+	fw := tensor.New(4, 18)
+	fw.FillRandom(rng, 0.5)
+	ws.Put("fc1", EntryWeights, fw)
+	fb := tensor.New(4)
+	fb.FillRandom(rng, 0.5)
+	ws.Put("fc1", EntryBias, fb)
+	return ws
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := testIR().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateFailures(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Network)
+	}{
+		{"no name", func(n *Network) { n.Name = "" }},
+		{"bad input", func(n *Network) { n.Input.Channels = 0 }},
+		{"no freq", func(n *Network) { n.FrequencyMHz = 0 }},
+		{"no layers", func(n *Network) { n.Layers = nil }},
+		{"dup layer name", func(n *Network) { n.Layers[1].Name = "conv1" }},
+		{"unknown type", func(n *Network) { n.Layers[0].Type = "Bogus" }},
+		{"missing kernel", func(n *Network) { n.Layers[0].KernelSize = 0 }},
+		{"missing num_output", func(n *Network) { n.Layers[0].NumOutput = 0 }},
+		{"kernel too big", func(n *Network) { n.Layers[0].KernelSize = 20 }},
+	}
+	for _, tc := range cases {
+		n := testIR()
+		tc.mut(n)
+		if err := n.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestShapes(t *testing.T) {
+	shapes, err := testIR().Shapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []nn.Shape{
+		{Channels: 1, Height: 8, Width: 8},
+		{Channels: 2, Height: 6, Width: 6},
+		{Channels: 2, Height: 6, Width: 6},
+		{Channels: 2, Height: 3, Width: 3},
+		{Channels: 4, Height: 1, Width: 1},
+		{Channels: 4, Height: 1, Width: 1},
+	}
+	if !reflect.DeepEqual(shapes, want) {
+		t.Fatalf("shapes = %v", shapes)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	n := testIR()
+	data, err := n.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(n, n2) {
+		t.Fatalf("JSON round trip mismatch:\n%+v\n%+v", n, n2)
+	}
+}
+
+func TestFromJSONRejectsInvalid(t *testing.T) {
+	if _, err := FromJSON([]byte(`{"name":"x"}`)); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if _, err := FromJSON([]byte(`{not json`)); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestBuildNNAndForward(t *testing.T) {
+	ir := testIR()
+	ws := testWeights(1)
+	net, err := ir.BuildNN(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(1, 8, 8)
+	in.FillRandom(rand.New(rand.NewSource(2)), 1)
+	out, err := net.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 4 {
+		t.Fatalf("output len %d", out.Len())
+	}
+}
+
+func TestBuildNNMissingWeights(t *testing.T) {
+	ir := testIR()
+	ws := testWeights(1)
+	ws.entries = map[string]*WeightEntry{} // empty
+	if _, err := ir.BuildNN(ws); err == nil {
+		t.Fatal("expected missing-weights error")
+	}
+}
+
+func TestBuildNNWrongWeightVolume(t *testing.T) {
+	ir := testIR()
+	ws := testWeights(1)
+	bad := tensor.New(2, 1, 5, 5)
+	ws.Put("conv1", EntryWeights, bad)
+	if _, err := ir.BuildNN(ws); err == nil {
+		t.Fatal("expected weight-volume error")
+	}
+}
+
+func TestFromNNRoundTrip(t *testing.T) {
+	ir := testIR()
+	ws := testWeights(3)
+	net, err := ir.BuildNN(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir2, ws2, err := FromNN(net, "aws-f1-vu9p", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ir2.Layers) != len(ir.Layers) {
+		t.Fatalf("layer count %d vs %d", len(ir2.Layers), len(ir.Layers))
+	}
+	net2, err := ir2.BuildNN(ws2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(1, 8, 8)
+	in.FillRandom(rand.New(rand.NewSource(4)), 1)
+	a, err := net.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net2.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("round-tripped network computes different outputs")
+	}
+}
+
+func TestPEGroupsDefaultOnePEPerLayer(t *testing.T) {
+	groups, err := testIR().PEGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// conv1+relu1 fold together; pool1; fc1+prob fold together.
+	want := [][]int{{0, 1}, {2}, {3, 4}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+}
+
+func TestPEGroupsFusion(t *testing.T) {
+	n := testIR()
+	n.Layers[0].PEGroup = 0
+	n.Layers[2].PEGroup = 0
+	groups, err := n.PEGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1, 2}, {3, 4}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+}
+
+func TestPEGroupsRejectMixedStages(t *testing.T) {
+	n := testIR()
+	n.Layers[2].PEGroup = 1 // pool1
+	n.Layers[3].PEGroup = 1 // fc1 — classification cannot fuse with features
+	if _, err := n.PEGroups(); err == nil {
+		t.Fatal("expected mixed-stage fusion error")
+	}
+}
+
+func TestPEGroupsRejectNonContiguous(t *testing.T) {
+	n := &Network{
+		Name: "nc", Board: "b", FrequencyMHz: 100,
+		Input: InputShape{Channels: 1, Height: 12, Width: 12},
+		Layers: []Layer{
+			{Name: "c1", Type: "Convolution", KernelSize: 3, NumOutput: 2, PEGroup: 5},
+			{Name: "c2", Type: "Convolution", KernelSize: 3, NumOutput: 2, PEGroup: -1},
+			{Name: "c3", Type: "Convolution", KernelSize: 3, NumOutput: 2, PEGroup: 5},
+		},
+	}
+	if _, err := n.PEGroups(); err == nil {
+		t.Fatal("expected non-contiguous group error")
+	}
+}
+
+func TestPEGroupsRejectLeadingActivation(t *testing.T) {
+	n := testIR()
+	n.Layers = n.Layers[1:] // starts with relu
+	if _, err := n.PEGroups(); err == nil {
+		t.Fatal("expected leading-activation error")
+	}
+}
+
+func TestWeightsFileRoundTrip(t *testing.T) {
+	ws := testWeights(5)
+	var buf bytes.Buffer
+	if err := ws.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ws2, err := ReadWeights(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws2.Len() != ws.Len() {
+		t.Fatalf("entry count %d vs %d", ws2.Len(), ws.Len())
+	}
+	for _, e := range ws.Entries() {
+		e2, ok := ws2.Get(e.Layer, e.Kind)
+		if !ok {
+			t.Fatalf("entry %s/%s missing after round trip", e.Layer, e.Kind)
+		}
+		if !reflect.DeepEqual(e.Dims, e2.Dims) || !reflect.DeepEqual(e.Data, e2.Data) {
+			t.Fatalf("entry %s/%s changed", e.Layer, e.Kind)
+		}
+	}
+}
+
+func TestWeightsFileDetectsCorruption(t *testing.T) {
+	ws := testWeights(6)
+	var buf bytes.Buffer
+	if err := ws.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-10] ^= 0xff // flip a bit in the last entry's payload
+	if _, err := ReadWeights(bytes.NewReader(data)); err == nil {
+		t.Fatal("expected checksum error")
+	}
+}
+
+func TestWeightsFileRejectsBadMagic(t *testing.T) {
+	if _, err := ReadWeights(bytes.NewReader([]byte("NOPE0000"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestWeightsFileRejectsTruncation(t *testing.T) {
+	ws := testWeights(7)
+	var buf bytes.Buffer
+	if err := ws.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadWeights(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+// Property: weight sets with random entries survive write→read intact.
+func TestWeightsRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ws := NewWeightSet()
+		n := rng.Intn(6) + 1
+		for i := 0; i < n; i++ {
+			dims := []int{rng.Intn(4) + 1, rng.Intn(4) + 1}
+			tt := tensor.New(dims...)
+			tt.FillRandom(rng, 2)
+			name := string(rune('a' + i))
+			ws.Put(name, EntryKind(rng.Intn(2)), tt)
+		}
+		var buf bytes.Buffer
+		if err := ws.Write(&buf); err != nil {
+			return false
+		}
+		ws2, err := ReadWeights(&buf)
+		if err != nil {
+			return false
+		}
+		if ws2.Len() != ws.Len() {
+			return false
+		}
+		for _, e := range ws.Entries() {
+			e2, ok := ws2.Get(e.Layer, e.Kind)
+			if !ok || !reflect.DeepEqual(e.Data, e2.Data) || !reflect.DeepEqual(e.Dims, e2.Dims) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelismNormalize(t *testing.T) {
+	p := Parallelism{}.Normalize()
+	if p.In != 1 || p.Out != 1 {
+		t.Fatalf("normalized = %+v", p)
+	}
+	p = Parallelism{In: 4, Out: 2}.Normalize()
+	if p.In != 4 || p.Out != 2 {
+		t.Fatalf("normalize changed explicit values: %+v", p)
+	}
+}
+
+func TestWeightSetTotalBytes(t *testing.T) {
+	ws := NewWeightSet()
+	tt := tensor.New(10)
+	ws.Put("l", EntryWeights, tt)
+	if ws.TotalBytes() != 40 {
+		t.Fatalf("TotalBytes = %d, want 40", ws.TotalBytes())
+	}
+}
+
+func TestGeometryFLOPs(t *testing.T) {
+	ir := testIR()
+	ws := testWeights(9)
+	net, err := ir.BuildNN(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ir.FLOPs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := net.TotalFLOPs(); got != want {
+		t.Fatalf("geometry FLOPs %d != nn accounting %d", got, want)
+	}
+	feat, err := ir.FeatureFLOPs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantFeat := net.FeatureExtractionFLOPs(); feat != wantFeat {
+		t.Fatalf("feature FLOPs %d != nn accounting %d", feat, wantFeat)
+	}
+	if feat >= got {
+		t.Fatal("feature FLOPs must be a strict subset")
+	}
+}
+
+func TestGeometryFLOPsInvalidLayer(t *testing.T) {
+	ir := testIR()
+	ir.Layers[0].Type = "Bogus"
+	if _, err := ir.FLOPs(); err == nil {
+		t.Fatal("expected error for unknown layer type")
+	}
+}

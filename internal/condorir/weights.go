@@ -1,0 +1,256 @@
+package condorir
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"condor/internal/tensor"
+)
+
+// EntryKind distinguishes weight from bias entries in the weight set.
+type EntryKind uint8
+
+const (
+	EntryWeights EntryKind = 0
+	EntryBias    EntryKind = 1
+)
+
+func (k EntryKind) String() string {
+	if k == EntryBias {
+		return "bias"
+	}
+	return "weights"
+}
+
+// WeightEntry is one named array in the weight set.
+type WeightEntry struct {
+	Layer string
+	Kind  EntryKind
+	Dims  []int
+	Data  []float32
+}
+
+// Tensor materialises the entry with the expected dims, validating that the
+// stored element count matches.
+func (e *WeightEntry) Tensor(dims ...int) (*tensor.Tensor, error) {
+	if len(e.Dims) > 0 && tensor.Volume(e.Dims) != tensor.Volume(dims) {
+		return nil, fmt.Errorf("condorir: %s/%s stored shape %v incompatible with requested %v",
+			e.Layer, e.Kind, e.Dims, dims)
+	}
+	return tensorFromEntry(e.Data, dims...)
+}
+
+// WeightSet holds the external weights and biases of a network, keyed by
+// layer name. The paper keeps these outside the bitstream so that a network
+// update does not require re-synthesis; the datamover streams them in at
+// runtime.
+type WeightSet struct {
+	entries map[string]*WeightEntry
+}
+
+// NewWeightSet returns an empty weight set.
+func NewWeightSet() *WeightSet { return &WeightSet{entries: make(map[string]*WeightEntry)} }
+
+func key(layer string, kind EntryKind) string { return layer + "\x00" + kind.String() }
+
+// Put stores a tensor under (layer, kind), copying its data.
+func (ws *WeightSet) Put(layer string, kind EntryKind, t *tensor.Tensor) {
+	data := make([]float32, t.Len())
+	copy(data, t.Data())
+	ws.entries[key(layer, kind)] = &WeightEntry{
+		Layer: layer, Kind: kind,
+		Dims: append([]int(nil), t.Shape()...),
+		Data: data,
+	}
+}
+
+// PutRaw stores a raw float slice with explicit dims (no copy).
+func (ws *WeightSet) PutRaw(layer string, kind EntryKind, dims []int, data []float32) {
+	ws.entries[key(layer, kind)] = &WeightEntry{Layer: layer, Kind: kind, Dims: dims, Data: data}
+}
+
+// Get returns the entry for (layer, kind).
+func (ws *WeightSet) Get(layer string, kind EntryKind) (*WeightEntry, bool) {
+	e, ok := ws.entries[key(layer, kind)]
+	return e, ok
+}
+
+// Len returns the number of entries.
+func (ws *WeightSet) Len() int { return len(ws.entries) }
+
+// Entries returns all entries sorted by (layer, kind) for deterministic
+// serialisation.
+func (ws *WeightSet) Entries() []*WeightEntry {
+	out := make([]*WeightEntry, 0, len(ws.entries))
+	for _, e := range ws.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Layer != out[j].Layer {
+			return out[i].Layer < out[j].Layer
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// TotalBytes returns the serialised payload size of all weight data.
+func (ws *WeightSet) TotalBytes() int64 {
+	var n int64
+	for _, e := range ws.entries {
+		n += int64(4 * len(e.Data))
+	}
+	return n
+}
+
+// The Condor weights file format ("CNDW"): a little-endian container of
+// named float32 arrays with per-entry CRC32 integrity checks.
+//
+//	magic   [4]byte  "CNDW"
+//	version uint32   (1)
+//	count   uint32
+//	entries:
+//	  nameLen uint16, name []byte
+//	  kind    uint8
+//	  rank    uint8, dims []uint32
+//	  n       uint32, data [n]float32
+//	  crc     uint32  (CRC32-IEEE of the data bytes)
+
+var weightsMagic = [4]byte{'C', 'N', 'D', 'W'}
+
+const weightsVersion = 1
+
+// Write serialises the weight set.
+func (ws *WeightSet) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(weightsMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(weightsVersion)); err != nil {
+		return err
+	}
+	entries := ws.Entries()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(entries))); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if len(e.Layer) > math.MaxUint16 {
+			return fmt.Errorf("condorir: layer name %q too long", e.Layer)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(e.Layer))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(e.Layer); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(e.Kind)); err != nil {
+			return err
+		}
+		if len(e.Dims) > math.MaxUint8 {
+			return fmt.Errorf("condorir: entry %s/%s rank %d too large", e.Layer, e.Kind, len(e.Dims))
+		}
+		if err := bw.WriteByte(byte(len(e.Dims))); err != nil {
+			return err
+		}
+		for _, d := range e.Dims {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(e.Data))); err != nil {
+			return err
+		}
+		buf := make([]byte, 4*len(e.Data))
+		for i, v := range e.Data {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, crc32.ChecksumIEEE(buf)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWeights parses a Condor weights file, verifying per-entry checksums.
+func ReadWeights(r io.Reader) (*WeightSet, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("condorir: weights file: %w", err)
+	}
+	if magic != weightsMagic {
+		return nil, fmt.Errorf("condorir: bad weights magic %q", magic[:])
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != weightsVersion {
+		return nil, fmt.Errorf("condorir: unsupported weights version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	ws := NewWeightSet()
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, fmt.Errorf("condorir: weights entry %d: %w", i, err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		kindB, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if kindB > 1 {
+			return nil, fmt.Errorf("condorir: weights entry %q: bad kind %d", name, kindB)
+		}
+		rank, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		dims := make([]int, rank)
+		for d := range dims {
+			var v uint32
+			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+				return nil, err
+			}
+			dims[d] = int(v)
+		}
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if len(dims) > 0 && uint32(tensor.Volume(dims)) != n {
+			return nil, fmt.Errorf("condorir: weights entry %q: dims %v inconsistent with %d values", name, dims, n)
+		}
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("condorir: weights entry %q: %w", name, err)
+		}
+		var crc uint32
+		if err := binary.Read(br, binary.LittleEndian, &crc); err != nil {
+			return nil, err
+		}
+		if got := crc32.ChecksumIEEE(buf); got != crc {
+			return nil, fmt.Errorf("condorir: weights entry %q: checksum mismatch (file corrupt)", name)
+		}
+		data := make([]float32, n)
+		for j := range data {
+			data[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		ws.PutRaw(string(name), EntryKind(kindB), dims, data)
+	}
+	return ws, nil
+}

@@ -1,0 +1,192 @@
+package dataflow
+
+import (
+	"fmt"
+	"sync"
+
+	"condor/internal/condorir"
+	"condor/internal/fifo"
+	"condor/internal/nn"
+	"condor/internal/tensor"
+)
+
+// Accelerator is an instantiated dataflow fabric: a Spec bound to a weight
+// set loaded into the (simulated) on-board memory, ready to execute
+// inference batches. This is the functional equivalent of the synthesized
+// bitstream running on the device.
+type Accelerator struct {
+	Spec *Spec
+	dm   *Datamover
+}
+
+// Instantiate binds a spec to its weights: every compute layer's weights
+// are loaded into the datamover's on-board memory, and on-chip caching
+// decisions are accounted.
+func Instantiate(spec *Spec, ws *condorir.WeightSet) (*Accelerator, error) {
+	a := &Accelerator{Spec: spec, dm: NewDatamover()}
+	for _, pe := range spec.PEs {
+		for _, l := range pe.Layers {
+			if l.Kind != nn.Conv && l.Kind != nn.FullyConnected {
+				continue
+			}
+			we, ok := ws.Get(l.Name, condorir.EntryWeights)
+			if !ok {
+				return nil, fmt.Errorf("dataflow: weights for layer %q not in weight set", l.Name)
+			}
+			var bias []float32
+			if be, ok := ws.Get(l.Name, condorir.EntryBias); ok {
+				bias = be.Data
+			}
+			wantW := wantWeightWords(&l)
+			if len(we.Data) != wantW {
+				return nil, fmt.Errorf("dataflow: layer %q weight set has %d words, accelerator needs %d", l.Name, len(we.Data), wantW)
+			}
+			a.dm.LoadWeights(l.Name, we.Data, bias)
+			if pe.WeightsOnChip {
+				a.dm.AccountOnChipLoad(l.Name)
+			}
+		}
+	}
+	return a, nil
+}
+
+func wantWeightWords(l *LayerHW) int {
+	switch l.Kind {
+	case nn.Conv:
+		return l.OutShape.Channels * l.InShape.Channels * l.Kernel * l.Kernel
+	case nn.FullyConnected:
+		return l.OutShape.Channels * l.InShape.Volume()
+	default:
+		return 0
+	}
+}
+
+// Datamover exposes the on-board memory interface (used by tests and the
+// runtime for traffic reporting).
+func (a *Accelerator) Datamover() *Datamover { return a.dm }
+
+// RunStats aggregates a batch execution.
+type RunStats struct {
+	Images  int
+	PEs     []PEStats
+	DRAM    DatamoverStats
+	Streams []fifo.Stats // inter-PE streaming FIFO traffic and occupancy
+}
+
+// BottleneckCycles returns the largest per-image cycle count among the PEs:
+// the steady-state initiation interval of the high-level pipeline.
+func (s *RunStats) BottleneckCycles() int64 {
+	var max int64
+	for i := range s.PEs {
+		if c := s.PEs[i].CyclesPerImage(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// TotalMACs returns the MAC operations executed across all PEs.
+func (s *RunStats) TotalMACs() int64 {
+	var n int64
+	for i := range s.PEs {
+		n += s.PEs[i].MACs
+	}
+	return n
+}
+
+// Run executes a batch of images on the fabric. Every PE runs as an
+// independent goroutine connected by blocking FIFOs, so consecutive images
+// pipeline across the PEs exactly as on the device; outputs are returned in
+// input order. The returned stats carry per-PE cycle counts and DDR
+// traffic for the batch.
+func (a *Accelerator) Run(batch []*tensor.Tensor) ([]*tensor.Tensor, *RunStats, error) {
+	if len(batch) == 0 {
+		return nil, &RunStats{}, nil
+	}
+	spec := a.Spec
+	in := spec.Input
+	for i, img := range batch {
+		s := img.Shape()
+		if len(s) != 3 || s[0] != in.Channels || s[1] != in.Height || s[2] != in.Width {
+			return nil, nil, fmt.Errorf("dataflow: image %d has shape %v, accelerator input is %v", i, s, in)
+		}
+	}
+
+	stats := &RunStats{Images: len(batch), PEs: make([]PEStats, len(spec.PEs))}
+	errs := make(chan error, len(spec.PEs)+2)
+
+	// Streaming FIFOs: datamover → pe0 → pe1 → … → datamover.
+	fifos := make([]*fifo.FIFO, len(spec.PEs)+1)
+	for i := range fifos {
+		fifos[i] = fifo.New(fmt.Sprintf("stream%d", i), spec.InterPEFIFODepth)
+	}
+
+	var wg sync.WaitGroup
+
+	// Feeder: the datamover streams every image from on-board memory.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer fifos[0].Close()
+		for _, img := range batch {
+			a.dm.AccountInput(int64(img.Len()))
+			for _, v := range img.Data() {
+				fifos[0].Push(v)
+			}
+		}
+	}()
+
+	// One goroutine per PE.
+	for i, pe := range spec.PEs {
+		stats.PEs[i].ID = pe.ID
+		exec := &peExec{pe: pe, dm: a.dm, in: fifos[i], out: fifos[i+1], stats: &stats.PEs[i]}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := exec.run(len(batch)); err != nil {
+				errs <- err
+			}
+		}()
+	}
+
+	// Collector: the datamover writes outputs back to on-board memory.
+	outShape := spec.OutputShape()
+	outputs := make([]*tensor.Tensor, len(batch))
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sink := fifos[len(fifos)-1]
+		for b := range outputs {
+			t := tensor.New(outShape.Channels, outShape.Height, outShape.Width)
+			data := t.Data()
+			for j := range data {
+				v, ok := sink.Pop()
+				if !ok {
+					errs <- fmt.Errorf("dataflow: output stream ended at image %d element %d", b, j)
+					return
+				}
+				data[j] = v
+			}
+			a.dm.AccountOutput(int64(len(data)))
+			outputs[b] = t
+		}
+		// Anything extra indicates a shape accounting bug.
+		if _, ok := sink.Pop(); ok {
+			errs <- fmt.Errorf("dataflow: accelerator produced more output words than %d images require", len(outputs))
+			go sink.Drain()
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	stats.DRAM = a.dm.Stats()
+	for _, f := range fifos {
+		stats.Streams = append(stats.Streams, f.Stats())
+	}
+	return outputs, stats, nil
+}

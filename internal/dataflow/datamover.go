@@ -1,0 +1,121 @@
+package dataflow
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Datamover models the custom data-moving engine of the accelerator: it is
+// the only element that talks to the on-board (DDR) memory, exchanging data
+// with the PEs over streaming connections. It holds the network weights and
+// the spill buffers for partial results and fused-layer intermediates, and
+// it accounts every byte moved — the traffic numbers feed the performance
+// and power models.
+type Datamover struct {
+	mu      sync.Mutex
+	weights map[string][]float32 // flattened weights per layer name
+	biases  map[string][]float32
+	buffers map[string][]float32 // DRAM scratch buffers (spills, fused intermediates)
+
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+}
+
+// NewDatamover returns an empty datamover.
+func NewDatamover() *Datamover {
+	return &Datamover{
+		weights: make(map[string][]float32),
+		biases:  make(map[string][]float32),
+		buffers: make(map[string][]float32),
+	}
+}
+
+// LoadWeights stores a layer's flattened weights in on-board memory. The
+// initial host→DDR transfer is not accounted here: it happens once over PCIe
+// before execution, as in the paper's host code.
+func (d *Datamover) LoadWeights(layer string, w, b []float32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.weights[layer] = w
+	d.biases[layer] = b
+}
+
+// Weights returns the layer's weight stream, accounting the DDR read
+// traffic unless the PE caches them on-chip (in which case the single
+// configuration-time read was already accounted by AccountOnChipLoad).
+func (d *Datamover) Weights(layer string, onChip bool) ([]float32, []float32, error) {
+	d.mu.Lock()
+	w, ok := d.weights[layer]
+	b := d.biases[layer]
+	d.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("dataflow: datamover has no weights for layer %q", layer)
+	}
+	if !onChip {
+		d.bytesRead.Add(int64(4 * (len(w) + len(b))))
+	}
+	return w, b, nil
+}
+
+// AccountOnChipLoad records the one-time DDR→BRAM weight load of a PE whose
+// weights are cached on-chip.
+func (d *Datamover) AccountOnChipLoad(layer string) {
+	d.mu.Lock()
+	w := d.weights[layer]
+	b := d.biases[layer]
+	d.mu.Unlock()
+	d.bytesRead.Add(int64(4 * (len(w) + len(b))))
+}
+
+// WriteBuffer stores an intermediate array in DDR (fused-layer handoff or
+// partial spill) and accounts the write traffic.
+func (d *Datamover) WriteBuffer(name string, data []float32) {
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	d.mu.Lock()
+	d.buffers[name] = cp
+	d.mu.Unlock()
+	d.bytesWritten.Add(int64(4 * len(data)))
+}
+
+// ReadBuffer streams an intermediate array back from DDR, accounting the
+// read traffic.
+func (d *Datamover) ReadBuffer(name string) ([]float32, error) {
+	d.mu.Lock()
+	data, ok := d.buffers[name]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dataflow: datamover has no buffer %q", name)
+	}
+	d.bytesRead.Add(int64(4 * len(data)))
+	return data, nil
+}
+
+// AccountPartialSpill records one read-modify-write round trip of a
+// partial-sum buffer that does not fit on-chip.
+func (d *Datamover) AccountPartialSpill(words int64) {
+	d.bytesRead.Add(4 * words)
+	d.bytesWritten.Add(4 * words)
+}
+
+// AccountInput records the DDR read of the network input (the datamover
+// streams each image from on-board memory into the first PE).
+func (d *Datamover) AccountInput(words int64) { d.bytesRead.Add(4 * words) }
+
+// AccountOutput records the DDR write of the network output.
+func (d *Datamover) AccountOutput(words int64) { d.bytesWritten.Add(4 * words) }
+
+// Stats is a snapshot of DDR traffic.
+type DatamoverStats struct {
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Stats returns the accumulated DDR traffic counters.
+func (d *Datamover) Stats() DatamoverStats {
+	return DatamoverStats{
+		BytesRead:    d.bytesRead.Load(),
+		BytesWritten: d.bytesWritten.Load(),
+	}
+}

@@ -1,0 +1,77 @@
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the accelerator netlist as a Graphviz document — the view
+// Vivado IP Integrator would show: the datamover, the chain of PEs joined
+// by streaming FIFOs, and inside every features-extraction PE its memory
+// subsystem (the filters in lexicographically inverse order with the reuse
+// FIFO depths on the edges, as in the paper's Figure 4).
+func (s *Spec) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", "condor_"+sanitizeID(s.Name))
+	sb.WriteString("  rankdir=LR;\n")
+	sb.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	sb.WriteString("  dm [label=\"datamover\\n(DDR)\", shape=component];\n")
+
+	prev := "dm"
+	for _, pe := range s.PEs {
+		id := sanitizeID(pe.ID)
+		names := make([]string, len(pe.Layers))
+		for i, l := range pe.Layers {
+			names[i] = l.Name
+		}
+		label := fmt.Sprintf("%s\\n%s\\nin=%d out=%d", pe.ID, strings.Join(names, "+"), pe.Par.Normalize().In, pe.Par.Normalize().Out)
+		if pe.Chain != nil {
+			fmt.Fprintf(&sb, "  subgraph cluster_%s {\n    label=\"%s memory subsystem (K=%d)\";\n", id, pe.ID, pe.Chain.Kernel)
+			for i, tap := range pe.Chain.Taps {
+				fmt.Fprintf(&sb, "    %s_f%d [label=\"filter(%d,%d)\"];\n", id, i, tap.M, tap.N)
+			}
+			for i, d := range pe.Chain.FIFODepths {
+				fmt.Fprintf(&sb, "    %s_f%d -> %s_f%d [label=\"fifo[%d]\"];\n", id, i, id, i+1, d)
+			}
+			fmt.Fprintf(&sb, "    %s_pe [label=\"%s\", shape=box3d];\n", id, label)
+			for i := range pe.Chain.Taps {
+				if pe.Chain.Taps[i].M < chainActiveK(pe) && pe.Chain.Taps[i].N < chainActiveK(pe) {
+					fmt.Fprintf(&sb, "    %s_f%d -> %s_pe [style=dashed];\n", id, i, id)
+				}
+			}
+			sb.WriteString("  }\n")
+			fmt.Fprintf(&sb, "  %s -> %s_f0 [label=\"stream\"];\n", prev, id)
+			prev = id + "_pe"
+		} else {
+			fmt.Fprintf(&sb, "  %s_pe [label=\"%s\", shape=box3d];\n", id, label)
+			fmt.Fprintf(&sb, "  %s -> %s_pe [label=\"stream\"];\n", prev, id)
+			prev = id + "_pe"
+		}
+		fmt.Fprintf(&sb, "  dm -> %s_pe [label=\"weights\", style=dotted];\n", sanitizeID(pe.ID))
+	}
+	fmt.Fprintf(&sb, "  %s -> dm [label=\"output\"];\n", prev)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// chainActiveK is the first layer's window — the taps drawn as feeding the
+// PE in the default (non-multiplexed) view.
+func chainActiveK(pe *PE) int {
+	if len(pe.Layers) == 0 {
+		return 0
+	}
+	return pe.Layers[0].Kernel
+}
+
+func sanitizeID(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteRune('_')
+		}
+	}
+	return sb.String()
+}

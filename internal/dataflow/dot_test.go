@@ -1,0 +1,49 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTNetlist(t *testing.T) {
+	spec, err := BuildSpec(specIR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := spec.DOT()
+	for _, want := range []string{
+		"digraph \"condor_spec_test\"",
+		"datamover",
+		"cluster_pe0",
+		"filter(4,4)", // head of the 5x5 chain (inverse lexicographic)
+		"filter(0,0)", // tail
+		"fifo[1]",
+		"pe2_pe",       // the FC PE
+		"style=dotted", // weight streams
+		"-> dm [label=\"output\"]",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// The 5x5 chain must have a row-wrap FIFO of depth W-(K-1) = 12.
+	if !strings.Contains(dot, "fifo[12]") {
+		t.Fatalf("missing row-wrap FIFO depth:\n%s", dot)
+	}
+	// Deterministic.
+	if spec.DOT() != dot {
+		t.Fatal("DOT output not deterministic")
+	}
+}
+
+func TestDOTSanitizesNames(t *testing.T) {
+	spec, err := BuildSpec(specIR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Name = "weird name/v2"
+	dot := spec.DOT()
+	if !strings.Contains(dot, "condor_weird_name_v2") {
+		t.Fatalf("name not sanitized:\n%s", dot[:80])
+	}
+}

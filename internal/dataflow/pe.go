@@ -1,0 +1,392 @@
+package dataflow
+
+import (
+	"fmt"
+	"math"
+
+	"condor/internal/condorir"
+	"condor/internal/fifo"
+	"condor/internal/nn"
+)
+
+// PEStats aggregates one PE's activity over a batch run.
+type PEStats struct {
+	ID             string
+	Images         int64
+	Cycles         int64 // modeled busy cycles over the whole batch
+	MACs           int64
+	WindowsRead    int64
+	ElemsIn        int64
+	ElemsOut       int64
+	SpilledPartial int64 // words of partial sums exchanged with the datamover
+}
+
+// CyclesPerImage returns the average modeled busy cycles per image.
+func (s *PEStats) CyclesPerImage() int64 {
+	if s.Images == 0 {
+		return 0
+	}
+	return s.Cycles / s.Images
+}
+
+// LayerCycles models the PE-busy cycles one image spends in layer l at port
+// parallelism par. The iteration space is (input-channel group, output
+// position, output-channel group) with II=1 on the HLS pipeline; a channel
+// group is additionally bounded below by the stream traversal of the padded
+// input map (1 element/cycle through the filter chain), which dominates for
+// sub-sampling layers. This is the single cycle model shared by the
+// functional simulator and the analytic performance layer.
+func LayerCycles(l *LayerHW, par condorir.Parallelism) int64 {
+	par = par.Normalize()
+	switch {
+	case l.Kind == nn.Conv:
+		groups := ceilDiv(l.InShape.Channels, par.In)
+		outHW := int64(l.OutShape.Height) * int64(l.OutShape.Width)
+		compute := outHW * int64(ceilDiv(l.OutShape.Channels, par.Out))
+		stream := int64(l.PaddedHeight()) * int64(l.PaddedWidth())
+		return int64(groups)*maxI64(compute, stream) + chainFill(l)
+	case l.Kind == nn.MaxPool || l.Kind == nn.AvgPool:
+		groups := ceilDiv(l.InShape.Channels, par.In)
+		outHW := int64(l.OutShape.Height) * int64(l.OutShape.Width)
+		stream := int64(l.PaddedHeight()) * int64(l.PaddedWidth())
+		return int64(groups)*maxI64(outHW, stream) + chainFill(l)
+	case l.Kind == nn.FullyConnected:
+		// Single-input/single-output 1x1-convolution PE: every input element
+		// is multiplied against each output neuron group.
+		v := int64(l.InShape.Volume())
+		return v*int64(ceilDiv(l.OutShape.Channels, par.Out)) + fcPipelineFill
+	default:
+		return 0
+	}
+}
+
+// chainFill is the fill latency of the filter pipeline: the spatial distance
+// between the first and last window access plus the HLS pipeline depth.
+func chainFill(l *LayerHW) int64 {
+	return int64((l.Kernel-1)*l.PaddedWidth()+l.Kernel) + hlsPipelineDepth
+}
+
+const (
+	hlsPipelineDepth = 64 // floating-point MAC pipeline depth at target clocks
+	fcPipelineFill   = 64
+)
+
+// PECyclesPerImage models the total busy cycles per image of a PE: the sum
+// over its (possibly fused) layers plus the DDR round trips of fused-layer
+// intermediates (one write + one read at one word per cycle).
+func PECyclesPerImage(pe *PE) int64 {
+	var total int64
+	for i, l := range pe.Layers {
+		total += LayerCycles(&l, pe.Par)
+		if i+1 < len(pe.Layers) {
+			total += 2 * int64(l.OutShape.Volume())
+		}
+	}
+	return total
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		b = 1
+	}
+	return (a + b - 1) / b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// peExec executes one PE over a batch of images.
+type peExec struct {
+	pe    *PE
+	dm    *Datamover
+	in    *fifo.FIFO
+	out   *fifo.FIFO
+	stats *PEStats
+}
+
+// run processes batch images and closes the output FIFO. On error it drains
+// the input stream so upstream PEs never block forever.
+func (x *peExec) run(batch int) error {
+	defer x.out.Close()
+	for img := 0; img < batch; img++ {
+		if err := x.runImage(img); err != nil {
+			go x.in.Drain()
+			return fmt.Errorf("dataflow: %s image %d: %w", x.pe.ID, img, err)
+		}
+		x.stats.Images++
+	}
+	return nil
+}
+
+// runImage pushes one image through the PE's fused layer sequence.
+func (x *peExec) runImage(img int) error {
+	// cur holds the intermediate activations between fused layers; nil for
+	// the first layer, whose input arrives over the input FIFO.
+	var cur []float32
+	for li := range x.pe.Layers {
+		l := &x.pe.Layers[li]
+
+		read, err := x.layerReader(l, cur)
+		if err != nil {
+			return err
+		}
+		var outBuf []float32
+		last := li == len(x.pe.Layers)-1
+		emit := func(v float32) {
+			if last {
+				x.out.Push(v)
+				x.stats.ElemsOut++
+			} else {
+				outBuf = append(outBuf, v)
+			}
+		}
+
+		switch l.Kind {
+		case nn.Conv:
+			err = x.runConv(l, read, emit)
+		case nn.MaxPool, nn.AvgPool:
+			err = x.runPool(l, read, emit)
+		case nn.FullyConnected:
+			err = x.runFC(l, read, emit)
+		default:
+			err = fmt.Errorf("layer %q: unsupported PE kind %v", l.Name, l.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("layer %q: %w", l.Name, err)
+		}
+		x.stats.Cycles += LayerCycles(l, x.pe.Par)
+
+		if !last {
+			// Fused-layer handoff goes through the datamover (the paper's
+			// partial-result exchange): write the intermediate to DDR and
+			// stream it back for the next layer's pass.
+			name := fmt.Sprintf("%s/fused/%s/img%d", x.pe.ID, l.Name, img)
+			x.dm.WriteBuffer(name, outBuf)
+			cur, err = x.dm.ReadBuffer(name)
+			if err != nil {
+				return err
+			}
+			x.stats.Cycles += 2 * int64(len(outBuf))
+		}
+	}
+	return nil
+}
+
+// layerReader returns the element source for a layer: the PE input FIFO for
+// the first fused layer, or the buffered intermediate for the rest.
+func (x *peExec) layerReader(l *LayerHW, cur []float32) (func() (fifo.Word, bool), error) {
+	if cur == nil {
+		return func() (fifo.Word, bool) {
+			v, ok := x.in.Pop()
+			if ok {
+				x.stats.ElemsIn++
+			}
+			return v, ok
+		}, nil
+	}
+	if len(cur) != l.InShape.Volume() {
+		return nil, fmt.Errorf("fused intermediate has %d words, layer expects %d", len(cur), l.InShape.Volume())
+	}
+	i := 0
+	return func() (fifo.Word, bool) {
+		if i >= len(cur) {
+			return 0, false
+		}
+		v := cur[i]
+		i++
+		return v, true
+	}, nil
+}
+
+// runConv implements the convolutional PE schedule: input feature maps are
+// processed sequentially (one filter-chain pass each); for every window
+// position the K² taps are read once and reused across all output channels,
+// accumulating into the partial-sum buffer; after the last input map the
+// bias is added, the folded activation applied, and the output maps are
+// emitted channel-major.
+func (x *peExec) runConv(l *LayerHW, read func() (fifo.Word, bool), emit func(float32)) error {
+	c, f, k := l.InShape.Channels, l.OutShape.Channels, l.Kernel
+	outHW := l.OutShape.Height * l.OutShape.Width
+	w, b, err := x.dm.Weights(l.Name, x.pe.WeightsOnChip)
+	if err != nil {
+		return err
+	}
+	if len(w) != f*c*k*k {
+		return fmt.Errorf("weight stream has %d words, want %d", len(w), f*c*k*k)
+	}
+	partial := make([]float32, f*outHW)
+	for ci := 0; ci < c; ci++ {
+		if err := x.stencilPass(l, read, func(pos int, win []fifo.Word) {
+			for fi := 0; fi < f; fi++ {
+				base := (fi*c + ci) * k * k
+				acc := partial[fi*outHW+pos]
+				for t := 0; t < k*k; t++ {
+					acc += w[base+t] * win[t]
+				}
+				partial[fi*outHW+pos] = acc
+			}
+			x.stats.MACs += int64(f * k * k)
+		}); err != nil {
+			return err
+		}
+		if !x.pe.PartialsOnChip {
+			x.dm.AccountPartialSpill(int64(f * outHW))
+			x.stats.SpilledPartial += int64(f * outHW)
+		}
+	}
+	for fi := 0; fi < f; fi++ {
+		var bias float32
+		if len(b) > 0 {
+			bias = b[fi]
+		}
+		for pos := 0; pos < outHW; pos++ {
+			emit(applyActivation(l.Activation, partial[fi*outHW+pos]+bias))
+		}
+	}
+	return nil
+}
+
+// runPool implements the sub-sampling PE: one filter-chain pass per channel,
+// each window replaced by its maximum or average.
+func (x *peExec) runPool(l *LayerHW, read func() (fifo.Word, bool), emit func(float32)) error {
+	k := l.Kernel
+	isMax := l.Kind == nn.MaxPool
+	inv := 1 / float32(k*k)
+	for ci := 0; ci < l.InShape.Channels; ci++ {
+		if err := x.stencilPass(l, read, func(pos int, win []fifo.Word) {
+			var v float32
+			if isMax {
+				v = float32(math.Inf(-1))
+				for _, e := range win {
+					if e > v {
+						v = e
+					}
+				}
+			} else {
+				for _, e := range win {
+					v += e
+				}
+				v *= inv
+			}
+			emit(applyActivation(l.Activation, v))
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stencilPass streams one input map through the PE's filter chain, invoking
+// fn for every window in row-major output order.
+func (x *peExec) stencilPass(l *LayerHW, read func() (fifo.Word, bool), fn func(pos int, win []fifo.Word)) error {
+	src := fifo.New(x.pe.ID+"/pad", 64)
+	padErr := make(chan error, 1)
+	go func() {
+		padErr <- streamPadded(read, l.InShape.Height, l.InShape.Width, l.Pad, src)
+	}()
+	run, err := x.pe.Chain.start(l, src)
+	if err != nil {
+		return err
+	}
+	wr, err := x.pe.Chain.newWindowReader(run, l.Kernel)
+	if err != nil {
+		return err
+	}
+	outHW := l.OutShape.Height * l.OutShape.Width
+	for pos := 0; pos < outHW; pos++ {
+		win, ok := wr.next()
+		if !ok {
+			run.wait()
+			if err := <-padErr; err != nil {
+				return err
+			}
+			return fmt.Errorf("filter chain delivered only %d of %d windows", pos, outHW)
+		}
+		fn(pos, win)
+		x.stats.WindowsRead++
+	}
+	run.wait()
+	return <-padErr
+}
+
+// runFC implements the fully-connected PE as a single-input/single-output
+// 1x1 convolution: each streamed input element is multiplied against every
+// output neuron's weight, accumulating in the on-chip partial vector; the
+// optional normalisation (LogSoftMax/SoftMax) is applied before emission.
+func (x *peExec) runFC(l *LayerHW, read func() (fifo.Word, bool), emit func(float32)) error {
+	v := l.InShape.Volume()
+	o := l.OutShape.Channels
+	w, b, err := x.dm.Weights(l.Name, x.pe.WeightsOnChip)
+	if err != nil {
+		return err
+	}
+	if len(w) != o*v {
+		return fmt.Errorf("weight stream has %d words, want %d", len(w), o*v)
+	}
+	partial := make([]float32, o)
+	copy(partial, b)
+	for h := 0; h < v; h++ {
+		xv, ok := read()
+		if !ok {
+			return fmt.Errorf("input stream ended after %d of %d elements", h, v)
+		}
+		for oi := 0; oi < o; oi++ {
+			partial[oi] += w[oi*v+h] * xv
+		}
+		x.stats.MACs += int64(o)
+	}
+	for i := range partial {
+		partial[i] = applyActivation(l.Activation, partial[i])
+	}
+	if l.Normalize != NoActivation {
+		normalizeInPlace(l.Normalize, partial)
+	}
+	for _, p := range partial {
+		emit(p)
+	}
+	return nil
+}
+
+// applyActivation applies the folded pointwise non-linearity.
+func applyActivation(kind nn.Kind, v float32) float32 {
+	switch kind {
+	case nn.ReLU:
+		if v < 0 {
+			return 0
+		}
+		return v
+	case nn.Sigmoid:
+		return float32(1 / (1 + math.Exp(-float64(v))))
+	case nn.TanH:
+		return float32(math.Tanh(float64(v)))
+	default:
+		return v
+	}
+}
+
+// normalizeInPlace applies the SoftMax/LogSoftMax normalisation stage using
+// the same numerically-stable formulation as the reference engine.
+func normalizeInPlace(kind nn.Kind, vals []float32) {
+	max := math.Inf(-1)
+	for _, v := range vals {
+		if float64(v) > max {
+			max = float64(v)
+		}
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += math.Exp(float64(v) - max)
+	}
+	logSum := math.Log(sum)
+	for i, v := range vals {
+		if kind == nn.LogSoftMax {
+			vals[i] = float32(float64(v) - max - logSum)
+		} else {
+			vals[i] = float32(math.Exp(float64(v)-max) / sum)
+		}
+	}
+}

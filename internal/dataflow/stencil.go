@@ -1,0 +1,188 @@
+package dataflow
+
+import (
+	"fmt"
+	"sync"
+
+	"condor/internal/fifo"
+)
+
+// tapFIFODepth returns the depth of the FIFOs carrying selected window
+// elements from the filters to the PE. The inter-filter FIFOs implement the
+// exact reuse distances; the tap FIFOs only need a small decoupling margin
+// (the PE consumes one element per tap per window). The functional
+// simulator uses a generous margin; the resource model charges the analytic
+// minimum.
+func tapFIFODepth(k int) int {
+	d := 2 * k * k
+	if d < 8 {
+		d = 8
+	}
+	return d
+}
+
+// activeTaps returns, for a layer running on a chain (whose window may be
+// larger when layers are fused), the chain tap indices that are active —
+// those with access coordinates inside the layer's own window — mapped by
+// (m*k + n). The "set of conditionals" of the paper reduces to this
+// active-set selection.
+func (c *FilterChain) activeTaps(layerK int) ([]int, error) {
+	if layerK > c.Kernel {
+		return nil, fmt.Errorf("dataflow: layer window %d exceeds chain window %d", layerK, c.Kernel)
+	}
+	idx := make([]int, layerK*layerK)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for ti, t := range c.Taps {
+		if t.M < layerK && t.N < layerK {
+			idx[t.M*layerK+t.N] = ti
+		}
+	}
+	for i, v := range idx {
+		if v < 0 {
+			return nil, fmt.Errorf("dataflow: chain is missing tap for access (%d,%d)", i/layerK, i%layerK)
+		}
+	}
+	return idx, nil
+}
+
+// chainRun is one execution of the filter pipeline over a single padded
+// input feature map. It owns the goroutines of the filters and the FIFOs
+// between them, and exposes the per-tap output FIFOs.
+type chainRun struct {
+	taps []*fifo.FIFO // indexed like FilterChain.Taps; inactive taps are closed immediately
+	wg   sync.WaitGroup
+}
+
+// start spawns the filter pipeline for one input map of the given layer.
+// src must deliver exactly paddedH×paddedW words (the datamover inserts the
+// zero padding); it is fully drained. Each active tap FIFO receives exactly
+// OutH×OutW words in row-major output order and is closed when the map ends.
+func (c *FilterChain) start(l *LayerHW, src *fifo.FIFO) (*chainRun, error) {
+	if l.PaddedWidth() > c.PaddedW {
+		return nil, fmt.Errorf("dataflow: layer %q padded width %d exceeds chain width %d", l.Name, l.PaddedWidth(), c.PaddedW)
+	}
+	run := &chainRun{taps: make([]*fifo.FIFO, len(c.Taps))}
+
+	// Inter-filter FIFOs. Depths are the chain's reuse distances, computed
+	// for the largest fused geometry; a layer with a smaller window or a
+	// narrower input needs at most those depths, so the same physical FIFOs
+	// serve every fused layer (Section 3.2).
+	inter := make([]*fifo.FIFO, len(c.FIFODepths))
+	for i, d := range c.FIFODepths {
+		inter[i] = fifo.New(fmt.Sprintf("reuse[%d]", i), d)
+	}
+
+	paddedW := l.PaddedWidth()
+	outH, outW := l.OutShape.Height, l.OutShape.Width
+	stride := l.Stride
+
+	for i := range c.Taps {
+		tap := c.Taps[i]
+		tapF := fifo.New(fmt.Sprintf("tap(%d,%d)", tap.M, tap.N), tapFIFODepth(l.Kernel))
+		run.taps[i] = tapF
+
+		var in *fifo.FIFO
+		if i == 0 {
+			in = src
+		} else {
+			in = inter[i-1]
+		}
+		var next *fifo.FIFO
+		if i < len(inter) {
+			next = inter[i]
+		}
+
+		active := tap.M < l.Kernel && tap.N < l.Kernel
+		run.wg.Add(1)
+		go func(in, next, tapF *fifo.FIFO, tap Tap, active bool) {
+			defer run.wg.Done()
+			defer tapF.Close()
+			if next != nil {
+				defer next.Close()
+			}
+			// The filter's inequality set: an element at (y,x) of the padded
+			// stream belongs to this tap's data domain iff it is the (m,n)
+			// access of some valid output position (oy,ox).
+			t := 0
+			for {
+				v, ok := in.Pop()
+				if !ok {
+					return
+				}
+				if active {
+					y, x := t/paddedW, t%paddedW
+					if y >= tap.M && x >= tap.N &&
+						(y-tap.M)%stride == 0 && (x-tap.N)%stride == 0 &&
+						(y-tap.M)/stride < outH && (x-tap.N)/stride < outW {
+						tapF.Push(v)
+					}
+				}
+				if next != nil {
+					next.Push(v)
+				}
+				t++
+			}
+		}(in, next, tapF, tap, active)
+	}
+	return run, nil
+}
+
+// wait blocks until every filter goroutine has finished (the map is fully
+// streamed) and discards any elements left in inactive taps.
+func (r *chainRun) wait() {
+	r.wg.Wait()
+}
+
+// windowReader reads complete sliding windows from a chain run for a layer
+// with window size k, in row-major output order.
+type windowReader struct {
+	run    *chainRun
+	order  []int // chain tap index for window slot (m*k+n)
+	window []fifo.Word
+}
+
+// newWindowReader prepares a reader for the layer's k×k window.
+func (c *FilterChain) newWindowReader(run *chainRun, layerK int) (*windowReader, error) {
+	order, err := c.activeTaps(layerK)
+	if err != nil {
+		return nil, err
+	}
+	return &windowReader{run: run, order: order, window: make([]fifo.Word, layerK*layerK)}, nil
+}
+
+// next returns the next window (indexed [m*k+n]); ok=false when the map is
+// exhausted. The returned slice is reused across calls.
+func (w *windowReader) next() ([]fifo.Word, bool) {
+	for slot, ti := range w.order {
+		v, ok := w.run.taps[ti].Pop()
+		if !ok {
+			return nil, false
+		}
+		w.window[slot] = v
+	}
+	return w.window, true
+}
+
+// streamPadded pushes one feature map (h×w words read through read) into
+// dst as a zero-padded (h+2p)×(w+2p) row-major stream, then closes dst.
+// This is the boundary handling the datamover performs when feeding a
+// filter chain.
+func streamPadded(read func() (fifo.Word, bool), h, w, pad int, dst *fifo.FIFO) error {
+	defer dst.Close()
+	for y := -pad; y < h+pad; y++ {
+		for x := -pad; x < w+pad; x++ {
+			if y < 0 || y >= h || x < 0 || x >= w {
+				dst.Push(0)
+				continue
+			}
+			v, ok := read()
+			if !ok {
+				return fmt.Errorf("dataflow: input stream ended early at (%d,%d)", y, x)
+			}
+			dst.Push(v)
+		}
+	}
+	return nil
+}

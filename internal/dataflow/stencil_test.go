@@ -1,0 +1,325 @@
+package dataflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"condor/internal/fifo"
+	"condor/internal/nn"
+)
+
+func TestFilterChainTapOrderInverseLex(t *testing.T) {
+	c, err := NewFilterChain(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Taps) != 9 {
+		t.Fatalf("tap count %d", len(c.Taps))
+	}
+	// Head of the pipeline is the lexicographically greatest access.
+	if c.Taps[0] != (Tap{2, 2}) || c.Taps[8] != (Tap{0, 0}) {
+		t.Fatalf("taps = %v", c.Taps)
+	}
+	// Strictly decreasing linear positions.
+	for i := 0; i+1 < len(c.Taps); i++ {
+		if c.Taps[i].Linear(8) <= c.Taps[i+1].Linear(8) {
+			t.Fatalf("taps not in inverse lexicographic order at %d", i)
+		}
+	}
+}
+
+func TestFilterChainFIFODepths(t *testing.T) {
+	c, err := NewFilterChain(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within a row the access distance is 1; across a row wrap it is
+	// W - (K-1) = 6.
+	want := []int{1, 1, 6, 1, 1, 6, 1, 1}
+	if len(c.FIFODepths) != len(want) {
+		t.Fatalf("depths = %v", c.FIFODepths)
+	}
+	for i, d := range want {
+		if c.FIFODepths[i] != d {
+			t.Fatalf("depth[%d] = %d, want %d", i, c.FIFODepths[i], d)
+		}
+	}
+	// Total on-chip buffering is the distance between the extreme accesses:
+	// (K-1)*W + (K-1) — only two rows plus a partial row are ever buffered.
+	if got, wantTotal := c.BufferWords(), 2*8+2; got != wantTotal {
+		t.Fatalf("BufferWords = %d, want %d", got, wantTotal)
+	}
+}
+
+func TestFilterChainUnitWindow(t *testing.T) {
+	c, err := NewFilterChain(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Taps) != 1 || len(c.FIFODepths) != 0 || c.BufferWords() != 0 {
+		t.Fatalf("1x1 chain: %+v", c)
+	}
+}
+
+func TestFilterChainErrors(t *testing.T) {
+	if _, err := NewFilterChain(0, 4); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := NewFilterChain(5, 4); err == nil {
+		t.Fatal("expected error for window wider than input")
+	}
+}
+
+// runStencil collects all windows delivered by the chain for one map.
+func runStencil(t *testing.T, l *LayerHW, chain *FilterChain, data []float32) [][]float32 {
+	t.Helper()
+	src := fifo.New("src", 16)
+	i := 0
+	read := func() (fifo.Word, bool) {
+		if i >= len(data) {
+			return 0, false
+		}
+		v := data[i]
+		i++
+		return v, true
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- streamPadded(read, l.InShape.Height, l.InShape.Width, l.Pad, src)
+	}()
+	run, err := chain.start(l, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := chain.newWindowReader(run, l.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wins [][]float32
+	for {
+		w, ok := wr.next()
+		if !ok {
+			break
+		}
+		wins = append(wins, append([]float32(nil), w...))
+	}
+	run.wait()
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	return wins
+}
+
+// directWindows computes the expected sliding windows by direct indexing
+// with zero padding.
+func directWindows(data []float32, h, w, k, stride, pad int) [][]float32 {
+	outH := (h+2*pad-k)/stride + 1
+	outW := (w+2*pad-k)/stride + 1
+	at := func(y, x int) float32 {
+		if y < 0 || y >= h || x < 0 || x >= w {
+			return 0
+		}
+		return data[y*w+x]
+	}
+	var wins [][]float32
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			win := make([]float32, k*k)
+			for m := 0; m < k; m++ {
+				for n := 0; n < k; n++ {
+					win[m*k+n] = at(oy*stride+m-pad, ox*stride+n-pad)
+				}
+			}
+			wins = append(wins, win)
+		}
+	}
+	return wins
+}
+
+func layerForStencil(h, w, k, stride, pad int) *LayerHW {
+	outH := (h+2*pad-k)/stride + 1
+	outW := (w+2*pad-k)/stride + 1
+	return &LayerHW{
+		Name: "s", Kind: nn.Conv, Kernel: k, Stride: stride, Pad: pad,
+		InShape:    nn.Shape{Channels: 1, Height: h, Width: w},
+		OutShape:   nn.Shape{Channels: 1, Height: outH, Width: outW},
+		Activation: NoActivation, Normalize: NoActivation,
+	}
+}
+
+func TestStencilMatchesDirectWindows(t *testing.T) {
+	cases := []struct{ h, w, k, stride, pad int }{
+		{6, 6, 3, 1, 0},
+		{8, 5, 2, 2, 0},
+		{7, 7, 3, 2, 1},
+		{5, 9, 5, 1, 0},
+		{4, 4, 4, 1, 0},
+		{3, 3, 1, 1, 0},
+		{10, 10, 3, 3, 1},
+	}
+	for _, tc := range cases {
+		l := layerForStencil(tc.h, tc.w, tc.k, tc.stride, tc.pad)
+		chain, err := NewFilterChain(tc.k, l.PaddedWidth())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]float32, tc.h*tc.w)
+		rng := rand.New(rand.NewSource(int64(tc.h*100 + tc.w)))
+		for i := range data {
+			data[i] = rng.Float32()
+		}
+		got := runStencil(t, l, chain, data)
+		want := directWindows(data, tc.h, tc.w, tc.k, tc.stride, tc.pad)
+		if len(got) != len(want) {
+			t.Fatalf("case %+v: %d windows, want %d", tc, len(got), len(want))
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("case %+v window %d slot %d: %v != %v", tc, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// Property: for random geometry the filter pipeline reproduces direct
+// sliding-window extraction exactly.
+func TestStencilProperty(t *testing.T) {
+	f := func(hRaw, wRaw, kRaw, sRaw, pRaw uint8, seed int64) bool {
+		h := int(hRaw%12) + 3
+		w := int(wRaw%12) + 3
+		k := int(kRaw%4) + 1
+		s := int(sRaw%3) + 1
+		p := int(pRaw % 2)
+		if k > h+2*p || k > w+2*p {
+			return true
+		}
+		l := layerForStencil(h, w, k, s, p)
+		chain, err := NewFilterChain(k, l.PaddedWidth())
+		if err != nil {
+			return false
+		}
+		data := make([]float32, h*w)
+		rng := rand.New(rand.NewSource(seed))
+		for i := range data {
+			data[i] = rng.Float32()
+		}
+		src := fifo.New("src", 8)
+		idx := 0
+		read := func() (fifo.Word, bool) {
+			if idx >= len(data) {
+				return 0, false
+			}
+			v := data[idx]
+			idx++
+			return v, true
+		}
+		go streamPadded(read, h, w, p, src) //nolint:errcheck
+		run, err := chain.start(l, src)
+		if err != nil {
+			return false
+		}
+		wr, err := chain.newWindowReader(run, k)
+		if err != nil {
+			return false
+		}
+		want := directWindows(data, h, w, k, s, p)
+		for i := range want {
+			win, ok := wr.next()
+			if !ok {
+				return false
+			}
+			for j := range want[i] {
+				if win[j] != want[i][j] {
+					return false
+				}
+			}
+		}
+		_, extra := wr.next()
+		run.wait()
+		return !extra
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The fused-PE case: a chain sized for a larger window and wider input
+// still serves a layer with a smaller window via the active-tap
+// conditionals.
+func TestStencilOversizedChain(t *testing.T) {
+	l := layerForStencil(6, 6, 2, 2, 0) // pooling-like geometry
+	chain, err := NewFilterChain(5, 12) // sized for a bigger fused sibling
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float32, 36)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	got := runStencil(t, l, chain, data)
+	want := directWindows(data, 6, 6, 2, 2, 0)
+	if len(got) != len(want) {
+		t.Fatalf("%d windows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("window %d slot %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestActiveTapsRejectsOversizedLayer(t *testing.T) {
+	chain, err := NewFilterChain(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.activeTaps(5); err == nil {
+		t.Fatal("expected error for layer window larger than chain")
+	}
+}
+
+func TestStreamPaddedShortInput(t *testing.T) {
+	src := fifo.New("src", 8)
+	read := func() (fifo.Word, bool) { return 0, false } // empty stream
+	err := streamPadded(read, 2, 2, 0, src)
+	if err == nil {
+		t.Fatal("expected short-stream error")
+	}
+}
+
+func TestStreamPaddedZeroBorder(t *testing.T) {
+	src := fifo.New("src", 64)
+	data := []float32{1, 2, 3, 4}
+	i := 0
+	read := func() (fifo.Word, bool) {
+		if i >= len(data) {
+			return 0, false
+		}
+		v := data[i]
+		i++
+		return v, true
+	}
+	if err := streamPadded(read, 2, 2, 1, src); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{
+		0, 0, 0, 0,
+		0, 1, 2, 0,
+		0, 3, 4, 0,
+		0, 0, 0, 0,
+	}
+	for j, wv := range want {
+		v, ok := src.Pop()
+		if !ok || v != wv {
+			t.Fatalf("padded[%d] = %v ok=%v, want %v", j, v, ok, wv)
+		}
+	}
+	if _, ok := src.Pop(); ok {
+		t.Fatal("padded stream too long")
+	}
+}

@@ -1,0 +1,251 @@
+// Package dse implements the design-space exploration phase of the Condor
+// automation flow. The paper performs this step manually and lists its
+// automation as future work; here it is implemented: starting from the
+// sequential configuration, the explorer repeatedly relaxes the bottleneck
+// PE's feature-map port parallelism (the paper's inter-layer parallelism)
+// while the synthesis estimate still fits the target board, converging on
+// the throughput-optimal configuration the resources allow.
+package dse
+
+import (
+	"fmt"
+
+	"condor/internal/board"
+	"condor/internal/condorir"
+	"condor/internal/dataflow"
+	"condor/internal/hls"
+	"condor/internal/perf"
+)
+
+// Options tunes the exploration.
+type Options struct {
+	// MaxIterations bounds the number of accepted moves (0 = default 64).
+	MaxIterations int
+
+	// FeaturesOnly restricts the objective to the features-extraction
+	// sub-pipeline, the configuration of the paper's Table 2 experiment.
+	FeaturesOnly bool
+
+	// MaxPortParallelism caps the per-PE port counts (0 = default 64).
+	MaxPortParallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 64
+	}
+	if o.MaxPortParallelism == 0 {
+		o.MaxPortParallelism = 64
+	}
+	return o
+}
+
+// Result is the outcome of an exploration.
+type Result struct {
+	// IR is the input network with the chosen per-layer parallelism.
+	IR *condorir.Network
+	// Spec and Report describe the chosen configuration.
+	Spec   *dataflow.Spec
+	Report *hls.Report
+
+	// BottleneckCycles is the steady-state initiation interval of the
+	// objective pipeline (features-only when Options.FeaturesOnly).
+	BottleneckCycles int64
+
+	// Trace records the accepted moves for inspection.
+	Trace []Move
+}
+
+// Move is one accepted exploration step.
+type Move struct {
+	Layer       string
+	Parallelism condorir.Parallelism
+	Bottleneck  int64
+}
+
+// Explore searches for the fastest configuration of ir that fits its board.
+// The input IR is not modified; the result carries a configured copy.
+func Explore(ir *condorir.Network, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	cur := cloneIR(ir)
+	for i := range cur.Layers {
+		cur.Layers[i].Parallelism = cur.Layers[i].Parallelism.Normalize()
+	}
+
+	spec, rep, score, err := evaluate(cur, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Fits {
+		return nil, fmt.Errorf("dse: network %q does not fit board %q even in the sequential configuration", ir.Name, ir.Board)
+	}
+	res := &Result{IR: cur, Spec: spec, Report: rep, BottleneckCycles: score.bottleneck}
+
+	best := score
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		improved := false
+		// Candidate moves on every PE tied at the bottleneck. A move is
+		// accepted when it lowers the bottleneck, or keeps it while lowering
+		// the total stage time (which unsticks ties: halving one of several
+		// equally-slow PEs is progress even before the global maximum moves).
+		for _, mv := range candidateMoves(res, opts) {
+			trial := cloneIR(res.IR)
+			trial.Layers[mv.layerIdx].Parallelism = mv.par
+			spec, rep, score, err := evaluate(trial, opts)
+			if err != nil || !rep.Fits || !score.betterThan(best) {
+				continue
+			}
+			res.IR, res.Spec, res.Report, res.BottleneckCycles = trial, spec, rep, score.bottleneck
+			best = score
+			res.Trace = append(res.Trace, Move{
+				Layer:       trial.Layers[mv.layerIdx].Name,
+				Parallelism: mv.par,
+				Bottleneck:  score.bottleneck,
+			})
+			improved = true
+			break
+		}
+		if !improved {
+			break
+		}
+	}
+	return res, nil
+}
+
+// score orders configurations: primarily by the pipeline bottleneck, then
+// by the total stage time (to make progress across tied bottlenecks).
+type score struct {
+	bottleneck int64
+	total      int64
+}
+
+func (s score) betterThan(o score) bool {
+	if s.bottleneck != o.bottleneck {
+		return s.bottleneck < o.bottleneck
+	}
+	return s.total < o.total
+}
+
+type move struct {
+	layerIdx int
+	par      condorir.Parallelism
+}
+
+// candidateMoves proposes parallelism increases for the layers of every PE
+// tied at the current bottleneck: double the output ports, then the input
+// ports.
+func candidateMoves(res *Result, opts Options) []move {
+	stages := objectiveStages(res.Spec, opts)
+	var worst int64
+	for _, s := range stages {
+		if s.Cycles > worst {
+			worst = s.Cycles
+		}
+	}
+	tied := make(map[string]bool)
+	for _, s := range stages {
+		if s.Cycles == worst {
+			tied[s.Name] = true
+		}
+	}
+	shapes, err := res.IR.Shapes()
+	if err != nil {
+		return nil
+	}
+	var out []move
+	for _, pe := range res.Spec.PEs {
+		if !tied[pe.ID] {
+			continue
+		}
+		for _, l := range pe.Layers {
+			irl := &res.IR.Layers[l.Index]
+			p := irl.Parallelism.Normalize()
+			outCap := min(opts.MaxPortParallelism, maxOutPorts(&l))
+			inCap := min(opts.MaxPortParallelism, shapes[l.Index].Channels)
+			if 2*p.Out <= outCap {
+				out = append(out, move{layerIdx: l.Index, par: condorir.Parallelism{In: p.In, Out: 2 * p.Out}})
+			}
+			if 2*p.In <= inCap {
+				out = append(out, move{layerIdx: l.Index, par: condorir.Parallelism{In: 2 * p.In, Out: p.Out}})
+			}
+		}
+	}
+	return out
+}
+
+// maxOutPorts bounds the useful output parallelism of a layer.
+func maxOutPorts(l *dataflow.LayerHW) int {
+	if n := l.OutShape.Channels; n > 0 {
+		return n
+	}
+	return 1
+}
+
+// evaluate builds, plans and estimates a configuration, returning its
+// objective score. Configurations whose sustained throughput exceeds the
+// DDR bandwidth roof are rejected — the datamover could not feed them, so
+// their modeled throughput would never be reached on the device.
+func evaluate(ir *condorir.Network, opts Options) (*dataflow.Spec, *hls.Report, score, error) {
+	spec, err := dataflow.BuildSpec(ir)
+	if err != nil {
+		return nil, nil, score{}, err
+	}
+	if err := hls.PlanMemory(spec); err != nil {
+		return nil, nil, score{}, err
+	}
+	rep, err := hls.Estimate(spec)
+	if err != nil {
+		return nil, nil, score{}, err
+	}
+	if err := checkBandwidth(ir, spec, rep); err != nil {
+		return nil, nil, score{}, err
+	}
+	stages := objectiveStages(spec, opts)
+	return spec, rep, score{
+		bottleneck: perf.Bottleneck(stages),
+		total:      perf.Latency(stages),
+	}, nil
+}
+
+// checkBandwidth runs the roofline analysis against the board's DDR
+// bandwidth.
+func checkBandwidth(ir *condorir.Network, spec *dataflow.Spec, rep *hls.Report) error {
+	b, err := board.Lookup(spec.Board)
+	if err != nil {
+		return err
+	}
+	flops, err := ir.FLOPs()
+	if err != nil {
+		return err
+	}
+	lanes := 0
+	for i := range rep.PEs {
+		lanes += rep.PEs[i].MACs
+	}
+	r := perf.AnalyzeRoofline(spec, b, lanes, flops, rep.AchievedMHz)
+	if r.BandwidthBound() {
+		return fmt.Errorf("dse: configuration is DDR-bandwidth bound (sustained %.1f GFLOPS over a %.1f GFLOPS roof)",
+			r.SustainedGFLOPS, r.AttainableGFLOPS)
+	}
+	return nil
+}
+
+func objectiveStages(spec *dataflow.Spec, opts Options) []perf.Stage {
+	if opts.FeaturesOnly {
+		return perf.FeatureStages(spec)
+	}
+	return perf.Stages(spec)
+}
+
+func cloneIR(ir *condorir.Network) *condorir.Network {
+	out := *ir
+	out.Layers = append([]condorir.Layer(nil), ir.Layers...)
+	return &out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,144 @@
+package dse
+
+import (
+	"testing"
+
+	"condor/internal/condorir"
+	"condor/internal/models"
+	"condor/internal/perf"
+)
+
+func TestExploreImprovesLeNet(t *testing.T) {
+	ir, _, err := models.LeNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Explore(ir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, _, err := models.LeNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, baseScore, err := evaluate(baseline, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BottleneckCycles >= baseScore.bottleneck {
+		t.Fatalf("DSE did not improve: %d vs baseline %d", res.BottleneckCycles, baseScore.bottleneck)
+	}
+	if !res.Report.Fits {
+		t.Fatal("chosen configuration must fit the board")
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("expected accepted moves in trace")
+	}
+}
+
+func TestExploreDoesNotMutateInput(t *testing.T) {
+	ir, _, err := models.TC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Explore(ir, Options{MaxIterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ir.Layers {
+		p := ir.Layers[i].Parallelism
+		if p.In > 1 || p.Out > 1 {
+			t.Fatal("input IR mutated")
+		}
+	}
+	if res.IR == ir {
+		t.Fatal("result must be a copy")
+	}
+}
+
+func TestExploreFeaturesOnlyObjective(t *testing.T) {
+	ir := models.VGG16Features()
+	res, err := Explore(ir, Options{FeaturesOnly: true, MaxIterations: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BottleneckCycles <= 0 {
+		t.Fatal("bottleneck must be positive")
+	}
+	// The explorer should have raised some parallelism on the early, huge
+	// conv layers.
+	raised := false
+	for _, l := range res.IR.Layers {
+		p := l.Parallelism.Normalize()
+		if p.In > 1 || p.Out > 1 {
+			raised = true
+		}
+	}
+	if !raised {
+		t.Fatal("expected parallelism increases on VGG features")
+	}
+}
+
+func TestExploreRespectsResourceBudget(t *testing.T) {
+	ir, _, err := models.LeNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir.Board = "zc706" // much smaller board
+	res, err := Explore(ir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Fits {
+		t.Fatal("configuration exceeds the small board budget")
+	}
+}
+
+func TestExploreBottleneckMatchesPerf(t *testing.T) {
+	ir, _, err := models.TC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Explore(ir, Options{MaxIterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := perf.Bottleneck(perf.Stages(res.Spec)); got != res.BottleneckCycles {
+		t.Fatalf("bottleneck %d != perf %d", res.BottleneckCycles, got)
+	}
+}
+
+func TestExploreRejectsOversizedNetwork(t *testing.T) {
+	// A single conv layer with enormous parallelism demand that cannot fit
+	// even sequentially on the small board: use a huge full-parallel conv.
+	ir := &condorir.Network{
+		Name: "huge", Board: "zc706", FrequencyMHz: 100,
+		Input: condorir.InputShape{Channels: 512, Height: 64, Width: 64},
+		Layers: []condorir.Layer{
+			{Name: "c", Type: "Convolution", KernelSize: 11, NumOutput: 512, Bias: true, PEGroup: -1,
+				Parallelism: condorir.Parallelism{In: 64, Out: 64}},
+		},
+	}
+	if _, err := Explore(ir, Options{}); err == nil {
+		t.Fatal("expected does-not-fit error")
+	}
+}
+
+func TestCandidateCapsAtChannelCounts(t *testing.T) {
+	// A layer with 2 output channels can be parallelised at most 2-way out.
+	ir := &condorir.Network{
+		Name: "caps", Board: "aws-f1-vu9p", FrequencyMHz: 100,
+		Input: condorir.InputShape{Channels: 1, Height: 8, Width: 8},
+		Layers: []condorir.Layer{
+			{Name: "c", Type: "Convolution", KernelSize: 3, NumOutput: 2, Bias: false, PEGroup: -1},
+		},
+	}
+	res, err := Explore(ir, Options{MaxIterations: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.IR.Layers[0].Parallelism.Normalize()
+	if p.Out > 2 || p.In > 1 {
+		t.Fatalf("parallelism %+v exceeds channel counts", p)
+	}
+}

@@ -1,0 +1,110 @@
+// Package fifo provides the bounded blocking FIFO channel that the Condor
+// accelerator fabric is built from. The paper's architecture is "a
+// distributed dataflow architecture of simple and independent elements
+// communicating over FIFOs ... using blocking reads and writes"; this
+// package is that primitive, instrumented with the occupancy statistics the
+// resource model uses to size on-chip buffers.
+package fifo
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Word is the data type carried by fabric FIFOs: single-precision floating
+// point, the numeric format of the paper's accelerator.
+type Word = float32
+
+// FIFO is a bounded, blocking, closeable queue of Words. Push blocks while
+// the FIFO is full; Pop blocks while it is empty and no writer has closed
+// it. It is safe for one producer and one consumer goroutine (the fabric's
+// point-to-point channels); multiple producers must coordinate externally.
+type FIFO struct {
+	name string
+	ch   chan Word
+
+	pushes atomic.Int64
+	pops   atomic.Int64
+	maxOcc atomic.Int64
+
+	closeOnce sync.Once
+}
+
+// New creates a FIFO with the given capacity (depth in words). Depth must be
+// at least 1, matching hardware FIFOs which always have at least one slot.
+func New(name string, depth int) *FIFO {
+	if depth < 1 {
+		panic(fmt.Sprintf("fifo %q: depth %d < 1", name, depth))
+	}
+	return &FIFO{name: name, ch: make(chan Word, depth)}
+}
+
+// Name returns the FIFO's identifier (used in fabric netlists and stats).
+func (f *FIFO) Name() string { return f.name }
+
+// Depth returns the FIFO capacity in words.
+func (f *FIFO) Depth() int { return cap(f.ch) }
+
+// Push appends v, blocking while the FIFO is full. Pushing to a closed FIFO
+// panics, as writing to a hardware FIFO after end-of-stream is a design bug.
+func (f *FIFO) Push(v Word) {
+	f.ch <- v
+	n := f.pushes.Add(1) - f.pops.Load()
+	for {
+		cur := f.maxOcc.Load()
+		if n <= cur || f.maxOcc.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+}
+
+// Pop removes and returns the oldest word. It blocks while the FIFO is
+// empty; once the FIFO is closed and drained it returns ok=false.
+func (f *FIFO) Pop() (Word, bool) {
+	v, ok := <-f.ch
+	if ok {
+		f.pops.Add(1)
+	}
+	return v, ok
+}
+
+// Close marks end-of-stream. Subsequent Pops drain remaining words and then
+// report ok=false. Close is idempotent.
+func (f *FIFO) Close() {
+	f.closeOnce.Do(func() { close(f.ch) })
+}
+
+// Stats is a snapshot of FIFO traffic counters.
+type Stats struct {
+	Name         string
+	Depth        int
+	Pushes       int64
+	Pops         int64
+	MaxOccupancy int64
+}
+
+// Stats returns the current traffic counters. MaxOccupancy is a high-water
+// mark observed at push time; under concurrent producers/consumers it is an
+// upper-bound estimate, which is the quantity buffer sizing needs.
+func (f *FIFO) Stats() Stats {
+	return Stats{
+		Name:         f.name,
+		Depth:        cap(f.ch),
+		Pushes:       f.pushes.Load(),
+		Pops:         f.pops.Load(),
+		MaxOccupancy: f.maxOcc.Load(),
+	}
+}
+
+// Drain pops until the FIFO is closed and empty, returning the number of
+// words discarded. Used by teardown paths and tests.
+func (f *FIFO) Drain() int {
+	n := 0
+	for {
+		if _, ok := f.Pop(); !ok {
+			return n
+		}
+		n++
+	}
+}

@@ -1,0 +1,186 @@
+package fifo
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPushPopOrder(t *testing.T) {
+	f := New("t", 4)
+	for i := 0; i < 4; i++ {
+		f.Push(Word(i))
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := f.Pop()
+		if !ok || v != Word(i) {
+			t.Fatalf("pop %d = %v ok=%v", i, v, ok)
+		}
+	}
+}
+
+func TestPopAfterCloseDrains(t *testing.T) {
+	f := New("t", 4)
+	f.Push(1)
+	f.Push(2)
+	f.Close()
+	if v, ok := f.Pop(); !ok || v != 1 {
+		t.Fatal("first pop after close should return buffered word")
+	}
+	if v, ok := f.Pop(); !ok || v != 2 {
+		t.Fatal("second pop after close should return buffered word")
+	}
+	if _, ok := f.Pop(); ok {
+		t.Fatal("pop after drain should report closed")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	f := New("t", 1)
+	f.Close()
+	f.Close() // must not panic
+}
+
+func TestPushBlocksWhenFull(t *testing.T) {
+	f := New("t", 1)
+	f.Push(1)
+	done := make(chan struct{})
+	go func() {
+		f.Push(2) // blocks until a pop frees a slot
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("push to full FIFO did not block")
+	case <-time.After(10 * time.Millisecond):
+	}
+	if v, _ := f.Pop(); v != 1 {
+		t.Fatal("wrong word")
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("blocked push never completed")
+	}
+}
+
+func TestPopBlocksWhenEmpty(t *testing.T) {
+	f := New("t", 1)
+	got := make(chan Word, 1)
+	go func() {
+		v, _ := f.Pop()
+		got <- v
+	}()
+	select {
+	case <-got:
+		t.Fatal("pop from empty FIFO did not block")
+	case <-time.After(10 * time.Millisecond):
+	}
+	f.Push(9)
+	select {
+	case v := <-got:
+		if v != 9 {
+			t.Fatalf("pop = %v, want 9", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked pop never completed")
+	}
+}
+
+func TestStats(t *testing.T) {
+	f := New("stats", 8)
+	for i := 0; i < 5; i++ {
+		f.Push(Word(i))
+	}
+	f.Pop()
+	f.Pop()
+	s := f.Stats()
+	if s.Name != "stats" || s.Depth != 8 {
+		t.Fatalf("stats identity wrong: %+v", s)
+	}
+	if s.Pushes != 5 || s.Pops != 2 {
+		t.Fatalf("pushes/pops = %d/%d", s.Pushes, s.Pops)
+	}
+	if s.MaxOccupancy != 5 {
+		t.Fatalf("max occupancy = %d, want 5", s.MaxOccupancy)
+	}
+}
+
+func TestMaxOccupancyNeverExceedsDepth(t *testing.T) {
+	f := New("t", 3)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			f.Push(Word(i))
+		}
+		f.Close()
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			if _, ok := f.Pop(); !ok {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	s := f.Stats()
+	if s.MaxOccupancy > int64(s.Depth)+1 {
+		// +1 tolerance: the high-water mark is sampled after the push races
+		// with concurrent pops, so it can transiently over-count by one.
+		t.Fatalf("max occupancy %d greatly exceeds depth %d", s.MaxOccupancy, s.Depth)
+	}
+	if s.Pushes != 1000 || s.Pops != 1000 {
+		t.Fatalf("traffic counters %d/%d", s.Pushes, s.Pops)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	f := New("t", 10)
+	for i := 0; i < 7; i++ {
+		f.Push(Word(i))
+	}
+	f.Close()
+	if n := f.Drain(); n != 7 {
+		t.Fatalf("drained %d, want 7", n)
+	}
+}
+
+func TestZeroDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero depth")
+		}
+	}()
+	New("bad", 0)
+}
+
+// Property: a single-producer single-consumer stream of any length passes
+// through unchanged and in order, for any FIFO depth.
+func TestFIFOOrderProperty(t *testing.T) {
+	f := func(nRaw, depthRaw uint8) bool {
+		n := int(nRaw)
+		depth := int(depthRaw%16) + 1
+		q := New("p", depth)
+		go func() {
+			for i := 0; i < n; i++ {
+				q.Push(Word(i))
+			}
+			q.Close()
+		}()
+		for i := 0; i < n; i++ {
+			v, ok := q.Pop()
+			if !ok || v != Word(i) {
+				return false
+			}
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

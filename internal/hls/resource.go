@@ -1,0 +1,370 @@
+// Package hls stands in for Vivado HLS in the Condor flow: it consumes the
+// structural accelerator specification and produces (a) synthesizable C
+// sources for every PE and filter (the artifacts the real flow would feed
+// to the tool), (b) per-block latency figures, and (c) analytic resource
+// estimates (LUT/FF/DSP/BRAM) calibrated against the Xilinx floating-point
+// operator characterisation tables. The paper's toolchain only consumes
+// HLS's latency/resource reports, so an analytic model driven by the same
+// specifications preserves every downstream decision (design-space
+// exploration, memory planning, feasibility, timing closure).
+package hls
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"condor/internal/board"
+	"condor/internal/dataflow"
+	"condor/internal/nn"
+)
+
+// maxHLSArrayWords is the largest static array the HLS front end accepts
+// (2^24 elements). A fully-connected layer whose weight matrix exceeds this
+// bound is not synthesizable with the current methodology — the constraint
+// the paper reports for the VGG-16 classifier.
+const maxHLSArrayWords = 1 << 24
+
+// dspAdderClockMHz is the clock threshold below which the floating-point
+// adder is instantiated in its DSP48-assisted (latency-optimised)
+// configuration; above it the fmax-optimised fabric-logic configuration is
+// used. This mirrors the Xilinx FP operator configuration space.
+const dspAdderClockMHz = 120
+
+// Component cost table: single-precision floating-point operators and
+// fabric blocks, per instance.
+var (
+	costFMul    = board.Resources{LUT: 101, FF: 166, DSP: 3}
+	costFAddDSP = board.Resources{LUT: 214, FF: 227, DSP: 2}
+	costFAddLog = board.Resources{LUT: 390, FF: 496, DSP: 0}
+	costFCmp    = board.Resources{LUT: 66, FF: 72}
+	costFExp    = board.Resources{LUT: 1400, FF: 1706, DSP: 7}
+	costFLog    = board.Resources{LUT: 1252, FF: 1504, DSP: 6}
+	costFDiv    = board.Resources{LUT: 802, FF: 940}
+	costFilter  = board.Resources{LUT: 132, FF: 168}
+
+	costPEControlBase  = board.Resources{LUT: 820, FF: 1240}
+	costPEControlLayer = board.Resources{LUT: 210, FF: 260} // per extra fused layer
+	costDatamover      = board.Resources{LUT: 11800, FF: 17400, DSP: 16, BRAM: 16}
+	costReLU           = board.Resources{LUT: 34, FF: 32}
+)
+
+// fadd returns the adder cost for the target clock.
+func fadd(freqMHz float64) board.Resources {
+	if freqMHz <= dspAdderClockMHz {
+		return costFAddDSP
+	}
+	return costFAddLog
+}
+
+// Fixed-point MAC costs: an int16 multiply-accumulate maps onto a single
+// DSP48 (multiplier plus post-adder); two int8 MACs pack into one DSP48.
+var (
+	costMACInt16 = board.Resources{LUT: 62, FF: 84, DSP: 1}
+	costMACInt8  = board.Resources{LUT: 44, FF: 52, DSP: 0.5}
+)
+
+// macCost returns the cost of one multiply-accumulate lane for the fabric
+// word width.
+func macCost(freqMHz float64, wordBits int) board.Resources {
+	switch wordBits {
+	case 16:
+		return costMACInt16
+	case 8:
+		return costMACInt8
+	default:
+		return costFMul.Add(fadd(freqMHz))
+	}
+}
+
+// wordBitsOf normalises a spec's word width.
+func wordBitsOf(bits int) int {
+	switch bits {
+	case 8, 16:
+		return bits
+	default:
+		return 32
+	}
+}
+
+// bramForWords returns the BRAM36 blocks needed to hold n words of the
+// given width, with BRAM18 (half-block) granularity.
+func bramForWords(n int64, wordBits int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	halves := math.Ceil(float64(n) * float64(wordBits) / 18432)
+	return halves / 2
+}
+
+// fifoCost returns the cost of one stream FIFO of the given word depth and
+// width: shallow FIFOs map to LUT shift registers (SRLs), deeper ones to
+// BRAM.
+func fifoCost(depth, wordBits int) board.Resources {
+	if depth <= 64 {
+		return board.Resources{LUT: float64(20 + depth/2), FF: 42}
+	}
+	return board.Resources{LUT: 54, FF: 60, BRAM: bramForWords(int64(depth), wordBits)}
+}
+
+// PEReport is the synthesis estimate for one PE (datapath + its memory
+// subsystem).
+type PEReport struct {
+	ID        string
+	MACs      int
+	Kernel    board.Resources
+	Breakdown map[string]board.Resources
+
+	// CyclesPerImage is the HLS latency figure: busy cycles per image
+	// (II=1 pipeline over the PE's iteration space).
+	CyclesPerImage int64
+}
+
+// Report is the synthesis estimate for a complete accelerator.
+type Report struct {
+	BoardID string
+	PEs     []PEReport
+
+	Datamover  board.Resources
+	InterFIFOs board.Resources
+
+	// KernelTotal is the accelerator without the platform shell; Total adds
+	// the shell. Utilization is Total over the full device, the figure
+	// Table 1 of the paper reports.
+	KernelTotal board.Resources
+	Total       board.Resources
+	Utilization board.Utilization
+
+	// Fits reports whether the kernel fits the board's available (shell-
+	// excluded) budget.
+	Fits bool
+
+	// FmaxMHz is the post-route achievable clock from the timing-closure
+	// model; AchievedMHz is min(requested, Fmax).
+	FmaxMHz     float64
+	AchievedMHz float64
+}
+
+// Estimate runs the full synthesis estimate for a spec on its board.
+func Estimate(spec *dataflow.Spec) (*Report, error) {
+	b, err := board.Lookup(spec.Board)
+	if err != nil {
+		return nil, err
+	}
+	bits := wordBitsOf(spec.WordBits)
+	rep := &Report{BoardID: b.ID}
+	kernel := costDatamover
+	rep.Datamover = costDatamover
+
+	// Inter-PE streaming FIFOs (one per boundary, incl. datamover ends).
+	inter := fifoCost(spec.InterPEFIFODepth, bits).Scale(float64(len(spec.PEs) + 1))
+	rep.InterFIFOs = inter
+	kernel = kernel.Add(inter)
+
+	for _, pe := range spec.PEs {
+		pr, err := estimatePE(pe, spec.FreqMHz, bits)
+		if err != nil {
+			return nil, err
+		}
+		rep.PEs = append(rep.PEs, pr)
+		kernel = kernel.Add(pr.Kernel)
+	}
+
+	rep.KernelTotal = kernel
+	rep.Total = kernel.Add(b.Shell)
+	rep.Utilization = rep.Total.Utilization(b.Device)
+	rep.Fits = kernel.FitsIn(b.Available())
+	rep.FmaxMHz = fmaxModel(b, rep.Total.Utilization(b.Device))
+	rep.AchievedMHz = math.Min(spec.FreqMHz, rep.FmaxMHz)
+	return rep, nil
+}
+
+// estimatePE estimates one PE: datapath operators, filter-chain memory
+// subsystem, on-chip weight and partial buffers, and control.
+func estimatePE(pe *dataflow.PE, freqMHz float64, wordBits int) (PEReport, error) {
+	pr := PEReport{ID: pe.ID, Breakdown: make(map[string]board.Resources)}
+	add := func(name string, r board.Resources) {
+		pr.Breakdown[name] = pr.Breakdown[name].Add(r)
+		pr.Kernel = pr.Kernel.Add(r)
+	}
+
+	par := pe.Par.Normalize()
+	ctrl := costPEControlBase
+	if n := len(pe.Layers) - 1; n > 0 {
+		ctrl = ctrl.Add(costPEControlLayer.Scale(float64(n)))
+	}
+	add("control", ctrl)
+
+	// Datapath: sized by the most demanding fused layer.
+	maxK := 0
+	hasConv, hasMaxPool, hasAvgPool, hasFC := false, false, false, false
+	var act, norm nn.Kind = dataflow.NoActivation, dataflow.NoActivation
+	for _, l := range pe.Layers {
+		if l.Kind == nn.FullyConnected && int64(l.OutShape.Channels)*int64(l.InShape.Volume()) > maxHLSArrayWords {
+			return pr, fmt.Errorf("hls: layer %q: fully-connected weight array of %d words exceeds the %d-word HLS limit; not synthesizable with the current methodology",
+				l.Name, int64(l.OutShape.Channels)*int64(l.InShape.Volume()), maxHLSArrayWords)
+		}
+		if l.Kernel > maxK {
+			maxK = l.Kernel
+		}
+		switch l.Kind {
+		case nn.Conv:
+			hasConv = true
+		case nn.MaxPool:
+			hasMaxPool = true
+		case nn.AvgPool:
+			hasAvgPool = true
+		case nn.FullyConnected:
+			hasFC = true
+		}
+		if l.Activation != dataflow.NoActivation {
+			act = l.Activation
+		}
+		if l.Normalize != dataflow.NoActivation {
+			norm = l.Normalize
+		}
+	}
+
+	adder := fadd(freqMHz)
+	mac := macCost(freqMHz, wordBits)
+	if hasConv {
+		// K² MAC lanes (multiplier + adder-tree slot + accumulator),
+		// replicated per parallel input/output port pair.
+		lanes := maxK * maxK * par.In * par.Out
+		pr.MACs += lanes
+		add("conv-mac", mac.Scale(float64(lanes)))
+	}
+	if hasFC {
+		// Single-input/single-output 1x1-conv PE: one MAC per output port.
+		lanes := par.Out
+		pr.MACs += lanes
+		add("fc-mac", mac.Scale(float64(lanes)))
+	}
+	if hasMaxPool {
+		add("pool-cmp", costFCmp.Scale(float64((maxK*maxK-1)*par.In)))
+	}
+	if hasAvgPool {
+		add("pool-add", adder.Scale(float64((maxK*maxK-1)*par.In)))
+		add("pool-scale", costFMul.Scale(float64(par.In)))
+	}
+	switch act {
+	case nn.ReLU:
+		add("act-relu", costReLU.Scale(float64(par.Out)))
+	case nn.Sigmoid:
+		add("act-sigmoid", costFExp.Add(costFDiv).Scale(float64(par.Out)))
+	case nn.TanH:
+		add("act-tanh", costFExp.Scale(2).Add(costFDiv).Scale(float64(par.Out)))
+	}
+	if norm != dataflow.NoActivation {
+		// The LogSoftMax/SoftMax unit: exponential, accumulation, logarithm
+		// (or divider), and the max-search comparator.
+		add("norm", costFExp.Add(costFLog).Add(costFDiv).Add(costFCmp).Add(adder))
+	}
+
+	// Memory subsystem: one filter chain per parallel input port.
+	if pe.Chain != nil {
+		c := pe.Chain
+		filters := costFilter.Scale(float64(len(c.Taps) * par.In))
+		add("filters", filters)
+		var chainFifos board.Resources
+		for _, d := range c.FIFODepths {
+			chainFifos = chainFifos.Add(fifoCost(d, wordBits))
+		}
+		// Tap FIFOs are shallow SRLs (depth = window side).
+		chainFifos = chainFifos.Add(fifoCost(maxK, wordBits).Scale(float64(len(c.Taps))))
+		add("chain-fifos", chainFifos.Scale(float64(par.In)))
+	}
+
+	if pe.WeightsOnChip {
+		add("weight-bram", board.Resources{BRAM: bramForWords(pe.WeightWords(), wordBits)})
+	}
+	if pe.PartialsOnChip {
+		// Partial sums accumulate at full precision regardless of the
+		// stream word width.
+		add("partial-bram", board.Resources{BRAM: bramForWords(pe.PartialWords(), 32)})
+	}
+
+	pr.CyclesPerImage = dataflow.PECyclesPerImage(pe)
+	return pr, nil
+}
+
+// fmaxModel is the timing-closure model: routing congestion erodes the
+// achievable kernel clock as device utilization grows.
+func fmaxModel(b *board.Board, u board.Utilization) float64 {
+	base := b.MaxClockMHz
+	derate := 1 - 0.45*u.Max()
+	if derate < 0.2 {
+		derate = 0.2
+	}
+	return math.Round(base * derate)
+}
+
+// SortedBreakdown returns the breakdown keys in deterministic order.
+func (p *PEReport) SortedBreakdown() []string {
+	keys := make([]string, 0, len(p.Breakdown))
+	for k := range p.Breakdown {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PlanMemory decides, for every PE in the spec, whether weights and partial
+// sums live on-chip (BRAM) or are exchanged with the datamover — the
+// memory-planning step of the core logic. Partial buffers are placed first
+// (spilling partials costs a DDR round trip per input channel), then weight
+// buffers smallest-first; everything must leave the filter chains, the
+// inter-PE FIFOs and the datamover within the board's available BRAM.
+func PlanMemory(spec *dataflow.Spec) error {
+	b, err := board.Lookup(spec.Board)
+	if err != nil {
+		return err
+	}
+	bits := wordBitsOf(spec.WordBits)
+	budget := b.Available().BRAM
+
+	// Fixed BRAM consumers.
+	fixed := costDatamover.BRAM
+	fixed += fifoCost(spec.InterPEFIFODepth, bits).BRAM * float64(len(spec.PEs)+1)
+	for _, pe := range spec.PEs {
+		pe.WeightsOnChip = false
+		pe.PartialsOnChip = false
+		if pe.Chain == nil {
+			continue
+		}
+		par := pe.Par.Normalize()
+		var chainBRAM float64
+		for _, d := range pe.Chain.FIFODepths {
+			chainBRAM += fifoCost(d, bits).BRAM
+		}
+		fixed += chainBRAM * float64(par.In)
+	}
+	remaining := budget - fixed
+	if remaining < 0 {
+		return fmt.Errorf("hls: board %s cannot hold the fixed fabric BRAM (%.1f over budget)", b.ID, -remaining)
+	}
+
+	// Partials first, in PE order.
+	for _, pe := range spec.PEs {
+		need := bramForWords(pe.PartialWords(), 32)
+		if need <= remaining {
+			pe.PartialsOnChip = true
+			remaining -= need
+		}
+	}
+	// Then weights, smallest first.
+	order := make([]*dataflow.PE, len(spec.PEs))
+	copy(order, spec.PEs)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].WeightWords() < order[j].WeightWords() })
+	for _, pe := range order {
+		if pe.WeightWords() == 0 {
+			continue
+		}
+		need := bramForWords(pe.WeightWords(), bits)
+		if need <= remaining {
+			pe.WeightsOnChip = true
+			remaining -= need
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+
+	"condor/internal/tensor"
+)
+
+// The synthetic dataset generators replace the USPS and MNIST corpora the
+// paper's networks were trained on. Each image is a deterministic
+// pseudo-digit: a handful of strokes rendered with a soft (Gaussian) pen on
+// the digit grid, normalised to [0,1]. Inference throughput is independent
+// of pixel values; these generators exist so the examples and tests run
+// realistic-looking workloads without shipping datasets.
+
+// USPSImages generates n synthetic USPS-like images (1x16x16).
+func USPSImages(n int, seed int64) []*tensor.Tensor {
+	return strokeImages(n, 16, seed)
+}
+
+// MNISTImages generates n synthetic MNIST-like images (1x28x28).
+func MNISTImages(n int, seed int64) []*tensor.Tensor {
+	return strokeImages(n, 28, seed)
+}
+
+// strokeImages renders n images of side s.
+func strokeImages(n, s int, seed int64) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*tensor.Tensor, n)
+	for i := range out {
+		out[i] = strokeImage(s, rng)
+	}
+	return out
+}
+
+// strokeImage draws 2-4 straight strokes with a Gaussian pen profile.
+func strokeImage(s int, rng *rand.Rand) *tensor.Tensor {
+	img := tensor.New(1, s, s)
+	data := img.Data()
+	strokes := rng.Intn(3) + 2
+	pen := float64(s) / 12.0 // pen radius scales with resolution
+	for k := 0; k < strokes; k++ {
+		x0 := rng.Float64() * float64(s-1)
+		y0 := rng.Float64() * float64(s-1)
+		x1 := rng.Float64() * float64(s-1)
+		y1 := rng.Float64() * float64(s-1)
+		steps := 3 * s
+		for t := 0; t <= steps; t++ {
+			f := float64(t) / float64(steps)
+			cx := x0 + f*(x1-x0)
+			cy := y0 + f*(y1-y0)
+			lo := int(math.Max(0, math.Floor(cy-3*pen)))
+			hi := int(math.Min(float64(s-1), math.Ceil(cy+3*pen)))
+			for y := lo; y <= hi; y++ {
+				xlo := int(math.Max(0, math.Floor(cx-3*pen)))
+				xhi := int(math.Min(float64(s-1), math.Ceil(cx+3*pen)))
+				for x := xlo; x <= xhi; x++ {
+					d2 := (float64(x)-cx)*(float64(x)-cx) + (float64(y)-cy)*(float64(y)-cy)
+					v := float32(math.Exp(-d2 / (2 * pen * pen)))
+					idx := y*s + x
+					if v > data[idx] {
+						data[idx] = v
+					}
+				}
+			}
+		}
+	}
+	return img
+}

@@ -1,0 +1,307 @@
+package models
+
+import (
+	"testing"
+
+	"condor/internal/caffe"
+	"condor/internal/condorir"
+	"condor/internal/dataflow"
+	"condor/internal/nn"
+	"condor/internal/tensor"
+)
+
+func TestTC1Valid(t *testing.T) {
+	ir, ws, err := TC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ir.FrequencyMHz != 100 || ir.Board != F1Board {
+		t.Fatalf("TC1 deployment config %v %v", ir.FrequencyMHz, ir.Board)
+	}
+	net, err := ir.BuildNN(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := net.OutputShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Channels != 10 {
+		t.Fatalf("TC1 output %v", out)
+	}
+	// TC1 must have fewer layers than LeNet's pipeline (a paper premise for
+	// its Figure 5 knee).
+	spec, err := dataflow.BuildSpec(ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.PEs) != 6 {
+		t.Fatalf("TC1 PE count = %d", len(spec.PEs))
+	}
+}
+
+func TestTC1RunsOnFabric(t *testing.T) {
+	ir, ws, err := TC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := dataflow.BuildSpec(ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := dataflow.Instantiate(spec, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := ir.BuildNN(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := USPSImages(2, 7)
+	outs, _, err := acc.Run(imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range imgs {
+		want, err := net.Predict(imgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.AllClose(outs[i], want, 2e-3) {
+			t.Fatalf("TC1 fabric output differs by %g", tensor.MaxAbsDiff(outs[i], want))
+		}
+	}
+}
+
+func TestLeNetViaCaffeFrontend(t *testing.T) {
+	ir, ws, err := LeNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Name != "LeNet" || ir.FrequencyMHz != 180 {
+		t.Fatalf("LeNet config %q %v", ir.Name, ir.FrequencyMHz)
+	}
+	if len(ir.Layers) != 8 {
+		t.Fatalf("LeNet layer count %d", len(ir.Layers))
+	}
+	net, err := ir.BuildNN(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Input != (nn.Shape{Channels: 1, Height: 28, Width: 28}) {
+		t.Fatalf("LeNet input %v", net.Input)
+	}
+	// ~4.6 MFLOPs per image, the canonical LeNet figure.
+	fl := net.TotalFLOPs()
+	if fl < 4_000_000 || fl > 5_500_000 {
+		t.Fatalf("LeNet FLOPs = %d", fl)
+	}
+}
+
+func TestLeNetCaffeModelParsesBack(t *testing.T) {
+	blob, err := LeNetCaffeModel(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := caffe.ParseCaffeModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "LeNet" {
+		t.Fatalf("name %q", m.Name)
+	}
+	ip1 := m.LayerByName("ip1")
+	if ip1 == nil || len(ip1.Blobs) != 2 || len(ip1.Blobs[0].Data) != 500*800 {
+		t.Fatal("ip1 blobs wrong")
+	}
+}
+
+func TestLeNetCaffeModelDeterministic(t *testing.T) {
+	a, err := LeNetCaffeModel(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LeNetCaffeModel(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("caffemodel generation not deterministic")
+	}
+	c, err := LeNetCaffeModel(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) == string(c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestVGG16Topology(t *testing.T) {
+	ir := VGG16()
+	if err := ir.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	shapes, err := ir.Shapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical VGG-16: last pooling output is 512x7x7.
+	var beforeFC nn.Shape
+	for i, l := range ir.Layers {
+		if l.Name == "fc6" {
+			beforeFC = shapes[i]
+		}
+	}
+	if beforeFC != (nn.Shape{Channels: 512, Height: 7, Width: 7}) {
+		t.Fatalf("pre-classifier shape %v", beforeFC)
+	}
+	// 13 convolutional layers.
+	convs := 0
+	for _, l := range ir.Layers {
+		if l.Type == "Convolution" {
+			convs++
+		}
+	}
+	if convs != 13 {
+		t.Fatalf("conv count = %d", convs)
+	}
+}
+
+func TestVGG16FeaturesFLOPs(t *testing.T) {
+	irF := VGG16Features()
+	if err := irF.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The canonical VGG-16 features-extraction cost is ≈30.7 GFLOPs
+	// (15.3 GMACs) per 224x224 image; count from geometry alone.
+	fl := IRFLOPs(t, irF)
+	if fl < 29_000_000_000 || fl > 32_000_000_000 {
+		t.Fatalf("VGG features FLOPs = %d", fl)
+	}
+}
+
+// IRFLOPs computes the FLOPs of one forward pass from the IR geometry
+// without materialising weights.
+func IRFLOPs(t *testing.T, ir *condorir.Network) int64 {
+	t.Helper()
+	shapes, err := ir.Shapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := range ir.Layers {
+		l := &ir.Layers[i]
+		kind, err := l.Kind()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stride := l.Stride
+		if stride <= 0 {
+			stride = 1
+		}
+		skel := nn.Layer{Name: l.Name, Kind: kind, Kernel: l.KernelSize, Stride: stride, Pad: l.Pad, OutputCount: l.NumOutput}
+		if l.Bias {
+			skel.Bias = tensor.New(maxInt(l.NumOutput, 1))
+		}
+		total += skel.FLOPs(shapes[i])
+	}
+	return total
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestSyntheticImagesDeterministicAndNormalised(t *testing.T) {
+	a := USPSImages(3, 42)
+	b := USPSImages(3, 42)
+	for i := range a {
+		if tensor.MaxAbsDiff(a[i], b[i]) != 0 {
+			t.Fatal("generator not deterministic")
+		}
+		if got := a[i].Shape(); got[0] != 1 || got[1] != 16 || got[2] != 16 {
+			t.Fatalf("USPS shape %v", got)
+		}
+		nonZero := 0
+		for _, v := range a[i].Data() {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %v outside [0,1]", v)
+			}
+			if v > 0.1 {
+				nonZero++
+			}
+		}
+		if nonZero == 0 {
+			t.Fatal("image is empty")
+		}
+	}
+	m := MNISTImages(1, 1)[0]
+	if got := m.Shape(); got[1] != 28 || got[2] != 28 {
+		t.Fatalf("MNIST shape %v", got)
+	}
+}
+
+func TestRandomWeightsMatchGeometry(t *testing.T) {
+	ir, _, err := TC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := RandomWeights(ir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.BuildNN(ws); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlexNetTopology(t *testing.T) {
+	ir := AlexNet()
+	if err := ir.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	shapes, err := ir.Shapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical AlexNet intermediates: conv1 out 96x55x55, pool5 out 256x6x6.
+	if shapes[1] != (nn.Shape{Channels: 96, Height: 55, Width: 55}) {
+		t.Fatalf("conv1 output %v", shapes[1])
+	}
+	var beforeFC nn.Shape
+	for i, l := range ir.Layers {
+		if l.Name == "fc6" {
+			beforeFC = shapes[i]
+		}
+	}
+	if beforeFC != (nn.Shape{Channels: 256, Height: 6, Width: 6}) {
+		t.Fatalf("pre-classifier shape %v", beforeFC)
+	}
+	// ≈1.45 GFLOPs for the ungrouped features stage.
+	fl := IRFLOPs(t, AlexNetFeatures())
+	if fl < 1_000_000_000 || fl > 2_600_000_000 {
+		t.Fatalf("AlexNet features FLOPs = %d", fl)
+	}
+}
+
+func TestAlexNetFeaturesBuildSpec(t *testing.T) {
+	spec, err := dataflow.BuildSpec(AlexNetFeatures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 compute PEs: 5 convs + 3 pools (activations folded).
+	if len(spec.PEs) != 8 {
+		t.Fatalf("PE count = %d", len(spec.PEs))
+	}
+	// conv1's chain covers the 11x11 window over the 227-wide input.
+	if spec.PEs[0].Chain.Kernel != 11 || spec.PEs[0].Chain.PaddedW != 227 {
+		t.Fatalf("conv1 chain = %+v", spec.PEs[0].Chain)
+	}
+}

@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"condor/internal/tensor"
+)
+
+// forwardLayer evaluates one layer on a CHW input with the reference
+// (direct, non-streaming) algorithm. The implementations follow the paper's
+// equations (1), (4) and (5) literally.
+func forwardLayer(l *Layer, in *tensor.Tensor, shape Shape) (*tensor.Tensor, error) {
+	switch l.Kind {
+	case Conv:
+		return forwardConv(l, in, shape)
+	case MaxPool:
+		return forwardPool(l, in, shape, true)
+	case AvgPool:
+		return forwardPool(l, in, shape, false)
+	case FullyConnected:
+		return forwardFC(l, in, shape)
+	case ReLU:
+		return mapUnary(in, func(x float32) float32 {
+			if x < 0 {
+				return 0
+			}
+			return x
+		}), nil
+	case Sigmoid:
+		return mapUnary(in, func(x float32) float32 {
+			return float32(1 / (1 + math.Exp(-float64(x))))
+		}), nil
+	case TanH:
+		return mapUnary(in, func(x float32) float32 {
+			return float32(math.Tanh(float64(x)))
+		}), nil
+	case SoftMax:
+		return forwardSoftMax(in, false), nil
+	case LogSoftMax:
+		return forwardSoftMax(in, true), nil
+	default:
+		return nil, fmt.Errorf("unknown layer kind %v", l.Kind)
+	}
+}
+
+// paddedAt reads the input with symmetric zero padding: coordinates outside
+// the feature map read as zero.
+func paddedAt(in *tensor.Tensor, c, y, x, h, w int) float32 {
+	if y < 0 || y >= h || x < 0 || x >= w {
+		return 0
+	}
+	return in.At(c, y, x)
+}
+
+// forwardConv implements equation (1): each output point (i,j) of output map
+// φ is the windowed dot product of the weights with the input, summed over
+// all input channels, plus the optional bias b_φ.
+func forwardConv(l *Layer, in *tensor.Tensor, shape Shape) (*tensor.Tensor, error) {
+	outShape, err := l.OutputShape(shape)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(outShape.Channels, outShape.Height, outShape.Width)
+	k, s, p := l.Kernel, l.Stride, l.Pad
+	for f := 0; f < outShape.Channels; f++ {
+		var bias float32
+		if l.Bias != nil {
+			bias = l.Bias.At(f)
+		}
+		for oy := 0; oy < outShape.Height; oy++ {
+			for ox := 0; ox < outShape.Width; ox++ {
+				acc := bias
+				for c := 0; c < shape.Channels; c++ {
+					for m := 0; m < k; m++ {
+						for nn := 0; nn < k; nn++ {
+							w := l.Weights.At(f, c, m, nn)
+							x := paddedAt(in, c, oy*s+m-p, ox*s+nn-p, shape.Height, shape.Width)
+							acc += w * x
+						}
+					}
+				}
+				out.Set(acc, f, oy, ox)
+			}
+		}
+	}
+	return out, nil
+}
+
+// forwardPool implements the sub-sampling layer: the window is replaced by
+// its maximum (max-pooling) or its average.
+func forwardPool(l *Layer, in *tensor.Tensor, shape Shape, isMax bool) (*tensor.Tensor, error) {
+	outShape, err := l.OutputShape(shape)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(outShape.Channels, outShape.Height, outShape.Width)
+	k, s, p := l.Kernel, l.Stride, l.Pad
+	for c := 0; c < shape.Channels; c++ {
+		for oy := 0; oy < outShape.Height; oy++ {
+			for ox := 0; ox < outShape.Width; ox++ {
+				var v float32
+				if isMax {
+					v = float32(math.Inf(-1))
+				}
+				for m := 0; m < k; m++ {
+					for nn := 0; nn < k; nn++ {
+						x := paddedAt(in, c, oy*s+m-p, ox*s+nn-p, shape.Height, shape.Width)
+						if isMax {
+							if x > v {
+								v = x
+							}
+						} else {
+							v += x
+						}
+					}
+				}
+				if !isMax {
+					v /= float32(k * k)
+				}
+				out.Set(v, c, oy, ox)
+			}
+		}
+	}
+	return out, nil
+}
+
+// forwardFC implements equation (4): each output neuron is the weighted sum
+// of all inputs plus an optional bias. The CHW input is flattened in
+// row-major order, matching both Caffe's inner-product layout and the
+// streaming order of the hardware datamover.
+func forwardFC(l *Layer, in *tensor.Tensor, shape Shape) (*tensor.Tensor, error) {
+	flat := in.Data()
+	if len(flat) != shape.Volume() {
+		return nil, fmt.Errorf("fc input volume %d, want %d", len(flat), shape.Volume())
+	}
+	out := tensor.New(l.OutputCount, 1, 1)
+	for o := 0; o < l.OutputCount; o++ {
+		var acc float32
+		if l.Bias != nil {
+			acc = l.Bias.At(o)
+		}
+		for h := 0; h < len(flat); h++ {
+			acc += l.Weights.At(o, h) * flat[h]
+		}
+		out.Set(acc, o, 0, 0)
+	}
+	return out, nil
+}
+
+// forwardSoftMax implements equation (5), optionally in log space. The max
+// is subtracted first for numerical stability; this does not change the
+// result since σ is shift-invariant.
+func forwardSoftMax(in *tensor.Tensor, logSpace bool) *tensor.Tensor {
+	out := tensor.New(in.Shape()...)
+	src, dst := in.Data(), out.Data()
+	max := float64(math.Inf(-1))
+	for _, v := range src {
+		if float64(v) > max {
+			max = float64(v)
+		}
+	}
+	var sum float64
+	for _, v := range src {
+		sum += math.Exp(float64(v) - max)
+	}
+	logSum := math.Log(sum)
+	for i, v := range src {
+		if logSpace {
+			dst[i] = float32(float64(v) - max - logSum)
+		} else {
+			dst[i] = float32(math.Exp(float64(v)-max) / sum)
+		}
+	}
+	return out
+}
+
+func mapUnary(in *tensor.Tensor, f func(float32) float32) *tensor.Tensor {
+	out := tensor.New(in.Shape()...)
+	src, dst := in.Data(), out.Data()
+	for i, v := range src {
+		dst[i] = f(v)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"condor/internal/tensor"
+)
+
+func TestIm2ColKnownValues(t *testing.T) {
+	in := tensor.FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	cols, err := Im2Col(in, Shape{1, 3, 3}, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols.Dim(0) != 4 || cols.Dim(1) != 4 {
+		t.Fatalf("im2col shape %v", cols.Shape())
+	}
+	// Row 0 is access (0,0) of each window: 1,2,4,5.
+	want := []float32{1, 2, 4, 5}
+	for j, v := range want {
+		if cols.At(0, j) != v {
+			t.Fatalf("im2col[0][%d] = %v, want %v", j, cols.At(0, j), v)
+		}
+	}
+	// Row 3 is access (1,1): 5,6,8,9.
+	want = []float32{5, 6, 8, 9}
+	for j, v := range want {
+		if cols.At(3, j) != v {
+			t.Fatalf("im2col[3][%d] = %v, want %v", j, cols.At(3, j), v)
+		}
+	}
+}
+
+func TestIm2ColPaddingZeros(t *testing.T) {
+	in := tensor.FromSlice([]float32{5}, 1, 1, 1)
+	cols, err := Im2Col(in, Shape{1, 1, 1}, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One window; only the centre access (1,1) = row 4 is non-zero.
+	for r := 0; r < 9; r++ {
+		want := float32(0)
+		if r == 4 {
+			want = 5
+		}
+		if cols.At(r, 0) != want {
+			t.Fatalf("im2col[%d][0] = %v, want %v", r, cols.At(r, 0), want)
+		}
+	}
+}
+
+func TestIm2ColErrors(t *testing.T) {
+	in := tensor.New(1, 2, 2)
+	if _, err := Im2Col(in, Shape{1, 2, 2}, 5, 1, 0); err == nil {
+		t.Fatal("expected window-too-large error")
+	}
+	if _, err := Im2Col(in, Shape{1, 4, 4}, 2, 1, 0); err == nil {
+		t.Fatal("expected volume-mismatch error")
+	}
+}
+
+func TestMatMulKnownValues(t *testing.T) {
+	a := tensor.FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := tensor.FromSlice([]float32{5, 6, 7, 8}, 2, 2)
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{19, 22, 43, 50}
+	for i, v := range want {
+		if c.Data()[i] != v {
+			t.Fatalf("matmul[%d] = %v, want %v", i, c.Data()[i], v)
+		}
+	}
+}
+
+func TestMatMulErrors(t *testing.T) {
+	if _, err := MatMul(tensor.New(2, 3), tensor.New(2, 2)); err == nil {
+		t.Fatal("expected inner-dim error")
+	}
+	if _, err := MatMul(tensor.New(4), tensor.New(2, 2)); err == nil {
+		t.Fatal("expected rank error")
+	}
+}
+
+// Property: the GEMM formulation computes the same network outputs as the
+// direct engine (exactly for FC, within reassociation noise for conv).
+func TestGEMMForwardMatchesDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(2) + 2
+		stride := rng.Intn(2) + 1
+		pad := rng.Intn(2)
+		n := &Network{
+			Name:  "gemm-prop",
+			Input: Shape{Channels: rng.Intn(2) + 1, Height: 9, Width: 9},
+		}
+		n.Layers = []*Layer{
+			randConv("c1", n.Input.Channels, rng.Intn(3)+1, k, stride, pad, true, seed),
+			{Name: "r1", Kind: ReLU},
+			{Name: "p1", Kind: MaxPool, Kernel: 2, Stride: 2},
+		}
+		s, err := n.ShapeAt(3)
+		if err != nil || s.Volume() <= 0 {
+			return true
+		}
+		n.Layers = append(n.Layers,
+			randFC("f1", s.Volume(), 5, true, seed+1),
+			&Layer{Name: "sm", Kind: SoftMax},
+		)
+		if err := n.Validate(); err != nil {
+			return true
+		}
+		in := tensor.New(n.Input.Channels, n.Input.Height, n.Input.Width)
+		in.FillRandom(rng, 1)
+		direct, err := n.Predict(in)
+		if err != nil {
+			return false
+		}
+		gemm, err := n.GEMMForward(in)
+		if err != nil {
+			return false
+		}
+		return tensor.AllClose(direct, gemm, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIm2ColWords(t *testing.T) {
+	l := &Layer{Kind: Conv, Kernel: 3, Stride: 1, Pad: 1, OutputCount: 8}
+	in := Shape{Channels: 4, Height: 8, Width: 8}
+	// 4*9 rows x 64 cols = 2304 — a 9x duplication of the 256-word input.
+	if got := Im2ColWords(l, in); got != 2304 {
+		t.Fatalf("im2col words = %d", got)
+	}
+}
+
+func TestGEMMForwardInputValidation(t *testing.T) {
+	n := smallNet(t)
+	if _, err := n.GEMMForward(tensor.New(1, 2, 2)); err == nil {
+		t.Fatal("expected input-shape error")
+	}
+}

@@ -1,0 +1,222 @@
+// Package nn defines the CNN layer and network abstractions used by the
+// Condor framework, together with a golden reference (CPU) forward pass that
+// the hardware fabric is validated against, shape inference implementing the
+// paper's equations (2) and (3), and per-layer FLOP accounting used by the
+// performance model.
+package nn
+
+import (
+	"fmt"
+
+	"condor/internal/tensor"
+)
+
+// Kind enumerates the layer types Condor supports. Convolutional and pooling
+// layers form the features-extraction stage; inner-product (fully-connected)
+// and softmax layers form the classification stage (the MLP).
+type Kind int
+
+const (
+	Conv Kind = iota
+	MaxPool
+	AvgPool
+	FullyConnected
+	ReLU
+	Sigmoid
+	TanH
+	LogSoftMax
+	SoftMax
+)
+
+// String returns the Caffe-style layer type name.
+func (k Kind) String() string {
+	switch k {
+	case Conv:
+		return "Convolution"
+	case MaxPool:
+		return "MaxPooling"
+	case AvgPool:
+		return "AvgPooling"
+	case FullyConnected:
+		return "InnerProduct"
+	case ReLU:
+		return "ReLU"
+	case Sigmoid:
+		return "Sigmoid"
+	case TanH:
+		return "TanH"
+	case LogSoftMax:
+		return "LogSoftMax"
+	case SoftMax:
+		return "Softmax"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// IsFeatureExtraction reports whether the layer belongs to the
+// features-extraction stage of the network (sliding-window layers).
+func (k Kind) IsFeatureExtraction() bool {
+	return k == Conv || k == MaxPool || k == AvgPool
+}
+
+// IsActivation reports whether the layer is a pointwise non-linearity. In the
+// hardware mapping these are folded into the producing PE rather than
+// instantiated as separate elements.
+func (k Kind) IsActivation() bool {
+	return k == ReLU || k == Sigmoid || k == TanH
+}
+
+// IsClassifier reports whether the layer belongs to the classification (MLP)
+// stage.
+func (k Kind) IsClassifier() bool {
+	return k == FullyConnected || k == LogSoftMax || k == SoftMax
+}
+
+// Shape describes a CHW feature-map volume flowing between layers.
+type Shape struct {
+	Channels int
+	Height   int
+	Width    int
+}
+
+// Volume returns the number of elements in the shape.
+func (s Shape) Volume() int { return s.Channels * s.Height * s.Width }
+
+func (s Shape) String() string {
+	return fmt.Sprintf("%dx%dx%d", s.Channels, s.Height, s.Width)
+}
+
+// Layer is one logical CNN layer. Weight tensors are attached for Conv
+// (shape [Out, In, K, K]) and FullyConnected (shape [Out, In]) layers; Bias
+// (shape [Out]) is optional and nil when absent.
+type Layer struct {
+	Name string
+	Kind Kind
+
+	// Convolution / pooling geometry. Kernel is the window side (the paper's
+	// ω_f = γ_f; Condor supports square windows, as both test networks and
+	// VGG-16 use them). Stride is the paper's ρ for pooling (and the
+	// convolution stride hyperparameter); Pad is symmetric zero padding.
+	Kernel int
+	Stride int
+	Pad    int
+
+	// OutputCount is F, the number of filters (Conv) or output neurons
+	// (FullyConnected).
+	OutputCount int
+
+	Weights *tensor.Tensor
+	Bias    *tensor.Tensor
+}
+
+// OutputShape implements the paper's shape equations. For convolutional
+// layers (eq. 2, generalised with stride and padding):
+//
+//	ω_new = (ω_old + 2·pad − ω_f)/stride + 1
+//
+// For sub-sampling layers (eq. 3) the same floor-division form applies with
+// ρ = Stride. Activation layers preserve the input shape; fully-connected
+// layers flatten to [OutputCount,1,1]; softmax preserves shape.
+func (l *Layer) OutputShape(in Shape) (Shape, error) {
+	switch l.Kind {
+	case Conv:
+		h := (in.Height+2*l.Pad-l.Kernel)/l.Stride + 1
+		w := (in.Width+2*l.Pad-l.Kernel)/l.Stride + 1
+		if l.Kernel > in.Height+2*l.Pad || l.Kernel > in.Width+2*l.Pad {
+			return Shape{}, fmt.Errorf("nn: layer %q kernel %d exceeds padded input %s", l.Name, l.Kernel, in)
+		}
+		return Shape{Channels: l.OutputCount, Height: h, Width: w}, nil
+	case MaxPool, AvgPool:
+		h := (in.Height+2*l.Pad-l.Kernel)/l.Stride + 1
+		w := (in.Width+2*l.Pad-l.Kernel)/l.Stride + 1
+		if l.Kernel > in.Height+2*l.Pad || l.Kernel > in.Width+2*l.Pad {
+			return Shape{}, fmt.Errorf("nn: layer %q window %d exceeds padded input %s", l.Name, l.Kernel, in)
+		}
+		return Shape{Channels: in.Channels, Height: h, Width: w}, nil
+	case FullyConnected:
+		return Shape{Channels: l.OutputCount, Height: 1, Width: 1}, nil
+	case ReLU, Sigmoid, TanH, LogSoftMax, SoftMax:
+		return in, nil
+	default:
+		return Shape{}, fmt.Errorf("nn: layer %q has unknown kind %v", l.Name, l.Kind)
+	}
+}
+
+// FLOPs returns the floating-point operation count of one forward evaluation
+// of the layer for the given input shape, counting a multiply-accumulate as
+// two operations (the GFLOPS convention used by the paper and by Caffeine).
+// Pooling comparisons/additions count one operation per window element;
+// activations one per element; softmax ~4 per element (exp, sum, div, log).
+func (l *Layer) FLOPs(in Shape) int64 {
+	out, err := l.OutputShape(in)
+	if err != nil {
+		return 0
+	}
+	switch l.Kind {
+	case Conv:
+		macs := int64(out.Height) * int64(out.Width) * int64(out.Channels) *
+			int64(in.Channels) * int64(l.Kernel) * int64(l.Kernel)
+		fl := 2 * macs
+		if l.Bias != nil {
+			fl += int64(out.Volume())
+		}
+		return fl
+	case MaxPool, AvgPool:
+		return int64(out.Volume()) * int64(l.Kernel) * int64(l.Kernel)
+	case FullyConnected:
+		macs := int64(l.OutputCount) * int64(in.Volume())
+		fl := 2 * macs
+		if l.Bias != nil {
+			fl += int64(l.OutputCount)
+		}
+		return fl
+	case ReLU, Sigmoid, TanH:
+		return int64(in.Volume())
+	case LogSoftMax, SoftMax:
+		return 4 * int64(in.Volume())
+	default:
+		return 0
+	}
+}
+
+// CheckWeights validates that the attached weight/bias tensors agree with the
+// layer geometry for the given input shape.
+func (l *Layer) CheckWeights(in Shape) error {
+	switch l.Kind {
+	case Conv:
+		if l.Weights == nil {
+			return fmt.Errorf("nn: conv layer %q missing weights", l.Name)
+		}
+		want := []int{l.OutputCount, in.Channels, l.Kernel, l.Kernel}
+		if !shapeEq(l.Weights.Shape(), want) {
+			return fmt.Errorf("nn: conv layer %q weights %v, want %v", l.Name, l.Weights.Shape(), want)
+		}
+	case FullyConnected:
+		if l.Weights == nil {
+			return fmt.Errorf("nn: fc layer %q missing weights", l.Name)
+		}
+		want := []int{l.OutputCount, in.Volume()}
+		if !shapeEq(l.Weights.Shape(), want) {
+			return fmt.Errorf("nn: fc layer %q weights %v, want %v", l.Name, l.Weights.Shape(), want)
+		}
+	default:
+		return nil
+	}
+	if l.Bias != nil && !shapeEq(l.Bias.Shape(), []int{l.OutputCount}) {
+		return fmt.Errorf("nn: layer %q bias %v, want [%d]", l.Name, l.Bias.Shape(), l.OutputCount)
+	}
+	return nil
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"fmt"
+
+	"condor/internal/tensor"
+)
+
+// Network is a linear chain of layers, the topology class Condor targets
+// (classic feed-forward CNNs: features extraction followed by an MLP).
+type Network struct {
+	Name   string
+	Input  Shape
+	Layers []*Layer
+}
+
+// Validate checks that the chain is well-formed: shapes propagate, weights
+// match geometry, and the features-extraction stage precedes the
+// classification stage (the structure in the paper's Figure 1).
+func (n *Network) Validate() error {
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("nn: network %q has no layers", n.Name)
+	}
+	if n.Input.Volume() <= 0 {
+		return fmt.Errorf("nn: network %q has empty input shape %v", n.Name, n.Input)
+	}
+	in := n.Input
+	seenClassifier := false
+	for _, l := range n.Layers {
+		if l.Kind.IsClassifier() {
+			seenClassifier = true
+		} else if seenClassifier && l.Kind.IsFeatureExtraction() {
+			return fmt.Errorf("nn: network %q: features-extraction layer %q after classification stage", n.Name, l.Name)
+		}
+		if l.Kind.IsFeatureExtraction() {
+			if l.Kernel <= 0 {
+				return fmt.Errorf("nn: layer %q has non-positive kernel %d", l.Name, l.Kernel)
+			}
+			if l.Stride <= 0 {
+				return fmt.Errorf("nn: layer %q has non-positive stride %d", l.Name, l.Stride)
+			}
+			if l.Pad < 0 {
+				return fmt.Errorf("nn: layer %q has negative padding %d", l.Name, l.Pad)
+			}
+		}
+		if err := l.CheckWeights(in); err != nil {
+			return err
+		}
+		out, err := l.OutputShape(in)
+		if err != nil {
+			return err
+		}
+		if out.Volume() <= 0 {
+			return fmt.Errorf("nn: layer %q produces empty output %v", l.Name, out)
+		}
+		in = out
+	}
+	return nil
+}
+
+// ShapeAt returns the input shape of layer i (ShapeAt(0) == Input) and, for
+// i == len(Layers), the network output shape.
+func (n *Network) ShapeAt(i int) (Shape, error) {
+	in := n.Input
+	for j := 0; j < i && j < len(n.Layers); j++ {
+		out, err := n.Layers[j].OutputShape(in)
+		if err != nil {
+			return Shape{}, err
+		}
+		in = out
+	}
+	return in, nil
+}
+
+// OutputShape returns the shape of the network output.
+func (n *Network) OutputShape() (Shape, error) { return n.ShapeAt(len(n.Layers)) }
+
+// TotalFLOPs returns the floating-point operations of one full forward pass.
+func (n *Network) TotalFLOPs() int64 {
+	var total int64
+	in := n.Input
+	for _, l := range n.Layers {
+		total += l.FLOPs(in)
+		out, err := l.OutputShape(in)
+		if err != nil {
+			return total
+		}
+		in = out
+	}
+	return total
+}
+
+// FeatureExtractionFLOPs returns the FLOPs of the features-extraction stage
+// only (convolutional and sub-sampling layers plus their fused activations),
+// the quantity Table 2 of the paper reports throughput for.
+func (n *Network) FeatureExtractionFLOPs() int64 {
+	var total int64
+	in := n.Input
+	for _, l := range n.Layers {
+		if l.Kind.IsFeatureExtraction() || (l.Kind.IsActivation() && !priorClassifier(n, l)) {
+			total += l.FLOPs(in)
+		}
+		out, err := l.OutputShape(in)
+		if err != nil {
+			return total
+		}
+		in = out
+	}
+	return total
+}
+
+// priorClassifier reports whether a classifier layer precedes l in the chain,
+// which marks activation layers as belonging to the MLP stage.
+func priorClassifier(n *Network, l *Layer) bool {
+	for _, x := range n.Layers {
+		if x == l {
+			return false
+		}
+		if x.Kind.IsClassifier() {
+			return true
+		}
+	}
+	return false
+}
+
+// Forward runs the golden reference forward pass on a single CHW input and
+// returns the activations after every layer (index i holds the output of
+// layer i). This is the correctness oracle for the hardware fabric.
+func (n *Network) Forward(in *tensor.Tensor) ([]*tensor.Tensor, error) {
+	if got, want := in.Shape(), (n.Input); len(got) != 3 || got[0] != want.Channels || got[1] != want.Height || got[2] != want.Width {
+		return nil, fmt.Errorf("nn: input shape %v, want %v", in.Shape(), want)
+	}
+	acts := make([]*tensor.Tensor, len(n.Layers))
+	cur := in
+	shape := n.Input
+	for i, l := range n.Layers {
+		out, err := forwardLayer(l, cur, shape)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d (%s): %w", i, l.Name, err)
+		}
+		acts[i] = out
+		shape, err = l.OutputShape(shape)
+		if err != nil {
+			return nil, err
+		}
+		cur = out
+	}
+	return acts, nil
+}
+
+// Predict runs a forward pass and returns only the final output tensor.
+func (n *Network) Predict(in *tensor.Tensor) (*tensor.Tensor, error) {
+	acts, err := n.Forward(in)
+	if err != nil {
+		return nil, err
+	}
+	return acts[len(acts)-1], nil
+}
+
+// FeatureLayers returns the indices of layers in the features-extraction
+// stage (sliding-window layers).
+func (n *Network) FeatureLayers() []int {
+	var idx []int
+	for i, l := range n.Layers {
+		if l.Kind.IsFeatureExtraction() {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// ClassifierLayers returns the indices of fully-connected layers.
+func (n *Network) ClassifierLayers() []int {
+	var idx []int
+	for i, l := range n.Layers {
+		if l.Kind == FullyConnected {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// LayerByName returns the first layer with the given name, or nil.
+func (n *Network) LayerByName(name string) *Layer {
+	for _, l := range n.Layers {
+		if l.Name == name {
+			return l
+		}
+	}
+	return nil
+}

@@ -1,0 +1,427 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"condor/internal/tensor"
+)
+
+// randConv builds a convolutional layer with seeded random weights.
+func randConv(name string, inC, outC, k, stride, pad int, bias bool, seed int64) *Layer {
+	rng := rand.New(rand.NewSource(seed))
+	w := tensor.New(outC, inC, k, k)
+	w.FillRandom(rng, 0.5)
+	l := &Layer{Name: name, Kind: Conv, Kernel: k, Stride: stride, Pad: pad, OutputCount: outC, Weights: w}
+	if bias {
+		b := tensor.New(outC)
+		b.FillRandom(rng, 0.5)
+		l.Bias = b
+	}
+	return l
+}
+
+func randFC(name string, in, out int, bias bool, seed int64) *Layer {
+	rng := rand.New(rand.NewSource(seed))
+	w := tensor.New(out, in)
+	w.FillRandom(rng, 0.5)
+	l := &Layer{Name: name, Kind: FullyConnected, OutputCount: out, Weights: w}
+	if bias {
+		b := tensor.New(out)
+		b.FillRandom(rng, 0.5)
+		l.Bias = b
+	}
+	return l
+}
+
+func TestConvOutputShapeEq2(t *testing.T) {
+	// Paper eq. (2): ω_new = ω_old − ω_f + 1 for stride 1, no padding.
+	l := &Layer{Name: "c", Kind: Conv, Kernel: 5, Stride: 1, OutputCount: 3}
+	out, err := l.OutputShape(Shape{Channels: 2, Height: 16, Width: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != (Shape{Channels: 3, Height: 12, Width: 8}) {
+		t.Fatalf("conv output %v", out)
+	}
+}
+
+func TestPoolOutputShapeEq3(t *testing.T) {
+	// Paper eq. (3): ω_new = floor((ω_old − ω_f)/ρ) + 1.
+	l := &Layer{Name: "p", Kind: MaxPool, Kernel: 2, Stride: 2}
+	out, err := l.OutputShape(Shape{Channels: 4, Height: 13, Width: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != (Shape{Channels: 4, Height: 6, Width: 6}) {
+		t.Fatalf("pool output %v", out)
+	}
+}
+
+func TestConvWithPaddingAndStride(t *testing.T) {
+	l := &Layer{Name: "c", Kind: Conv, Kernel: 3, Stride: 2, Pad: 1, OutputCount: 1}
+	out, err := l.OutputShape(Shape{Channels: 1, Height: 7, Width: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Height != 4 || out.Width != 4 {
+		t.Fatalf("padded strided conv output %v, want 4x4", out)
+	}
+}
+
+func TestKernelTooLarge(t *testing.T) {
+	l := &Layer{Name: "c", Kind: Conv, Kernel: 9, Stride: 1, OutputCount: 1}
+	if _, err := l.OutputShape(Shape{Channels: 1, Height: 5, Width: 5}); err == nil {
+		t.Fatal("expected error for kernel larger than input")
+	}
+}
+
+func TestConvForwardKnownValues(t *testing.T) {
+	// 1x3x3 input, single 2x2 filter of ones, bias 10: output is the sum of
+	// each 2x2 window plus 10.
+	in := tensor.FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	w := tensor.FromSlice([]float32{1, 1, 1, 1}, 1, 1, 2, 2)
+	b := tensor.FromSlice([]float32{10}, 1)
+	l := &Layer{Name: "c", Kind: Conv, Kernel: 2, Stride: 1, OutputCount: 1, Weights: w, Bias: b}
+	out, err := forwardLayer(l, in, Shape{1, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{22, 26, 34, 38}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Data()[i], v)
+		}
+	}
+}
+
+func TestConvMultiChannelSumsChannels(t *testing.T) {
+	in := tensor.New(2, 2, 2)
+	in.Fill(1)
+	w := tensor.New(1, 2, 2, 2)
+	w.Fill(1)
+	l := &Layer{Name: "c", Kind: Conv, Kernel: 2, Stride: 1, OutputCount: 1, Weights: w}
+	out, err := forwardLayer(l, in, Shape{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.At(0, 0, 0); got != 8 {
+		t.Fatalf("multi-channel conv = %v, want 8 (2 channels x 4 window)", got)
+	}
+}
+
+func TestConvZeroPaddingReadsZero(t *testing.T) {
+	in := tensor.FromSlice([]float32{5}, 1, 1, 1)
+	w := tensor.New(1, 1, 3, 3)
+	w.Fill(1)
+	l := &Layer{Name: "c", Kind: Conv, Kernel: 3, Stride: 1, Pad: 1, OutputCount: 1, Weights: w}
+	out, err := forwardLayer(l, in, Shape{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.At(0, 0, 0); got != 5 {
+		t.Fatalf("padded conv = %v, want 5 (only centre non-zero)", got)
+	}
+}
+
+func TestMaxPoolForward(t *testing.T) {
+	in := tensor.FromSlice([]float32{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		-1, -2, 0, 0,
+		-3, -4, 0, 9,
+	}, 1, 4, 4)
+	l := &Layer{Name: "p", Kind: MaxPool, Kernel: 2, Stride: 2}
+	out, err := forwardLayer(l, in, Shape{1, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{4, 8, -1, 9}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("maxpool[%d] = %v, want %v", i, out.Data()[i], v)
+		}
+	}
+}
+
+func TestAvgPoolForward(t *testing.T) {
+	in := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	l := &Layer{Name: "p", Kind: AvgPool, Kernel: 2, Stride: 2}
+	out, err := forwardLayer(l, in, Shape{1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0, 0) != 2.5 {
+		t.Fatalf("avgpool = %v, want 2.5", out.At(0, 0, 0))
+	}
+}
+
+func TestFCForwardEq4(t *testing.T) {
+	in := tensor.FromSlice([]float32{1, 2, 3}, 3, 1, 1)
+	w := tensor.FromSlice([]float32{
+		1, 0, 0,
+		1, 1, 1,
+	}, 2, 3)
+	b := tensor.FromSlice([]float32{0, 10}, 2)
+	l := &Layer{Name: "fc", Kind: FullyConnected, OutputCount: 2, Weights: w, Bias: b}
+	out, err := forwardLayer(l, in, Shape{3, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0, 0) != 1 || out.At(1, 0, 0) != 16 {
+		t.Fatalf("fc outputs %v %v, want 1 16", out.At(0, 0, 0), out.At(1, 0, 0))
+	}
+}
+
+func TestActivations(t *testing.T) {
+	in := tensor.FromSlice([]float32{-2, 0, 3}, 3, 1, 1)
+	relu, _ := forwardLayer(&Layer{Kind: ReLU}, in, Shape{3, 1, 1})
+	if relu.At(0, 0, 0) != 0 || relu.At(2, 0, 0) != 3 {
+		t.Fatal("relu wrong")
+	}
+	sig, _ := forwardLayer(&Layer{Kind: Sigmoid}, in, Shape{3, 1, 1})
+	if math.Abs(float64(sig.At(1, 0, 0))-0.5) > 1e-7 {
+		t.Fatal("sigmoid(0) != 0.5")
+	}
+	th, _ := forwardLayer(&Layer{Kind: TanH}, in, Shape{3, 1, 1})
+	if math.Abs(float64(th.At(2, 0, 0))-math.Tanh(3)) > 1e-6 {
+		t.Fatal("tanh wrong")
+	}
+}
+
+func TestSoftMaxSumsToOne(t *testing.T) {
+	in := tensor.FromSlice([]float32{1, 2, 3, 4}, 4, 1, 1)
+	out, _ := forwardLayer(&Layer{Kind: SoftMax}, in, Shape{4, 1, 1})
+	var sum float64
+	for _, v := range out.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("softmax value %v outside [0,1]", v)
+		}
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("softmax sum = %v, want 1", sum)
+	}
+}
+
+func TestLogSoftMaxMatchesLogOfSoftMax(t *testing.T) {
+	in := tensor.FromSlice([]float32{0.5, -1, 2}, 3, 1, 1)
+	sm, _ := forwardLayer(&Layer{Kind: SoftMax}, in, Shape{3, 1, 1})
+	lsm, _ := forwardLayer(&Layer{Kind: LogSoftMax}, in, Shape{3, 1, 1})
+	for i := range sm.Data() {
+		if math.Abs(math.Log(float64(sm.Data()[i]))-float64(lsm.Data()[i])) > 1e-6 {
+			t.Fatalf("logsoftmax[%d] mismatch", i)
+		}
+	}
+}
+
+func TestSoftMaxStableForLargeInputs(t *testing.T) {
+	in := tensor.FromSlice([]float32{1000, 1001, 1002}, 3, 1, 1)
+	out, _ := forwardLayer(&Layer{Kind: SoftMax}, in, Shape{3, 1, 1})
+	for _, v := range out.Data() {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("softmax overflowed on large inputs")
+		}
+	}
+}
+
+func smallNet(t *testing.T) *Network {
+	t.Helper()
+	n := &Network{
+		Name:  "tiny",
+		Input: Shape{Channels: 1, Height: 8, Width: 8},
+		Layers: []*Layer{
+			randConv("conv1", 1, 2, 3, 1, 0, true, 1),
+			{Name: "relu1", Kind: ReLU},
+			{Name: "pool1", Kind: MaxPool, Kernel: 2, Stride: 2},
+			randFC("fc1", 2*3*3, 4, true, 2),
+			{Name: "prob", Kind: LogSoftMax},
+		},
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNetworkForwardShapes(t *testing.T) {
+	n := smallNet(t)
+	in := tensor.New(1, 8, 8)
+	in.FillRandom(rand.New(rand.NewSource(3)), 1)
+	acts, err := n.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 5 {
+		t.Fatalf("got %d activations", len(acts))
+	}
+	if got := acts[2].Shape(); got[0] != 2 || got[1] != 3 || got[2] != 3 {
+		t.Fatalf("pool1 output %v, want [2 3 3]", got)
+	}
+	if got := acts[4].Shape(); got[0] != 4 {
+		t.Fatalf("final output %v", got)
+	}
+}
+
+func TestNetworkValidateRejectsBadWeights(t *testing.T) {
+	n := smallNet(t)
+	n.Layers[0].Weights = tensor.New(2, 1, 4, 4) // wrong kernel size
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected weight-shape validation error")
+	}
+}
+
+func TestNetworkValidateRejectsConvAfterFC(t *testing.T) {
+	n := &Network{
+		Name:  "bad",
+		Input: Shape{1, 8, 8},
+		Layers: []*Layer{
+			randFC("fc", 64, 4, false, 1),
+			randConv("conv", 4, 2, 1, 1, 0, false, 2),
+		},
+	}
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected stage-ordering validation error")
+	}
+}
+
+func TestNetworkValidateRejectsEmpty(t *testing.T) {
+	if err := (&Network{Name: "e", Input: Shape{1, 4, 4}}).Validate(); err == nil {
+		t.Fatal("expected error for empty network")
+	}
+}
+
+func TestFLOPCounting(t *testing.T) {
+	// conv: 2*OutH*OutW*OutC*InC*K*K + bias adds.
+	l := randConv("c", 3, 8, 5, 1, 0, true, 1)
+	in := Shape{Channels: 3, Height: 12, Width: 12}
+	want := int64(2*8*8*8*3*5*5 + 8*8*8)
+	if got := l.FLOPs(in); got != want {
+		t.Fatalf("conv FLOPs = %d, want %d", got, want)
+	}
+	fc := randFC("f", 100, 10, false, 1)
+	if got := fc.FLOPs(Shape{100, 1, 1}); got != 2000 {
+		t.Fatalf("fc FLOPs = %d, want 2000", got)
+	}
+}
+
+func TestFeatureExtractionFLOPsExcludesMLP(t *testing.T) {
+	n := smallNet(t)
+	fe := n.FeatureExtractionFLOPs()
+	total := n.TotalFLOPs()
+	if fe >= total {
+		t.Fatalf("feature FLOPs %d should be < total %d", fe, total)
+	}
+	// conv1 + relu1 + pool1 only.
+	want := n.Layers[0].FLOPs(Shape{1, 8, 8}) + n.Layers[1].FLOPs(Shape{2, 6, 6}) + n.Layers[2].FLOPs(Shape{2, 6, 6})
+	if fe != want {
+		t.Fatalf("feature FLOPs = %d, want %d", fe, want)
+	}
+}
+
+func TestShapeAt(t *testing.T) {
+	n := smallNet(t)
+	s, err := n.ShapeAt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != (Shape{Channels: 2, Height: 3, Width: 3}) {
+		t.Fatalf("ShapeAt(3) = %v", s)
+	}
+	out, err := n.OutputShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Channels != 4 {
+		t.Fatalf("output shape %v", out)
+	}
+}
+
+func TestLayerIndexHelpers(t *testing.T) {
+	n := smallNet(t)
+	if got := n.FeatureLayers(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("FeatureLayers = %v", got)
+	}
+	if got := n.ClassifierLayers(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("ClassifierLayers = %v", got)
+	}
+	if n.LayerByName("pool1") == nil || n.LayerByName("nope") != nil {
+		t.Fatal("LayerByName wrong")
+	}
+}
+
+// Property: shape equations (2) and (3) agree with directly counting the
+// number of valid window positions.
+func TestShapeEquationsMatchWindowCount(t *testing.T) {
+	f := func(hRaw, kRaw, sRaw uint8) bool {
+		h := int(hRaw%30) + 1
+		k := int(kRaw%5) + 1
+		s := int(sRaw%3) + 1
+		if k > h {
+			return true // not a valid configuration
+		}
+		count := 0
+		for y := 0; y+k <= h; y += s {
+			count++
+		}
+		l := &Layer{Kind: MaxPool, Kernel: k, Stride: s}
+		out, err := l.OutputShape(Shape{Channels: 1, Height: h, Width: h})
+		if err != nil {
+			return false
+		}
+		return out.Height == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a stride-1 convolution with a one-hot kernel reproduces a shifted
+// copy of the input (the identity of convolution).
+func TestConvOneHotKernelShifts(t *testing.T) {
+	f := func(seed int64, dyRaw, dxRaw uint8) bool {
+		k := 3
+		dy, dx := int(dyRaw%3), int(dxRaw%3)
+		w := tensor.New(1, 1, k, k)
+		w.Set(1, 0, 0, dy, dx)
+		l := &Layer{Kind: Conv, Kernel: k, Stride: 1, OutputCount: 1, Weights: w}
+		in := tensor.New(1, 6, 6)
+		in.FillRandom(rand.New(rand.NewSource(seed)), 1)
+		out, err := forwardLayer(l, in, Shape{1, 6, 6})
+		if err != nil {
+			return false
+		}
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				if out.At(0, y, x) != in.At(0, y+dy, x+dx) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindStringsAndStages(t *testing.T) {
+	if Conv.String() != "Convolution" || FullyConnected.String() != "InnerProduct" {
+		t.Fatal("kind names wrong")
+	}
+	if !Conv.IsFeatureExtraction() || !AvgPool.IsFeatureExtraction() || FullyConnected.IsFeatureExtraction() {
+		t.Fatal("feature-extraction classification wrong")
+	}
+	if !ReLU.IsActivation() || Conv.IsActivation() {
+		t.Fatal("activation classification wrong")
+	}
+	if !FullyConnected.IsClassifier() || !LogSoftMax.IsClassifier() || Conv.IsClassifier() {
+		t.Fatal("classifier classification wrong")
+	}
+}

@@ -1,0 +1,179 @@
+package onnx
+
+import (
+	"fmt"
+
+	"condor/internal/nn"
+	"condor/internal/proto"
+)
+
+// Encode serialises an nn.Network as a binary ONNX model (opset 9 layout:
+// Conv/MaxPool/AveragePool/Gemm/activations over a linear chain, with a
+// Flatten before the first Gemm). The output parses back with Parse and is
+// wire-compatible with standard ONNX tooling for this operator subset.
+func Encode(net *nn.Network) ([]byte, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	var graph []byte
+	graph = proto.AppendStringField(graph, graphName, net.Name)
+
+	inputName := "data"
+	cur := inputName
+	flattened := false
+	var nodes [][]byte
+	var inits [][]byte
+
+	shape := net.Input
+	for i, l := range net.Layers {
+		outName := fmt.Sprintf("t%d", i)
+		if i == len(net.Layers)-1 {
+			outName = "output"
+		}
+		var node []byte
+		switch l.Kind {
+		case nn.Conv:
+			wName := l.Name + ".W"
+			inits = append(inits, encodeTensor(wName, l.Weights.Shape(), l.Weights.Data()))
+			ins := []string{cur, wName}
+			if l.Bias != nil {
+				bName := l.Name + ".B"
+				inits = append(inits, encodeTensor(bName, l.Bias.Shape(), l.Bias.Data()))
+				ins = append(ins, bName)
+			}
+			node = encodeNode(l.Name, "Conv", ins, []string{outName}, []attrSpec{
+				{name: "kernel_shape", ints: []int64{int64(l.Kernel), int64(l.Kernel)}},
+				{name: "strides", ints: []int64{int64(l.Stride), int64(l.Stride)}},
+				{name: "pads", ints: []int64{int64(l.Pad), int64(l.Pad), int64(l.Pad), int64(l.Pad)}},
+			})
+		case nn.MaxPool, nn.AvgPool:
+			op := "MaxPool"
+			if l.Kind == nn.AvgPool {
+				op = "AveragePool"
+			}
+			node = encodeNode(l.Name, op, []string{cur}, []string{outName}, []attrSpec{
+				{name: "kernel_shape", ints: []int64{int64(l.Kernel), int64(l.Kernel)}},
+				{name: "strides", ints: []int64{int64(l.Stride), int64(l.Stride)}},
+				{name: "pads", ints: []int64{int64(l.Pad), int64(l.Pad), int64(l.Pad), int64(l.Pad)}},
+			})
+		case nn.FullyConnected:
+			if !flattened {
+				flatOut := fmt.Sprintf("flat%d", i)
+				nodes = append(nodes, encodeNode("flatten_"+l.Name, "Flatten", []string{cur}, []string{flatOut}, nil))
+				cur = flatOut
+				flattened = true
+			}
+			wName := l.Name + ".W"
+			inits = append(inits, encodeTensor(wName, l.Weights.Shape(), l.Weights.Data()))
+			ins := []string{cur, wName}
+			if l.Bias != nil {
+				bName := l.Name + ".B"
+				inits = append(inits, encodeTensor(bName, l.Bias.Shape(), l.Bias.Data()))
+				ins = append(ins, bName)
+			}
+			node = encodeNode(l.Name, "Gemm", ins, []string{outName}, []attrSpec{
+				{name: "transB", i: 1, isInt: true},
+			})
+		case nn.ReLU:
+			node = encodeNode(l.Name, "Relu", []string{cur}, []string{outName}, nil)
+		case nn.Sigmoid:
+			node = encodeNode(l.Name, "Sigmoid", []string{cur}, []string{outName}, nil)
+		case nn.TanH:
+			node = encodeNode(l.Name, "Tanh", []string{cur}, []string{outName}, nil)
+		case nn.SoftMax:
+			node = encodeNode(l.Name, "Softmax", []string{cur}, []string{outName}, nil)
+		case nn.LogSoftMax:
+			node = encodeNode(l.Name, "LogSoftmax", []string{cur}, []string{outName}, nil)
+		default:
+			return nil, fmt.Errorf("onnx: cannot encode layer kind %v", l.Kind)
+		}
+		nodes = append(nodes, node)
+		cur = outName
+		var err error
+		shape, err = l.OutputShape(shape)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for _, n := range nodes {
+		graph = proto.AppendBytesField(graph, graphNode, n)
+	}
+	for _, t := range inits {
+		graph = proto.AppendBytesField(graph, graphInitializer, t)
+	}
+	graph = proto.AppendBytesField(graph, graphInput,
+		encodeValueInfo(inputName, []int{1, net.Input.Channels, net.Input.Height, net.Input.Width}))
+	graph = proto.AppendBytesField(graph, graphOutput,
+		encodeValueInfo("output", []int{1, shape.Channels, shape.Height, shape.Width}))
+
+	var model []byte
+	model = proto.AppendVarintField(model, modelIRVersion, 3)
+	model = proto.AppendStringField(model, modelProducer, "condor")
+	var opset []byte
+	opset = proto.AppendStringField(opset, opsetDomain, "")
+	opset = proto.AppendVarintField(opset, opsetVersion, 9)
+	model = proto.AppendBytesField(model, modelOpset, opset)
+	model = proto.AppendBytesField(model, modelGraph, graph)
+	return model, nil
+}
+
+type attrSpec struct {
+	name  string
+	ints  []int64
+	i     int64
+	isInt bool
+}
+
+func encodeNode(name, op string, inputs, outputs []string, attrs []attrSpec) []byte {
+	var b []byte
+	for _, in := range inputs {
+		b = proto.AppendStringField(b, nodeInput, in)
+	}
+	for _, out := range outputs {
+		b = proto.AppendStringField(b, nodeOutput, out)
+	}
+	b = proto.AppendStringField(b, nodeName, name)
+	b = proto.AppendStringField(b, nodeOpType, op)
+	for _, a := range attrs {
+		var ab []byte
+		ab = proto.AppendStringField(ab, attrName, a.name)
+		if a.isInt {
+			ab = proto.AppendVarintField(ab, attrI, uint64(a.i))
+		}
+		for _, v := range a.ints {
+			ab = proto.AppendVarintField(ab, attrInts, uint64(v))
+		}
+		b = proto.AppendBytesField(b, nodeAttribute, ab)
+	}
+	return b
+}
+
+func encodeTensor(name string, dims []int, data []float32) []byte {
+	var b []byte
+	for _, d := range dims {
+		b = proto.AppendVarintField(b, tensorDims, uint64(d))
+	}
+	b = proto.AppendVarintField(b, tensorDataType, dataTypeFloat)
+	b = proto.AppendPackedFloats(b, tensorFloatData, data)
+	b = proto.AppendStringField(b, tensorName, name)
+	return b
+}
+
+func encodeValueInfo(name string, dims []int) []byte {
+	var shapeB []byte
+	for _, d := range dims {
+		var dim []byte
+		dim = proto.AppendVarintField(dim, dimValue, uint64(d))
+		shapeB = proto.AppendBytesField(shapeB, shapeDim, dim)
+	}
+	var tt []byte
+	tt = proto.AppendVarintField(tt, tensorTypeElem, dataTypeFloat)
+	tt = proto.AppendBytesField(tt, tensorTypeShape, shapeB)
+	var tp []byte
+	tp = proto.AppendBytesField(tp, typeTensorType, tt)
+	var vi []byte
+	vi = proto.AppendStringField(vi, valueInfoName, name)
+	vi = proto.AppendBytesField(vi, valueInfoType, tp)
+	return vi
+}

@@ -1,0 +1,46 @@
+package onnx
+
+import (
+	"testing"
+
+	"condor/internal/proto"
+)
+
+// Test-only helpers for hand-building ONNX wire messages.
+
+func appendBytes(b []byte, num int, payload []byte) []byte {
+	return proto.AppendBytesField(b, num, payload)
+}
+
+func appendString(b []byte, num int, s string) []byte {
+	return proto.AppendStringField(b, num, s)
+}
+
+func appendVarint(b []byte, num int, v uint64) []byte {
+	return proto.AppendVarintField(b, num, v)
+}
+
+// appendTestGraphHeader starts a graph with a name and a data input of the
+// given NCHW shape.
+func appendTestGraphHeader(graph *[]byte, name string, inputShape []int) []byte {
+	g := proto.AppendStringField(*graph, graphName, name)
+	g = proto.AppendBytesField(g, graphInput, encodeValueInfo("data", inputShape))
+	return g
+}
+
+// wrapGraph wraps graph bytes in a minimal ModelProto.
+func wrapGraph(graph []byte) []byte {
+	var model []byte
+	model = proto.AppendVarintField(model, modelIRVersion, 3)
+	model = proto.AppendBytesField(model, modelGraph, graph)
+	return model
+}
+
+func decodeMsg(t *testing.T, b []byte) proto.Message {
+	t.Helper()
+	msg, err := proto.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return msg
+}

@@ -1,0 +1,84 @@
+package perf
+
+import "condor/internal/sim"
+
+// SimulateBatchBounded models the pipeline with bounded inter-stage
+// buffering: each stage boundary holds at most skid images, and a stage
+// that finishes while the next boundary is full blocks (exactly the
+// back-pressure of the fabric's blocking FIFO writes). skid → ∞ recovers
+// SimulateBatch; skid = 0 degenerates to lock-step handoff. Used to study
+// how inter-PE FIFO sizing affects the Figure 5 curves.
+func SimulateBatchBounded(stages []Stage, batch, skid int) int64 {
+	if batch <= 0 || len(stages) == 0 {
+		return 0
+	}
+	if skid < 0 {
+		skid = 0
+	}
+	eng := sim.New()
+	n := len(stages)
+	queue := make([]int, n)     // images waiting at each stage's input
+	busy := make([]bool, n)     // stage is processing
+	doneHeld := make([]bool, n) // finished image blocked on a full boundary
+	remaining := batch
+	var finishTime int64
+
+	// capacity of a stage's input boundary (the image in service does not
+	// occupy a buffer slot).
+	capOf := func(int) int { return skid + 1 }
+
+	var tryStart func(s int)
+	var tryAdvance func(s int)
+
+	// tryFeed pushes source images into stage 0's boundary while there is
+	// room.
+	tryFeed := func() {
+		for remaining > 0 && queue[0] < capOf(0) {
+			queue[0]++
+			remaining--
+			tryStart(0)
+		}
+	}
+
+	tryStart = func(s int) {
+		if busy[s] || doneHeld[s] || queue[s] == 0 {
+			return
+		}
+		queue[s]--
+		busy[s] = true
+		if s == 0 {
+			tryFeed()
+		} else {
+			// Space opened at boundary s: a blocked upstream stage can move.
+			tryAdvance(s - 1)
+		}
+		eng.Schedule(stages[s].Cycles, func() {
+			busy[s] = false
+			doneHeld[s] = true
+			tryAdvance(s)
+		})
+	}
+
+	tryAdvance = func(s int) {
+		if !doneHeld[s] {
+			return
+		}
+		if s == n-1 {
+			doneHeld[s] = false
+			finishTime = eng.Now()
+			tryStart(s)
+			return
+		}
+		if queue[s+1] >= capOf(s+1) {
+			return // blocked: retried when the boundary drains
+		}
+		doneHeld[s] = false
+		queue[s+1]++
+		tryStart(s + 1)
+		tryStart(s)
+	}
+
+	tryFeed()
+	eng.Run()
+	return finishTime
+}

@@ -1,0 +1,74 @@
+package perf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundedLargeSkidMatchesUnbounded(t *testing.T) {
+	f := func(seed int64, nRaw, bRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%5) + 1
+		b := int(bRaw%10) + 1
+		stages := make([]Stage, n)
+		for i := range stages {
+			stages[i] = Stage{Cycles: int64(rng.Intn(50) + 1)}
+		}
+		// A skid of batch images can never block.
+		return SimulateBatchBounded(stages, b, b+1) == SimulateBatch(stages, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedMonotoneInSkid(t *testing.T) {
+	stages := []Stage{{Cycles: 10}, {Cycles: 50}, {Cycles: 10}, {Cycles: 30}}
+	batch := 12
+	prev := SimulateBatchBounded(stages, batch, 0)
+	for skid := 1; skid <= 4; skid++ {
+		cur := SimulateBatchBounded(stages, batch, skid)
+		if cur > prev {
+			t.Fatalf("skid %d total %d exceeds skid %d total %d", skid, cur, skid-1, prev)
+		}
+		prev = cur
+	}
+	if prev != SimulateBatch(stages, batch) {
+		t.Fatalf("large skid %d should converge to unbounded %d", prev, SimulateBatch(stages, batch))
+	}
+}
+
+func TestBoundedZeroSkidBalancedPipeline(t *testing.T) {
+	// With equal stage times, even lock-step handoff achieves the ideal
+	// pipeline schedule.
+	stages := []Stage{{Cycles: 10}, {Cycles: 10}, {Cycles: 10}}
+	if got, want := SimulateBatchBounded(stages, 4, 0), SimulateBatch(stages, 4); got != want {
+		t.Fatalf("balanced lock-step %d, want %d", got, want)
+	}
+}
+
+func TestBoundedBackpressureSlowsUnbalancedPipeline(t *testing.T) {
+	// A slow middle stage with no skid forces the fast producer to stall
+	// beyond what unbounded buffering would show... the bottleneck still
+	// dominates, so totals match on a 3-stage pipe; use a shape where
+	// post-bottleneck imbalance matters.
+	stages := []Stage{{Cycles: 30}, {Cycles: 5}, {Cycles: 30}, {Cycles: 5}, {Cycles: 30}}
+	unbounded := SimulateBatch(stages, 16)
+	locked := SimulateBatchBounded(stages, 16, 0)
+	if locked < unbounded {
+		t.Fatalf("lock-step %d cannot beat unbounded %d", locked, unbounded)
+	}
+}
+
+func TestBoundedEdgeCases(t *testing.T) {
+	if SimulateBatchBounded(nil, 4, 1) != 0 {
+		t.Fatal("no stages should return 0")
+	}
+	if SimulateBatchBounded([]Stage{{Cycles: 5}}, 0, 1) != 0 {
+		t.Fatal("no images should return 0")
+	}
+	if got := SimulateBatchBounded([]Stage{{Cycles: 5}}, 3, -2); got != 15 {
+		t.Fatalf("negative skid clamps to 0: %d", got)
+	}
+}

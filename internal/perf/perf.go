@@ -1,0 +1,167 @@
+// Package perf models the performance of a Condor accelerator: the
+// high-level pipeline formed by the concurrently-active PEs is simulated at
+// image granularity on the discrete-event kernel, using the per-PE cycle
+// model shared with the functional fabric. This layer produces the paper's
+// evaluation quantities: mean time per image versus batch size (Figure 5)
+// and steady-state GFLOPS (Tables 1 and 2).
+package perf
+
+import (
+	"fmt"
+
+	"condor/internal/dataflow"
+	"condor/internal/sim"
+)
+
+// Stage is one pipeline stage: a PE with its per-image service time.
+type Stage struct {
+	Name   string
+	Cycles int64
+}
+
+// Stages maps every PE of the spec to a pipeline stage.
+func Stages(spec *dataflow.Spec) []Stage {
+	out := make([]Stage, len(spec.PEs))
+	for i, pe := range spec.PEs {
+		out[i] = Stage{Name: pe.ID, Cycles: dataflow.PECyclesPerImage(pe)}
+	}
+	return out
+}
+
+// FeatureStages returns only the features-extraction PEs' stages — the
+// sub-pipeline whose throughput Table 2 of the paper reports.
+func FeatureStages(spec *dataflow.Spec) []Stage {
+	var out []Stage
+	for _, pe := range spec.PEs {
+		if pe.IsFeatureExtraction() {
+			out = append(out, Stage{Name: pe.ID, Cycles: dataflow.PECyclesPerImage(pe)})
+		}
+	}
+	return out
+}
+
+// Bottleneck returns the largest stage time: the steady-state initiation
+// interval of the pipeline.
+func Bottleneck(stages []Stage) int64 {
+	var max int64
+	for _, s := range stages {
+		if s.Cycles > max {
+			max = s.Cycles
+		}
+	}
+	return max
+}
+
+// SimulateBatch runs the image-granular pipeline on the discrete-event
+// kernel: every stage is a single-occupancy server, images enter
+// back-to-back, and image b starts stage s once it has left stage s-1 and
+// stage s is free. It returns the cycle at which the last image leaves the
+// last stage.
+func SimulateBatch(stages []Stage, batch int) int64 {
+	if batch <= 0 || len(stages) == 0 {
+		return 0
+	}
+	eng := sim.New()
+	servers := make([]*sim.Server, len(stages))
+	for i := range stages {
+		servers[i] = sim.NewServer(eng)
+	}
+	var finish int64
+	// advance moves an image into stage s; at the last stage it records the
+	// completion time.
+	var advance func(img, s int)
+	advance = func(img, s int) {
+		servers[s].Submit(stages[s].Cycles, func() {
+			if s+1 < len(stages) {
+				advance(img, s+1)
+			} else {
+				finish = eng.Now()
+			}
+		})
+	}
+	for img := 0; img < batch; img++ {
+		advance(img, 0)
+	}
+	eng.Run()
+	return finish
+}
+
+// BatchCyclesClosedForm computes the same quantity via the classic
+// heterogeneous-pipeline recurrence
+//
+//	t[b][s] = max(t[b-1][s], t[b][s-1]) + T[s]
+//
+// used to cross-check the discrete-event simulation.
+func BatchCyclesClosedForm(stages []Stage, batch int) int64 {
+	if batch <= 0 || len(stages) == 0 {
+		return 0
+	}
+	prev := make([]int64, len(stages)) // t[b-1][s]
+	for b := 0; b < batch; b++ {
+		var left int64 // t[b][s-1]
+		for s := range stages {
+			start := left
+			if prev[s] > start {
+				start = prev[s]
+			}
+			left = start + stages[s].Cycles
+			prev[s] = left
+		}
+	}
+	return prev[len(stages)-1]
+}
+
+// BatchPoint is one sample of the Figure 5 curve.
+type BatchPoint struct {
+	Batch          int
+	TotalCycles    int64
+	MeanMsPerImage float64
+}
+
+// BatchCurve evaluates the mean processing time per image for each batch
+// size at the given clock — the series of the paper's Figure 5.
+func BatchCurve(stages []Stage, freqMHz float64, batches []int) ([]BatchPoint, error) {
+	if freqMHz <= 0 {
+		return nil, fmt.Errorf("perf: non-positive frequency %v", freqMHz)
+	}
+	out := make([]BatchPoint, 0, len(batches))
+	for _, b := range batches {
+		if b <= 0 {
+			return nil, fmt.Errorf("perf: non-positive batch size %d", b)
+		}
+		total := SimulateBatch(stages, b)
+		out = append(out, BatchPoint{
+			Batch:          b,
+			TotalCycles:    total,
+			MeanMsPerImage: CyclesToMs(total, freqMHz) / float64(b),
+		})
+	}
+	return out, nil
+}
+
+// CyclesToMs converts a cycle count at freqMHz to milliseconds.
+func CyclesToMs(cycles int64, freqMHz float64) float64 {
+	return float64(cycles) / (freqMHz * 1e3)
+}
+
+// SteadyStateGFLOPS returns the pipeline's sustained throughput: at steady
+// state one image completes every bottleneck interval, so
+//
+//	GFLOPS = FLOPs/image × freq / bottleneck / 1e9.
+func SteadyStateGFLOPS(flopsPerImage, bottleneckCycles int64, freqMHz float64) float64 {
+	if bottleneckCycles <= 0 {
+		return 0
+	}
+	imagesPerSecond := freqMHz * 1e6 / float64(bottleneckCycles)
+	return float64(flopsPerImage) * imagesPerSecond / 1e9
+}
+
+// Latency returns the single-image latency (the pipeline fill time): the
+// sum of all stage times.
+func Latency(stages []Stage) int64 {
+	var sum int64
+	for _, s := range stages {
+		sum += s.Cycles
+	}
+	return sum
+}

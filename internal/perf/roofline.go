@@ -1,0 +1,55 @@
+package perf
+
+import (
+	"condor/internal/board"
+	"condor/internal/dataflow"
+)
+
+// Roofline is the roofline-model characterisation of an accelerator
+// configuration (the evaluation device of Zhang et al., FPGA'15, which the
+// paper's related work builds on): the attainable throughput is the
+// minimum of the compute roof (all MAC lanes busy every cycle) and the
+// bandwidth roof (operational intensity × DDR bandwidth).
+type Roofline struct {
+	// PeakGFLOPS is the compute roof: 2 × MAC lanes × clock.
+	PeakGFLOPS float64
+	// BandwidthGBps is the board's aggregate DDR bandwidth.
+	BandwidthGBps float64
+	// OperationalIntensity is FLOPs per DDR byte for one image.
+	OperationalIntensity float64
+	// AttainableGFLOPS = min(PeakGFLOPS, OI × BW).
+	AttainableGFLOPS float64
+	// SustainedGFLOPS is the pipeline model's throughput at the bottleneck.
+	SustainedGFLOPS float64
+	// ComputeBound reports whether the compute roof is the binding one.
+	ComputeBound bool
+}
+
+// AnalyzeRoofline characterises a configuration: macLanes is the total MAC
+// datapath width (from the synthesis report), flopsPerImage the network
+// work, and the spec supplies the traffic model.
+func AnalyzeRoofline(spec *dataflow.Spec, b *board.Board, macLanes int, flopsPerImage int64, freqMHz float64) Roofline {
+	r := Roofline{
+		PeakGFLOPS:    2 * float64(macLanes) * freqMHz / 1e3,
+		BandwidthGBps: b.DDRBandwidthGBps,
+	}
+	bytesPerImage := spec.DDRBytesPerImage()
+	if bytesPerImage > 0 {
+		r.OperationalIntensity = float64(flopsPerImage) / float64(bytesPerImage)
+	}
+	bwRoof := r.OperationalIntensity * r.BandwidthGBps
+	r.AttainableGFLOPS = bwRoof
+	r.ComputeBound = r.PeakGFLOPS <= bwRoof
+	if r.ComputeBound {
+		r.AttainableGFLOPS = r.PeakGFLOPS
+	}
+	r.SustainedGFLOPS = SteadyStateGFLOPS(flopsPerImage, Bottleneck(Stages(spec)), freqMHz)
+	return r
+}
+
+// BandwidthBound reports whether the sustained throughput would exceed the
+// bandwidth roof — a configuration the DSE should reject (the datamover
+// cannot feed the fabric).
+func (r Roofline) BandwidthBound() bool {
+	return !r.ComputeBound && r.SustainedGFLOPS > r.AttainableGFLOPS
+}

@@ -1,0 +1,96 @@
+package perf
+
+import (
+	"testing"
+
+	"condor/internal/board"
+	"condor/internal/condorir"
+	"condor/internal/dataflow"
+)
+
+func rooflineSpec(t *testing.T, weightsOnChip bool) *dataflow.Spec {
+	t.Helper()
+	ir := &condorir.Network{
+		Name: "roofline", Board: "aws-f1-vu9p", FrequencyMHz: 200,
+		Input: condorir.InputShape{Channels: 3, Height: 32, Width: 32},
+		Layers: []condorir.Layer{
+			{Name: "conv1", Type: "Convolution", KernelSize: 3, Stride: 1, NumOutput: 16, Bias: true, PEGroup: -1},
+			{Name: "fc1", Type: "InnerProduct", NumOutput: 10, Bias: true, PEGroup: -1},
+		},
+	}
+	spec, err := dataflow.BuildSpec(ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pe := range spec.PEs {
+		pe.WeightsOnChip = weightsOnChip
+		pe.PartialsOnChip = true
+	}
+	return spec
+}
+
+func TestRooflineComputeBound(t *testing.T) {
+	spec := rooflineSpec(t, true)
+	b, err := board.Lookup("aws-f1-vu9p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Few MAC lanes, weights on-chip: high operational intensity, the
+	// compute roof binds.
+	r := AnalyzeRoofline(spec, b, 10, 50_000_000, 200)
+	if !r.ComputeBound {
+		t.Fatalf("expected compute-bound: %+v", r)
+	}
+	if r.AttainableGFLOPS != r.PeakGFLOPS {
+		t.Fatalf("attainable %v should equal peak %v", r.AttainableGFLOPS, r.PeakGFLOPS)
+	}
+	// Peak = 2 * 10 lanes * 200 MHz = 4 GFLOPS.
+	if r.PeakGFLOPS != 4 {
+		t.Fatalf("peak = %v", r.PeakGFLOPS)
+	}
+}
+
+func TestRooflineBandwidthBound(t *testing.T) {
+	spec := rooflineSpec(t, false) // stream all weights every image
+	b, err := board.Lookup("aws-f1-vu9p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Huge MAC array with tiny per-image work: bandwidth roof binds.
+	r := AnalyzeRoofline(spec, b, 100000, 1_000, 200)
+	if r.ComputeBound {
+		t.Fatalf("expected bandwidth-bound: %+v", r)
+	}
+	if r.AttainableGFLOPS >= r.PeakGFLOPS {
+		t.Fatalf("attainable %v should be under peak %v", r.AttainableGFLOPS, r.PeakGFLOPS)
+	}
+}
+
+func TestRooflineIntensityGrowsWithOnChipWeights(t *testing.T) {
+	b, err := board.Lookup("aws-f1-vu9p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := AnalyzeRoofline(rooflineSpec(t, false), b, 100, 1_000_000, 200)
+	cached := AnalyzeRoofline(rooflineSpec(t, true), b, 100, 1_000_000, 200)
+	if cached.OperationalIntensity <= streamed.OperationalIntensity {
+		t.Fatalf("on-chip weights should raise intensity: %v vs %v",
+			cached.OperationalIntensity, streamed.OperationalIntensity)
+	}
+}
+
+func TestBandwidthBoundFlag(t *testing.T) {
+	r := Roofline{ComputeBound: false, AttainableGFLOPS: 10, SustainedGFLOPS: 20}
+	if !r.BandwidthBound() {
+		t.Fatal("sustained above the bandwidth roof must flag")
+	}
+	r.SustainedGFLOPS = 5
+	if r.BandwidthBound() {
+		t.Fatal("sustained under the roof must not flag")
+	}
+	r.ComputeBound = true
+	r.SustainedGFLOPS = 20
+	if r.BandwidthBound() {
+		t.Fatal("compute-bound configurations are never bandwidth-bound")
+	}
+}

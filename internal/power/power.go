@@ -1,0 +1,66 @@
+// Package power estimates board power for a synthesized Condor accelerator,
+// producing the GFLOPS/W figure of the paper's Table 1. The model follows
+// the standard CMOS decomposition: a static term (device leakage plus the
+// always-on platform shell), an activity term proportional to the sustained
+// arithmetic throughput (the switching of the datapath), and a clock-tree /
+// memory term proportional to frequency and resource occupancy. The
+// coefficients are calibrated on published VU9P power characterisations.
+package power
+
+import (
+	"condor/internal/board"
+)
+
+// Coefficients of the model (Watts).
+const (
+	// staticW covers device leakage, the shell and the DDR PHYs.
+	staticW = 2.8
+
+	// wPerGFLOPS is the datapath activity term: energy per floating-point
+	// operation (0.35 W per sustained GFLOP/s ≈ 350 pJ/FLOP end to end).
+	wPerGFLOPS = 0.35
+
+	// Clock-tree and idle-toggle terms, per resource unit per MHz.
+	wPerLUTMHz  = 5e-9
+	wPerFFMHz   = 2.5e-9
+	wPerDSPMHz  = 2e-6
+	wPerBRAMMHz = 1e-5
+)
+
+// Estimate is a power breakdown in Watts.
+type Estimate struct {
+	StaticW   float64
+	ComputeW  float64 // activity-proportional datapath switching
+	ClockingW float64 // clock tree and resource idle toggle
+}
+
+// TotalW returns the total board power.
+func (e Estimate) TotalW() float64 { return e.StaticW + e.ComputeW + e.ClockingW }
+
+// Model estimates power for a design occupying res (device totals including
+// shell), clocked at freqMHz, sustaining gflops of arithmetic throughput.
+func Model(res board.Resources, freqMHz, gflops float64) Estimate {
+	if freqMHz < 0 {
+		freqMHz = 0
+	}
+	if gflops < 0 {
+		gflops = 0
+	}
+	return Estimate{
+		StaticW:  staticW,
+		ComputeW: wPerGFLOPS * gflops,
+		ClockingW: freqMHz * (wPerLUTMHz*res.LUT +
+			wPerFFMHz*res.FF +
+			wPerDSPMHz*res.DSP +
+			wPerBRAMMHz*res.BRAM),
+	}
+}
+
+// GFLOPSPerWatt returns the efficiency figure of Table 1.
+func GFLOPSPerWatt(gflops float64, e Estimate) float64 {
+	t := e.TotalW()
+	if t <= 0 {
+		return 0
+	}
+	return gflops / t
+}

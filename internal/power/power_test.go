@@ -1,0 +1,72 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"condor/internal/board"
+)
+
+func TestModelStaticFloor(t *testing.T) {
+	e := Model(board.Resources{}, 0, 0)
+	if e.TotalW() != staticW {
+		t.Fatalf("idle power = %v, want %v", e.TotalW(), staticW)
+	}
+}
+
+func TestModelMonotoneInActivity(t *testing.T) {
+	res := board.Resources{LUT: 100000, FF: 200000, DSP: 300, BRAM: 100}
+	low := Model(res, 100, 1)
+	high := Model(res, 100, 10)
+	if high.TotalW() <= low.TotalW() {
+		t.Fatal("power must grow with throughput")
+	}
+	slow := Model(res, 100, 5)
+	fast := Model(res, 200, 5)
+	if fast.TotalW() <= slow.TotalW() {
+		t.Fatal("power must grow with frequency")
+	}
+}
+
+func TestModelNegativeInputsClamped(t *testing.T) {
+	e := Model(board.Resources{LUT: 1000}, -5, -2)
+	if e.TotalW() != staticW {
+		t.Fatalf("clamped power = %v", e.TotalW())
+	}
+}
+
+func TestGFLOPSPerWatt(t *testing.T) {
+	e := Estimate{StaticW: 2, ComputeW: 1, ClockingW: 1}
+	if got := GFLOPSPerWatt(8, e); got != 2 {
+		t.Fatalf("GFLOPS/W = %v", got)
+	}
+	if GFLOPSPerWatt(1, Estimate{}) != 0 {
+		t.Fatal("zero power should return 0, not Inf")
+	}
+}
+
+func TestTable1Band(t *testing.T) {
+	// Sanity: a TC1-class design (≈130k LUT, 330 DSP, small BRAM, 100 MHz,
+	// ≈8 GFLOPS) should land in the paper's single-digit Watt band with
+	// GFLOPS/W above 1.
+	res := board.Resources{LUT: 130000, FF: 230000, DSP: 330, BRAM: 120}
+	e := Model(res, 100, 8)
+	if e.TotalW() < 4 || e.TotalW() > 8 {
+		t.Fatalf("TC1-class power %v W outside plausible band", e.TotalW())
+	}
+	if eff := GFLOPSPerWatt(8, e); eff < 0.8 || eff > 2.5 {
+		t.Fatalf("TC1-class efficiency %v outside plausible band", eff)
+	}
+}
+
+// Property: power is monotone non-decreasing in every resource component.
+func TestMonotoneInResourcesProperty(t *testing.T) {
+	f := func(l1, l2 uint32, d1, d2, b1, b2 uint16) bool {
+		a := board.Resources{LUT: float64(l1 % 1000000), DSP: float64(d1 % 7000), BRAM: float64(b1 % 2000)}
+		b := a.Add(board.Resources{LUT: float64(l2 % 1000000), DSP: float64(d2 % 7000), BRAM: float64(b2 % 2000)})
+		return Model(b, 150, 5).TotalW() >= Model(a, 150, 5).TotalW()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

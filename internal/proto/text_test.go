@@ -1,0 +1,254 @@
+package proto
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+const sampleProtoTxt = `
+name: "LeNet"   # the classic
+input: "data"
+input_dim: 64
+input_dim: 1
+input_dim: 28
+input_dim: 28
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  param { lr_mult: 1 }
+  convolution_param {
+    num_output: 20
+    kernel_size: 5
+    stride: 1
+    weight_filler { type: "xavier" }
+  }
+}
+layer {
+  name: "pool1"
+  type: "Pooling"
+  pooling_param { pool: MAX kernel_size: 2 stride: 2 }
+}
+`
+
+func TestParseSamplePrototxt(t *testing.T) {
+	m, err := ParseText(sampleProtoTxt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name, _ := m.GetString("name"); name != "LeNet" {
+		t.Fatalf("name = %q", name)
+	}
+	dims, err := m.GetInts("input_dim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dims, []int{64, 1, 28, 28}) {
+		t.Fatalf("input_dim = %v", dims)
+	}
+	layers := m.GetMessages("layer")
+	if len(layers) != 2 {
+		t.Fatalf("got %d layers", len(layers))
+	}
+	cp, ok := layers[0].GetMessage("convolution_param")
+	if !ok {
+		t.Fatal("missing convolution_param")
+	}
+	if n, _ := cp.GetInt("num_output", 0); n != 20 {
+		t.Fatalf("num_output = %d", n)
+	}
+	pp, _ := layers[1].GetMessage("pooling_param")
+	if pool, _ := pp.GetString("pool"); pool != "MAX" {
+		t.Fatalf("pool enum = %q", pool)
+	}
+}
+
+func TestParseAngleBracketMessages(t *testing.T) {
+	m, err := ParseText(`outer < inner: 3 >`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, ok := m.GetMessage("outer")
+	if !ok {
+		t.Fatal("missing outer")
+	}
+	if v, _ := sub.GetInt("inner", 0); v != 3 {
+		t.Fatalf("inner = %d", v)
+	}
+}
+
+func TestParseListSyntax(t *testing.T) {
+	m, err := ParseText(`dim: [1, 2, 3]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims, err := m.GetInts("dim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dims, []int{1, 2, 3}) {
+		t.Fatalf("dims = %v", dims)
+	}
+}
+
+func TestParseStringEscapesAndConcat(t *testing.T) {
+	m, err := ParseText(`s: "a\nb" "c"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := m.GetString("s"); s != "a\nb" && s != "a\nbc" {
+		// Adjacent literals concatenate.
+		t.Fatalf("s = %q", s)
+	}
+	if s, _ := m.GetString("s"); s != "a\nbc" {
+		t.Fatalf("concat s = %q", s)
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	m, err := ParseText(`a: -1.5e-3 b: 42 c: .5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.GetFloat("a", 0); v != -1.5e-3 {
+		t.Fatalf("a = %v", v)
+	}
+	if v, _ := m.GetInt("b", 0); v != 42 {
+		t.Fatalf("b = %v", v)
+	}
+	if v, _ := m.GetFloat("c", 0); v != 0.5 {
+		t.Fatalf("c = %v", v)
+	}
+}
+
+func TestParseBool(t *testing.T) {
+	m, err := ParseText(`x: true y: false z: 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.GetBool("x", false); !v {
+		t.Fatal("x should be true")
+	}
+	if v, _ := m.GetBool("y", true); v {
+		t.Fatal("y should be false")
+	}
+	if v, _ := m.GetBool("z", false); !v {
+		t.Fatal("z should be true")
+	}
+	if v, _ := m.GetBool("missing", true); !v {
+		t.Fatal("default should apply")
+	}
+	if _, err := (TextMessage{{Name: "w", Scalar: "maybe"}}).GetBool("w", false); err == nil {
+		t.Fatal("expected bool parse error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`layer {`,            // unterminated message
+		`s: "unterminated`,   // unterminated string
+		`x: "bad\q"`,         // bad escape
+		`: 3`,                // missing field name
+		`x 3`,                // scalar without colon
+		`x: 3 }`,             // stray close brace
+		`x: @`,               // bad character
+		"s: \"line\nbreak\"", // newline in string
+		`layer { name: } `,   // message close where scalar expected -> error
+	}
+	for _, src := range bad {
+		if _, err := ParseText(src); err == nil {
+			t.Fatalf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := ParseText("a: 1\nb: 2\nc: @")
+	if err == nil || !strings.Contains(err.Error(), ":3:") {
+		t.Fatalf("error should mention line 3: %v", err)
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	m, err := ParseText("# leading comment\na: 1 # trailing\n# whole line\nb: 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.GetInt("a", 0); v != 1 {
+		t.Fatal("a wrong")
+	}
+	if v, _ := m.GetInt("b", 0); v != 2 {
+		t.Fatal("b wrong")
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	m, err := ParseText(sampleProtoTxt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := PrintText(m)
+	m2, err := ParseText(printed)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, printed)
+	}
+	if !reflect.DeepEqual(m, m2) {
+		t.Fatal("print→parse round trip changed the tree")
+	}
+}
+
+// Property: randomly generated message trees survive a print→parse round
+// trip structurally intact.
+func TestPrintParseProperty(t *testing.T) {
+	type gen struct{ depth int }
+	var build func(g *quick.Config, seed int64, depth int) TextMessage
+	build = func(g *quick.Config, seed int64, depth int) TextMessage {
+		rng := newRand(seed)
+		n := rng.Intn(5)
+		var m TextMessage
+		for i := 0; i < n; i++ {
+			name := []string{"alpha", "beta", "gamma", "delta"}[rng.Intn(4)]
+			if depth < 2 && rng.Intn(3) == 0 {
+				m = append(m, TextField{Name: name, IsMsg: true, Msg: build(g, rng.Int63(), depth+1)})
+			} else if rng.Intn(2) == 0 {
+				m = append(m, TextField{Name: name, Scalar: "someval" + string(rune('a'+rng.Intn(26))), IsString: true})
+			} else {
+				m = append(m, TextField{Name: name, Scalar: "42"})
+			}
+		}
+		return m
+	}
+	_ = gen{}
+	f := func(seed int64) bool {
+		m := build(nil, seed, 0)
+		m2, err := ParseText(PrintText(m))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(normalizeEmpty(m), normalizeEmpty(m2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// normalizeEmpty maps nil and empty TextMessages to nil for DeepEqual.
+func normalizeEmpty(m TextMessage) TextMessage {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(TextMessage, len(m))
+	for i, f := range m {
+		out[i] = f
+		if f.IsMsg {
+			out[i].Msg = normalizeEmpty(f.Msg)
+		}
+	}
+	return out
+}

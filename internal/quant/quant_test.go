@@ -1,0 +1,204 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"condor/internal/condorir"
+	"condor/internal/models"
+	"condor/internal/tensor"
+)
+
+func TestQuantizeWeightsInt16(t *testing.T) {
+	_, ws, err := models.LeNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, rep, err := QuantizeWeights(ws, Int16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != ws.Len() {
+		t.Fatalf("entry count %d vs %d", q.Len(), ws.Len())
+	}
+	if rep.Precision != Int16 || len(rep.Entries) != ws.Len() {
+		t.Fatalf("report %+v", rep)
+	}
+	// 16-bit symmetric quantization of values in [-0.2, 0.2]: max error is
+	// about scale/2 ≈ 0.2/32767/2 — tiny.
+	if rep.MaxError > 1e-4 {
+		t.Fatalf("int16 max error %v too large", rep.MaxError)
+	}
+	if rep.BytesAfter*2 != rep.BytesBefore {
+		t.Fatalf("int16 should halve the payload: %d -> %d", rep.BytesBefore, rep.BytesAfter)
+	}
+}
+
+func TestQuantizeWeightsInt8CoarserThanInt16(t *testing.T) {
+	_, ws, err := models.TC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep16, err := QuantizeWeights(ws, Int16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep8, err := QuantizeWeights(ws, Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep8.MaxError <= rep16.MaxError {
+		t.Fatalf("int8 error %v should exceed int16 error %v", rep8.MaxError, rep16.MaxError)
+	}
+	if rep8.BytesAfter*4 != rep8.BytesBefore {
+		t.Fatalf("int8 should quarter the payload: %d -> %d", rep8.BytesBefore, rep8.BytesAfter)
+	}
+}
+
+func TestQuantizeFloat32Rejected(t *testing.T) {
+	ws := condorir.NewWeightSet()
+	if _, _, err := QuantizeWeights(ws, Float32); err == nil {
+		t.Fatal("float32 quantization should be rejected")
+	}
+}
+
+func TestQuantizedNetworkDriftNegligible(t *testing.T) {
+	ir, ws, err := models.LeNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ir.BuildNN(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q16, _, err := QuantizeWeights(ws, Int16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net16, err := ir.BuildNN(q16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := models.MNISTImages(12, 4)
+	d, err := EvaluateDrift(ref, net16, imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Top1Agreement < 1 {
+		t.Fatalf("int16 weight quantization changed predictions: %+v", d)
+	}
+	if d.MaxAbsDiff > 1e-2 {
+		t.Fatalf("int16 drift %v too large", d.MaxAbsDiff)
+	}
+	// Int8 drifts more but should still broadly agree (the related work's
+	// "negligible accuracy impact" claim).
+	q8, _, err := QuantizeWeights(ws, Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net8, err := ir.BuildNN(q8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8, err := EvaluateDrift(ref, net8, imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d8.MaxAbsDiff <= d.MaxAbsDiff {
+		t.Fatalf("int8 drift %v should exceed int16 drift %v", d8.MaxAbsDiff, d.MaxAbsDiff)
+	}
+	if d8.Top1Agreement < 0.75 {
+		t.Fatalf("int8 agreement %v implausibly low", d8.Top1Agreement)
+	}
+}
+
+func TestEvaluateDriftNoImages(t *testing.T) {
+	if _, err := EvaluateDrift(nil, nil, nil); err == nil {
+		t.Fatal("expected no-images error")
+	}
+}
+
+func TestQuantizeActivations(t *testing.T) {
+	tt := tensor.FromSlice([]float32{0.5, -1, 0.25, 0}, 4)
+	QuantizeActivations(tt, Int8)
+	// Values must lie on the grid scale = 1/127.
+	scale := 1.0 / 127
+	for _, v := range tt.Data() {
+		q := float64(v) / scale
+		if math.Abs(q-math.Round(q)) > 1e-4 {
+			t.Fatalf("value %v not on the int8 grid", v)
+		}
+	}
+}
+
+func TestPrecisionProperties(t *testing.T) {
+	if Float32.Bits() != 32 || Int16.Bits() != 16 || Int8.Bits() != 8 {
+		t.Fatal("bit widths wrong")
+	}
+	if Int16.WordBytes() != 2 || Int8.WordBytes() != 1 {
+		t.Fatal("word bytes wrong")
+	}
+	if Float32.String() != "float32" || Int8.String() != "int8" {
+		t.Fatal("names wrong")
+	}
+}
+
+// Property: quantization is idempotent — re-quantizing an already quantized
+// tensor at the same precision changes nothing.
+func TestQuantizationIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ws := condorir.NewWeightSet()
+		tt := tensor.New(32)
+		tt.FillRandom(rng, 2)
+		ws.Put("l", condorir.EntryWeights, tt)
+		q1, _, err := QuantizeWeights(ws, Int16)
+		if err != nil {
+			return false
+		}
+		q2, rep2, err := QuantizeWeights(q1, Int16)
+		if err != nil {
+			return false
+		}
+		if rep2.MaxError > 1e-6 {
+			return false
+		}
+		a, _ := q1.Get("l", condorir.EntryWeights)
+		b, _ := q2.Get("l", condorir.EntryWeights)
+		for i := range a.Data {
+			if math.Abs(float64(a.Data[i]-b.Data[i])) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantization error is bounded by half the scale step.
+func TestQuantizationErrorBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ws := condorir.NewWeightSet()
+		tt := tensor.New(64)
+		tt.FillRandom(rng, 3)
+		ws.Put("l", condorir.EntryWeights, tt)
+		_, rep, err := QuantizeWeights(ws, Int8)
+		if err != nil {
+			return false
+		}
+		for _, e := range rep.Entries {
+			if e.MaxError > e.Scale/2+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package sdaccel is the host-side runtime of the Condor backend: an
+// OpenCL-like device/context/buffer/queue API that loads the xclbin
+// produced by the packaging flow onto a (simulated) FPGA card and executes
+// inference batches on the dataflow fabric. Kernel execution time is
+// reported from the cycle-level performance model at the achieved clock, so
+// host programs observe the timing behaviour the paper measures (Figure 5).
+package sdaccel
+
+import (
+	"fmt"
+
+	"condor/internal/bitstream"
+	"condor/internal/board"
+	"condor/internal/condorir"
+	"condor/internal/dataflow"
+	"condor/internal/perf"
+	"condor/internal/tensor"
+)
+
+// Device models one FPGA card visible to the runtime.
+type Device struct {
+	ID    string
+	Board *board.Board
+
+	xclbin  *bitstream.Xclbin
+	weights *condorir.WeightSet
+	acc     *dataflow.Accelerator
+}
+
+// NewDevice creates a device backed by the catalogued board.
+func NewDevice(id, boardID string) (*Device, error) {
+	b, err := board.Lookup(boardID)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{ID: id, Board: b}, nil
+}
+
+// LoadXclbin programs the device with a kernel binary. F1 devices refuse a
+// direct bitstream load — "it is not possible to load a bitstream directly
+// onto the FPGAs of an F1 instance" — the AFI flow must be used instead.
+func (d *Device) LoadXclbin(data []byte) error {
+	if d.Board.CloudOnly {
+		return fmt.Errorf("sdaccel: device %s (%s) cannot be programmed directly; create an AFI and load it on an F1 slot", d.ID, d.Board.ID)
+	}
+	return d.program(data)
+}
+
+// ProgramFromAFI is the F1-slot load path used by the cloud service after
+// AFI generation; it bypasses the direct-load restriction.
+func (d *Device) ProgramFromAFI(xclbinData []byte) error {
+	return d.program(xclbinData)
+}
+
+func (d *Device) program(data []byte) error {
+	x, err := bitstream.ReadXclbin(data)
+	if err != nil {
+		return err
+	}
+	if x.Meta.Board != d.Board.ID {
+		return fmt.Errorf("sdaccel: xclbin targets %s, device is %s", x.Meta.Board, d.Board.ID)
+	}
+	d.xclbin = x
+	d.acc = nil // weights must be (re)loaded for the new image
+	return nil
+}
+
+// Programmed reports whether a kernel image is loaded.
+func (d *Device) Programmed() bool { return d.xclbin != nil }
+
+// Spec returns the fabric specification of the loaded image.
+func (d *Device) Spec() (*dataflow.Spec, error) {
+	if d.xclbin == nil {
+		return nil, fmt.Errorf("sdaccel: device %s has no image loaded", d.ID)
+	}
+	return d.xclbin.Spec, nil
+}
+
+// Meta returns the loaded image's metadata.
+func (d *Device) Meta() (bitstream.Metadata, error) {
+	if d.xclbin == nil {
+		return bitstream.Metadata{}, fmt.Errorf("sdaccel: device %s has no image loaded", d.ID)
+	}
+	return d.xclbin.Meta, nil
+}
+
+// LoadWeights transfers the network weights to the device's on-board memory
+// (the dynamic weight-load step that lets a retrained network run without
+// re-synthesis) and instantiates the fabric.
+func (d *Device) LoadWeights(ws *condorir.WeightSet) error {
+	if d.xclbin == nil {
+		return fmt.Errorf("sdaccel: device %s has no image loaded", d.ID)
+	}
+	acc, err := dataflow.Instantiate(d.xclbin.Spec, ws)
+	if err != nil {
+		return err
+	}
+	d.weights = ws
+	d.acc = acc
+	return nil
+}
+
+// Context is an OpenCL-like command context on one device.
+type Context struct {
+	dev     *Device
+	buffers []*Buffer
+	queue   []func() error
+	info    RunInfo
+}
+
+// Buffer is a device-memory allocation of float32 words.
+type Buffer struct {
+	id   int
+	data []float32
+}
+
+// Words returns the buffer capacity.
+func (b *Buffer) Words() int { return len(b.data) }
+
+// CreateContext opens a command context on the device.
+func CreateContext(dev *Device) *Context { return &Context{dev: dev} }
+
+// CreateBuffer allocates a device buffer of n words.
+func (c *Context) CreateBuffer(n int) *Buffer {
+	b := &Buffer{id: len(c.buffers), data: make([]float32, n)}
+	c.buffers = append(c.buffers, b)
+	return b
+}
+
+// EnqueueWrite copies host data into a device buffer.
+func (c *Context) EnqueueWrite(b *Buffer, src []float32) {
+	cp := make([]float32, len(src))
+	copy(cp, src)
+	c.queue = append(c.queue, func() error {
+		if len(cp) > len(b.data) {
+			return fmt.Errorf("sdaccel: write of %d words overflows buffer of %d", len(cp), len(b.data))
+		}
+		copy(b.data, cp)
+		return nil
+	})
+}
+
+// EnqueueRead copies a device buffer back to host memory at Finish time.
+func (c *Context) EnqueueRead(b *Buffer, dst []float32) {
+	c.queue = append(c.queue, func() error {
+		if len(dst) > len(b.data) {
+			return fmt.Errorf("sdaccel: read of %d words overflows buffer of %d", len(dst), len(b.data))
+		}
+		copy(dst, b.data)
+		return nil
+	})
+}
+
+// EnqueueKernel launches the accelerator on batch images stored
+// back-to-back in the input buffer, writing outputs back-to-back into the
+// output buffer.
+func (c *Context) EnqueueKernel(in, out *Buffer, batch int) {
+	c.queue = append(c.queue, func() error {
+		dev := c.dev
+		if dev.acc == nil {
+			return fmt.Errorf("sdaccel: device %s has no weights loaded", dev.ID)
+		}
+		spec := dev.xclbin.Spec
+		inVol := spec.Input.Volume()
+		outShape := spec.OutputShape()
+		outVol := outShape.Volume()
+		if batch <= 0 {
+			return fmt.Errorf("sdaccel: non-positive batch %d", batch)
+		}
+		if batch*inVol > len(in.data) {
+			return fmt.Errorf("sdaccel: input buffer holds %d words, batch needs %d", len(in.data), batch*inVol)
+		}
+		if batch*outVol > len(out.data) {
+			return fmt.Errorf("sdaccel: output buffer holds %d words, batch needs %d", len(out.data), batch*outVol)
+		}
+		imgs := make([]*tensor.Tensor, batch)
+		for i := range imgs {
+			img := tensor.New(spec.Input.Channels, spec.Input.Height, spec.Input.Width)
+			copy(img.Data(), in.data[i*inVol:(i+1)*inVol])
+			imgs[i] = img
+		}
+		outs, stats, err := dev.acc.Run(imgs)
+		if err != nil {
+			return err
+		}
+		for i, o := range outs {
+			copy(out.data[i*outVol:(i+1)*outVol], o.Data())
+		}
+		// Device time from the pipeline model at the achieved clock.
+		cycles := perf.SimulateBatch(perf.Stages(spec), batch)
+		c.info.KernelMs += perf.CyclesToMs(cycles, dev.xclbin.Meta.AchievedMHz)
+		c.info.Batches++
+		c.info.Images += batch
+		c.info.LastStats = stats
+		return nil
+	})
+}
+
+// RunInfo accumulates execution metrics across Finish calls.
+type RunInfo struct {
+	KernelMs  float64
+	Batches   int
+	Images    int
+	LastStats *dataflow.RunStats
+}
+
+// Finish executes all enqueued commands in order and returns the
+// accumulated run info.
+func (c *Context) Finish() (RunInfo, error) {
+	for _, cmd := range c.queue {
+		if err := cmd(); err != nil {
+			c.queue = nil
+			return c.info, err
+		}
+	}
+	c.queue = nil
+	return c.info, nil
+}

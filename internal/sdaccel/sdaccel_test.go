@@ -1,0 +1,194 @@
+package sdaccel
+
+import (
+	"testing"
+
+	"condor/internal/bitstream"
+	"condor/internal/condorir"
+	"condor/internal/dataflow"
+	"condor/internal/models"
+	"condor/internal/tensor"
+)
+
+// tc1Xclbin compiles TC1 for the given board.
+func tc1Xclbin(t *testing.T, boardID string) ([]byte, *condorir.WeightSet) {
+	t.Helper()
+	ir, ws, err := models.TC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir.Board = boardID
+	spec, err := dataflow.BuildSpec(ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xo, err := bitstream.PackageXO(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xclbin, _, err := bitstream.XOCC(xo, boardID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return xclbin, ws
+}
+
+func TestLocalDeviceEndToEnd(t *testing.T) {
+	xclbin, ws := tc1Xclbin(t, "zc706")
+	dev, err := NewDevice("fpga0", "zc706")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Programmed() {
+		t.Fatal("fresh device should not be programmed")
+	}
+	if err := dev.LoadXclbin(xclbin); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LoadWeights(ws); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := dev.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Kernel != "condor_TC1" {
+		t.Fatalf("meta = %+v", meta)
+	}
+
+	ctx := CreateContext(dev)
+	batch := 4
+	imgs := models.USPSImages(batch, 9)
+	inVol := 16 * 16
+	in := ctx.CreateBuffer(batch * inVol)
+	out := ctx.CreateBuffer(batch * 10)
+	host := make([]float32, batch*inVol)
+	for i, img := range imgs {
+		copy(host[i*inVol:], img.Data())
+	}
+	ctx.EnqueueWrite(in, host)
+	ctx.EnqueueKernel(in, out, batch)
+	results := make([]float32, batch*10)
+	ctx.EnqueueRead(out, results)
+	info, err := ctx.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Images != batch || info.KernelMs <= 0 {
+		t.Fatalf("run info = %+v", info)
+	}
+
+	// Outputs match the reference engine.
+	ir, ws2, err := models.TC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := ir.BuildNN(ws2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, img := range imgs {
+		want, err := net.Predict(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tensor.FromSlice(results[i*10:(i+1)*10], 10, 1, 1)
+		if !tensor.AllClose(got, want, 2e-3) {
+			t.Fatalf("image %d output mismatch", i)
+		}
+	}
+}
+
+func TestF1RefusesDirectLoad(t *testing.T) {
+	xclbin, _ := tc1Xclbin(t, "aws-f1-vu9p")
+	dev, err := NewDevice("f1slot0", "aws-f1-vu9p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LoadXclbin(xclbin); err == nil {
+		t.Fatal("F1 must refuse a direct bitstream load")
+	}
+	// The AFI path works.
+	if err := dev.ProgramFromAFI(xclbin); err != nil {
+		t.Fatal(err)
+	}
+	if !dev.Programmed() {
+		t.Fatal("device should be programmed after AFI load")
+	}
+}
+
+func TestBoardMismatchRejected(t *testing.T) {
+	xclbin, _ := tc1Xclbin(t, "zc706")
+	dev, err := NewDevice("fpga0", "ku115")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LoadXclbin(xclbin); err == nil {
+		t.Fatal("expected board-mismatch error")
+	}
+}
+
+func TestKernelWithoutWeightsFails(t *testing.T) {
+	xclbin, _ := tc1Xclbin(t, "zc706")
+	dev, _ := NewDevice("fpga0", "zc706")
+	if err := dev.LoadXclbin(xclbin); err != nil {
+		t.Fatal(err)
+	}
+	ctx := CreateContext(dev)
+	in := ctx.CreateBuffer(256)
+	out := ctx.CreateBuffer(10)
+	ctx.EnqueueKernel(in, out, 1)
+	if _, err := ctx.Finish(); err == nil {
+		t.Fatal("expected no-weights error")
+	}
+}
+
+func TestBufferOverflowErrors(t *testing.T) {
+	xclbin, ws := tc1Xclbin(t, "zc706")
+	dev, _ := NewDevice("fpga0", "zc706")
+	if err := dev.LoadXclbin(xclbin); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LoadWeights(ws); err != nil {
+		t.Fatal(err)
+	}
+	ctx := CreateContext(dev)
+	in := ctx.CreateBuffer(10) // too small for one 256-word image
+	out := ctx.CreateBuffer(10)
+	ctx.EnqueueKernel(in, out, 1)
+	if _, err := ctx.Finish(); err == nil {
+		t.Fatal("expected input-buffer overflow error")
+	}
+}
+
+func TestWeightsMustMatchImage(t *testing.T) {
+	xclbin, _ := tc1Xclbin(t, "zc706")
+	dev, _ := NewDevice("fpga0", "zc706")
+	if err := dev.LoadXclbin(xclbin); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LoadWeights(condorir.NewWeightSet()); err == nil {
+		t.Fatal("expected weight-mismatch error")
+	}
+}
+
+func TestReloadInvalidatesWeights(t *testing.T) {
+	xclbin, ws := tc1Xclbin(t, "zc706")
+	dev, _ := NewDevice("fpga0", "zc706")
+	if err := dev.LoadXclbin(xclbin); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LoadWeights(ws); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LoadXclbin(xclbin); err != nil {
+		t.Fatal(err)
+	}
+	ctx := CreateContext(dev)
+	in := ctx.CreateBuffer(256)
+	out := ctx.CreateBuffer(10)
+	ctx.EnqueueKernel(in, out, 1)
+	if _, err := ctx.Finish(); err == nil {
+		t.Fatal("weights must be reloaded after reprogramming")
+	}
+}

@@ -1,0 +1,144 @@
+// Package sim is a small deterministic discrete-event simulation kernel
+// used by the Condor performance layer to model the accelerator's
+// high-level pipeline at image granularity (per-element behaviour is
+// handled by the functional fabric in internal/dataflow; composing the two
+// scales is what makes VGG-class networks tractable).
+package sim
+
+import "container/heap"
+
+// Engine is a discrete-event scheduler with deterministic ordering: events
+// fire in (time, schedule-order) sequence. Time is unitless; the perf layer
+// uses clock cycles.
+type Engine struct {
+	now int64
+	seq int64
+	pq  eventHeap
+}
+
+type event struct {
+	time int64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// New returns an engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() int64 { return e.now }
+
+// Schedule arms fn to fire delay time units from now. Negative delays fire
+// immediately (at the current time).
+func (e *Engine) Schedule(delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At arms fn to fire at absolute time t (clamped to now).
+func (e *Engine) At(t int64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, event{time: t, seq: e.seq, fn: fn})
+}
+
+// Run processes events until the queue is empty and returns the final time.
+func (e *Engine) Run() int64 {
+	for e.pq.Len() > 0 {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.time
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil processes events with time ≤ limit; later events stay queued.
+// It returns the engine time, which never exceeds limit.
+func (e *Engine) RunUntil(limit int64) int64 {
+	for e.pq.Len() > 0 && e.pq[0].time <= limit {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.time
+		ev.fn()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return e.now
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.pq.Len() }
+
+// Server is a single-occupancy resource (one image in service at a time)
+// with an optional single waiting slot handshake handled by the caller via
+// the done callback — the building block for pipeline stages.
+type Server struct {
+	eng  *Engine
+	busy bool
+	// queue of pending (service, done) requests in arrival order.
+	queue []request
+
+	// BusyTime accumulates the total time the server spent in service,
+	// for utilization reporting.
+	BusyTime int64
+}
+
+type request struct {
+	service int64
+	done    func()
+}
+
+// NewServer returns an idle server on the engine.
+func NewServer(eng *Engine) *Server { return &Server{eng: eng} }
+
+// Submit requests service time units of work; done fires when the work
+// completes. Requests are served FIFO, one at a time.
+func (s *Server) Submit(service int64, done func()) {
+	s.queue = append(s.queue, request{service: service, done: done})
+	if !s.busy {
+		s.serveNext()
+	}
+}
+
+func (s *Server) serveNext() {
+	if len(s.queue) == 0 {
+		s.busy = false
+		return
+	}
+	req := s.queue[0]
+	s.queue = s.queue[1:]
+	s.busy = true
+	s.BusyTime += req.service
+	s.eng.Schedule(req.service, func() {
+		if req.done != nil {
+			req.done()
+		}
+		s.serveNext()
+	})
+}
+
+// Busy reports whether the server is currently in service.
+func (s *Server) Busy() bool { return s.busy }

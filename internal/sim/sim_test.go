@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	if end := e.Run(); end != 30 {
+		t.Fatalf("end time = %d", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var times []int64
+	e.Schedule(5, func() {
+		times = append(times, e.Now())
+		e.Schedule(5, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 5 || times[1] != 10 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(10, func() {
+		e.Schedule(-5, func() { fired = true })
+	})
+	e.Run()
+	if !fired || e.Now() != 10 {
+		t.Fatalf("fired=%v now=%d", fired, e.Now())
+	}
+}
+
+func TestAtInThePastClamped(t *testing.T) {
+	e := New()
+	var at int64
+	e.Schedule(10, func() {
+		e.At(3, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 10 {
+		t.Fatalf("past event fired at %d", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Schedule(5, func() { fired++ })
+	e.Schedule(15, func() { fired++ })
+	if now := e.RunUntil(10); now != 10 {
+		t.Fatalf("RunUntil returned %d", now)
+	}
+	if fired != 1 || e.Pending() != 1 {
+		t.Fatalf("fired=%d pending=%d", fired, e.Pending())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatal("remaining event lost")
+	}
+}
+
+func TestServerSerialisesRequests(t *testing.T) {
+	e := New()
+	s := NewServer(e)
+	var finish []int64
+	for i := 0; i < 3; i++ {
+		s.Submit(10, func() { finish = append(finish, e.Now()) })
+	}
+	e.Run()
+	want := []int64{10, 20, 30}
+	for i, w := range want {
+		if finish[i] != w {
+			t.Fatalf("finish = %v", finish)
+		}
+	}
+	if s.BusyTime != 30 {
+		t.Fatalf("busy time = %d", s.BusyTime)
+	}
+}
+
+func TestServerInterleavedSubmit(t *testing.T) {
+	e := New()
+	s := NewServer(e)
+	var finish []int64
+	s.Submit(10, func() { finish = append(finish, e.Now()) })
+	// A request arriving while busy waits its turn.
+	e.Schedule(5, func() {
+		s.Submit(10, func() { finish = append(finish, e.Now()) })
+	})
+	// A request arriving after idle starts immediately.
+	e.Schedule(50, func() {
+		s.Submit(1, func() { finish = append(finish, e.Now()) })
+	})
+	e.Run()
+	if len(finish) != 3 || finish[0] != 10 || finish[1] != 20 || finish[2] != 51 {
+		t.Fatalf("finish = %v", finish)
+	}
+}
+
+// Property: for any set of delays, Run fires every event exactly once and
+// ends at the maximum scheduled time.
+func TestEngineProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		fired := 0
+		var max int64
+		for _, d := range delays {
+			dd := int64(d % 1000)
+			if dd > max {
+				max = dd
+			}
+			e.Schedule(dd, func() { fired++ })
+		}
+		end := e.Run()
+		if len(delays) == 0 {
+			return fired == 0 && end == 0
+		}
+		return fired == len(delays) && end == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
