@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet condorlint lint test race bench ci
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# condorlint runs the repository's custom static analyzers (fifodiscard,
+# shapecompare, copylocks, httptimeout) over the whole tree.
+condorlint:
+	$(GO) run ./cmd/condorlint ./...
+
+lint: vet condorlint
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# ci is the full gate the workflow runs: build, both linters, and the race
+# detector over the test suite.
+ci: build lint race

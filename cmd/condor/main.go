@@ -24,7 +24,9 @@ import (
 	"condor/internal/bitstream"
 	"condor/internal/board"
 	"condor/internal/condorir"
+	"condor/internal/diag"
 	"condor/internal/hls"
+	"condor/internal/models"
 	"condor/internal/quant"
 )
 
@@ -43,6 +45,8 @@ func main() {
 		err = cmdDeploy(os.Args[2:])
 	case "cosim":
 		err = cmdCosim(os.Args[2:])
+	case "lint":
+		err = cmdLint(os.Args[2:])
 	case "boards":
 		err = cmdBoards()
 	case "-h", "--help", "help":
@@ -66,6 +70,7 @@ commands:
   info     inspect a compiled xclbin
   deploy   deploy an F1 build to the (simulated) AWS cloud
   cosim    co-simulate a build against the reference CNN engine
+  lint     run the pre-synthesis design verifier on a network
   boards   list supported deployment targets`)
 }
 
@@ -332,6 +337,94 @@ func cmdCosim(args []string) error {
 	}
 	fmt.Println("  PASSED")
 	return nil
+}
+
+// cmdLint runs the design verifier without building anything: it prints
+// every diagnostic like a compiler error and fails when any error-severity
+// rule fires. Networks come either from a Condor JSON file (with optional
+// weights for the weight-consistency rules) or from the built-in evaluation
+// models by name.
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	network := fs.String("network", "", "Condor network representation (JSON)")
+	weights := fs.String("weights", "", "Condor weights file (.cndw), optional")
+	model := fs.String("model", "", "built-in model: tc1 | lenet | vgg16 | vgg16-features | alexnet | alexnet-features")
+	quiet := fs.Bool("q", false, "suppress the success line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var ir *condorir.Network
+	var ws *condorir.WeightSet
+	switch {
+	case *network != "":
+		js, err := os.ReadFile(*network)
+		if err != nil {
+			return err
+		}
+		ir, err = condorir.FromJSON(js)
+		if err != nil {
+			return err
+		}
+		if *weights != "" {
+			wf, err := os.Open(*weights)
+			if err != nil {
+				return err
+			}
+			ws, err = condorir.ReadWeights(wf)
+			wf.Close()
+			if err != nil {
+				return err
+			}
+		}
+	case *model != "":
+		var err error
+		ir, ws, err = builtinModel(*model)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("provide -network (optionally with -weights) or -model")
+	}
+
+	diags, err := condor.New().Lint(ir, ws)
+	if err != nil {
+		return err
+	}
+	errors := 0
+	for _, d := range diags {
+		fmt.Println(d)
+		if d.Severity == diag.Error {
+			errors++
+		}
+	}
+	if errors > 0 {
+		return fmt.Errorf("%s: %d design error(s)", ir.Name, errors)
+	}
+	if !*quiet {
+		fmt.Printf("%s: design verification passed (%d warning(s))\n", ir.Name, len(diags))
+	}
+	return nil
+}
+
+// builtinModel resolves the -model names to the evaluation networks.
+func builtinModel(name string) (*condorir.Network, *condorir.WeightSet, error) {
+	switch name {
+	case "tc1":
+		return models.TC1()
+	case "lenet":
+		return models.LeNet()
+	case "vgg16":
+		return models.VGG16(), nil, nil
+	case "vgg16-features":
+		return models.VGG16Features(), nil, nil
+	case "alexnet":
+		return models.AlexNet(), nil, nil
+	case "alexnet-features":
+		return models.AlexNetFeatures(), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown model %q (tc1, lenet, vgg16, vgg16-features, alexnet, alexnet-features)", name)
+	}
 }
 
 func cmdBoards() error {

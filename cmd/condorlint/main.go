@@ -1,0 +1,71 @@
+// Command condorlint runs Condor's custom static analyzers over the
+// repository — the project's multichecker. It is the codebase half of the
+// two-level static-analysis layer (the design half is `condor lint`, which
+// verifies accelerator Specs pre-synthesis).
+//
+// Usage:
+//
+//	condorlint [-list] [-analyzers a,b] [package patterns]
+//
+// Patterns follow the go tool's directory subset: "./..." (the default)
+// walks the tree; "internal/dataflow" names one package. Exit status is 1
+// when any finding is reported, so CI can gate on it. Findings can be
+// suppressed per line with a "//condorlint:ignore <reason>" comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"condor/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	flag.Parse()
+
+	all := analysis.All()
+	if *list {
+		fmt.Print(analysis.DocSummary(all))
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "condorlint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "condorlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(root, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "condorlint:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "condorlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

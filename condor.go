@@ -27,12 +27,14 @@ import (
 	"condor/internal/caffe"
 	"condor/internal/condorir"
 	"condor/internal/dataflow"
+	"condor/internal/diag"
 	"condor/internal/dse"
 	"condor/internal/hls"
 	"condor/internal/onnx"
 	"condor/internal/perf"
 	"condor/internal/power"
 	"condor/internal/quant"
+	"condor/internal/verify"
 )
 
 // Input is what the frontend tier collects.
@@ -254,6 +256,20 @@ func (f *Framework) BuildAccelerator(in Input) (*Build, error) {
 	}
 	b.Spec = spec
 
+	// Pre-synthesis design verification: the static stand-in for the
+	// elaboration gate of the real HLS/SDAccel flow. Warnings are reported
+	// and the build proceeds; errors abort before any packaging work.
+	f.logf("core: verifying the design against the CND rule catalogue")
+	diags := verify.Lint(spec, ir, ws)
+	for _, d := range diags {
+		if d.Severity == diag.Warning {
+			f.logf("verify: %s", d)
+		}
+	}
+	if err := diag.Err(diags); err != nil {
+		return nil, fmt.Errorf("condor: design verification failed: %w", err)
+	}
+
 	f.logf("core: packaging the accelerator IP (.xo)")
 	b.XO, err = bitstream.PackageXO(spec)
 	if err != nil {
@@ -275,6 +291,28 @@ func (f *Framework) BuildAccelerator(in Input) (*Build, error) {
 		100*b.Report.Utilization.LUT, 100*b.Report.Utilization.FF,
 		100*b.Report.Utilization.DSP, 100*b.Report.Utilization.BRAM)
 	return b, nil
+}
+
+// Lint runs the pre-synthesis design verifier standalone: the IR is mapped
+// onto the accelerator template and memory-planned exactly as a build would,
+// then every CND design rule is checked. ws may be nil when no weights are
+// available (topology-only networks like the VGG-16 IR); the weight
+// consistency rules are skipped in that case. The returned diagnostics are
+// sorted errors-first; building stops here, nothing is packaged.
+func (f *Framework) Lint(ir *condorir.Network, ws *condorir.WeightSet) ([]*verify.Diagnostic, error) {
+	if err := ir.Validate(); err != nil {
+		return nil, err
+	}
+	f.logf("lint: assembling the accelerator spec for %s", ir.Name)
+	spec, err := dataflow.BuildSpec(ir)
+	if err != nil {
+		return nil, err
+	}
+	if err := hls.PlanMemory(spec); err != nil {
+		return nil, err
+	}
+	f.logf("lint: verifying %d PEs against the CND rule catalogue", len(spec.PEs))
+	return verify.Lint(spec, ir, ws), nil
 }
 
 // PerformanceSummary is the evaluation view of a build: the quantities the

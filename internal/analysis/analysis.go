@@ -1,0 +1,267 @@
+// Package analysis is Condor's codebase linting framework: a small,
+// dependency-free analogue of golang.org/x/tools/go/analysis (which the
+// build environment cannot fetch) built on the standard library's go/ast and
+// go/parser. It provides the Analyzer/Pass driver model plus the repository's
+// custom analyzers enforcing Condor-specific invariants — discarded FIFO
+// results, hand-rolled shape comparisons, lock values copied around, and
+// unbounded HTTP clients on the AWS path. The Analyzer API mirrors
+// go/analysis closely enough that migrating to the real framework (and
+// multichecker) is a mechanical change once the dependency is available.
+//
+// Analyzers are syntactic: they work on the AST without type information,
+// scoped by import heuristics where needed. That is deliberate — the
+// invariants they enforce are local patterns, and go vet (which runs
+// alongside condorlint in CI) covers the type-aware ground.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects the package in the Pass and
+// reports findings through Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and -analyzers filters.
+	Name string
+	// Doc is the one-line description `condorlint -list` prints.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding, locatable in the source tree.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the finding like a compiler error.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed files (including _test.go files).
+	Files []*ast.File
+	// Path is the package directory relative to the analysis root.
+	Path string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Imports reports whether the file imports the given path.
+func Imports(f *ast.File, path string) bool {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return true
+		}
+	}
+	return false
+}
+
+// ImporterName returns the local name the file binds the import path to
+// (the explicit alias, or the path's last element), or "" when the path is
+// not imported.
+func ImporterName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	return ""
+}
+
+// Package is one parsed directory of Go files.
+type Package struct {
+	Path  string // directory relative to the load root
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	// ignoreLines maps file name -> set of lines carrying a
+	// "//condorlint:ignore" suppression comment.
+	ignoreLines map[string]map[int]bool
+}
+
+// skipDir reports whether a directory is outside the analysis scope, using
+// the go tool's conventions (testdata, hidden and underscore directories).
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// Load parses the packages under root selected by patterns. The pattern
+// language is the go tool's directory subset: "./..." walks recursively,
+// anything else names a directory (optionally with a "/..." suffix).
+// Directories named testdata, vendor, or starting with "." or "_" are
+// skipped, as the go tool does.
+func Load(root string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		}
+		if pat == "" || pat == "." {
+			pat = root
+		} else if !filepath.IsAbs(pat) {
+			pat = filepath.Join(root, pat)
+		}
+		if !recursive {
+			dirs[pat] = true
+			continue
+		}
+		err := filepath.WalkDir(pat, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if path != pat && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			dirs[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var pkgs []*Package
+	for dir := range dirs {
+		pkg, err := loadDir(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// loadDir parses every .go file directly inside dir (nil if there are none).
+func loadDir(root, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		rel = dir
+	}
+	pkg := &Package{Path: rel, Fset: token.NewFileSet(), ignoreLines: map[string]map[int]bool{}}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(pkg.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.recordIgnores(f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// recordIgnores collects "//condorlint:ignore" suppressions: a finding on
+// the same line as (or the line directly below) such a comment is dropped.
+func (p *Package) recordIgnores(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, "//condorlint:ignore") {
+				continue
+			}
+			pos := p.Fset.Position(c.Pos())
+			lines := p.ignoreLines[pos.Filename]
+			if lines == nil {
+				lines = map[int]bool{}
+				p.ignoreLines[pos.Filename] = lines
+			}
+			lines[pos.Line] = true
+			lines[pos.Line+1] = true
+		}
+	}
+}
+
+// suppressed reports whether a finding at pos is covered by an ignore
+// comment.
+func (p *Package) suppressed(pos token.Position) bool {
+	return p.ignoreLines[pos.Filename][pos.Line]
+}
+
+// Run executes the analyzers over the packages and returns the combined
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Path:     pkg.Path,
+				report: func(d Diagnostic) {
+					if !pkg.suppressed(d.Pos) {
+						diags = append(diags, d)
+					}
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// All returns the repository's analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{FIFODiscard, ShapeCompare, CopyLocks, HTTPTimeout}
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// wantFindings parses the "// want: <analyzer>" markers out of a fixture
+// file, returning line -> analyzer name.
+func wantFindings(t *testing.T, path string) map[int]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want := map[int]string{}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.Index(text, "// want: "); i >= 0 {
+			want[line] = strings.TrimSpace(text[i+len("// want: "):])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestAnalyzersOnFixture checks every analyzer against the broken fixture:
+// each marked line fires exactly its analyzer, and nothing else fires.
+func TestAnalyzersOnFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "broken")
+	pkgs, err := Load(dir, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	diags := Run(pkgs, All())
+
+	want := wantFindings(t, filepath.Join(dir, "broken.go"))
+	got := map[int]string{}
+	for _, d := range diags {
+		if prev, dup := got[d.Pos.Line]; dup {
+			t.Errorf("line %d reported by both %s and %s", d.Pos.Line, prev, d.Analyzer)
+		}
+		got[d.Pos.Line] = d.Analyzer
+	}
+	for line, analyzer := range want {
+		if got[line] != analyzer {
+			t.Errorf("line %d: want a %s finding, got %q", line, analyzer, got[line])
+		}
+	}
+	for line, analyzer := range got {
+		if want[line] == "" {
+			t.Errorf("line %d: unexpected %s finding", line, analyzer)
+		}
+	}
+}
+
+// TestIgnoreComment checks the //condorlint:ignore suppression: the fixture
+// contains a bare Pop() on an ignore-commented line that must not be
+// reported (covered by TestAnalyzersOnFixture's unexpected-finding check,
+// asserted explicitly here).
+func TestIgnoreComment(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "broken")
+	pkgs, err := Load(dir, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(pkgs, []*Analyzer{FIFODiscard}) {
+		if strings.Contains(readLine(t, filepath.Join(dir, "broken.go"), d.Pos.Line), "condorlint:ignore") {
+			t.Errorf("suppressed line %d still reported: %s", d.Pos.Line, d)
+		}
+	}
+}
+
+func readLine(t *testing.T, path string, n int) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	if n < 1 || n > len(lines) {
+		return ""
+	}
+	return lines[n-1]
+}
+
+// TestRepositoryIsLintClean runs the full analyzer suite over the repository
+// tree — the satellite guarantee that the tree stays condorlint-clean.
+func TestRepositoryIsLintClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages from the repository root, expected the full tree", len(pkgs))
+	}
+	diags := Run(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLoadSkipsTestdata ensures fixture code cannot leak into a whole-tree
+// run (which would make CI fail on the deliberately broken files).
+func TestLoadSkipsTestdata(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Path, "testdata") {
+			t.Errorf("package %s from a testdata directory was loaded", p.Path)
+		}
+	}
+}
+
+// TestDocSummary pins the -list output contract: every analyzer appears.
+func TestDocSummary(t *testing.T) {
+	s := DocSummary(All())
+	for _, a := range All() {
+		if !strings.Contains(s, a.Name+": ") {
+			t.Errorf("summary missing analyzer %s:\n%s", a.Name, s)
+		}
+	}
+}
+
+// TestPatternLoading exercises the non-recursive single-directory pattern.
+func TestPatternLoading(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "internal/fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != filepath.Join("internal", "fifo") {
+		t.Fatalf("pkgs = %v", pkgNames(pkgs))
+	}
+}
+
+func pkgNames(pkgs []*Package) []string {
+	var names []string
+	for _, p := range pkgs {
+		names = append(names, p.Path)
+	}
+	return names
+}
+
+func ExampleDiagnostic() {
+	d := Diagnostic{Analyzer: "fifodiscard", Message: "result of Pop is discarded"}
+	d.Pos.Filename, d.Pos.Line, d.Pos.Column = "fabric.go", 42, 2
+	fmt.Println(d)
+	// Output: fabric.go:42:2: result of Pop is discarded [fifodiscard]
+}

@@ -1,0 +1,70 @@
+// Package broken is a deliberately defective fixture for the condorlint
+// analyzers. It only needs to parse, not compile; each marked line must be
+// reported by exactly the analyzer named in the trailing comment.
+package broken
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"sync"
+
+	"condor/internal/fifo"
+)
+
+type tensorLike struct{ dims []int }
+
+func (t *tensorLike) Shape() []int { return t.dims }
+
+// guarded carries a mutex; copying it by value forks the lock.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// wrapsGuarded is lock-bearing transitively.
+type wrapsGuarded struct {
+	g guarded
+}
+
+func discards(f *fifo.FIFO) {
+	f.Pop()          // want: fifodiscard
+	_, _ = f.Pop()   // want: fifodiscard
+	v, ok := f.Pop() // ok: both results consumed
+	_ = v
+	_ = ok
+	f.Pop() //condorlint:ignore deliberate drop under test — suppressed
+}
+
+func compares(a, b *tensorLike) bool {
+	if reflect.DeepEqual(a.Shape(), b.Shape()) { // want: shapecompare
+		return true
+	}
+	if fmt.Sprint(a.Shape()) == fmt.Sprint(b.Shape()) { // want: shapecompare
+		return true
+	}
+	return reflect.DeepEqual(a.dims, b.dims) // ok: not Shape() calls
+}
+
+func (g guarded) byValueMethod() int { return g.n } // want: copylocks
+
+func (g *guarded) byPointerMethod() int { return g.n } // ok
+
+func takesGuarded(g guarded) int { return g.n } // want: copylocks
+
+func takesWrapped(w wrapsGuarded) int { return w.g.n } // want: copylocks
+
+func takesMutex(mu sync.Mutex) { _ = mu } // want: copylocks
+
+func takesFIFO(f fifo.FIFO) { _ = f } // want: copylocks
+
+func takesPointers(g *guarded, mu *sync.Mutex, f *fifo.FIFO) {} // ok
+
+func clients() {
+	_ = &http.Client{}                  // want: httptimeout
+	_ = new(http.Client)                // want: httptimeout
+	_ = &http.Client{Timeout: 1e9}      // ok
+	_ = http.Client{Transport: nil}     // want: httptimeout
+	c := http.Client{Timeout: 0}        // ok: explicit, if dubious
+	_ = c
+}

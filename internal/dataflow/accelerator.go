@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"condor/internal/condorir"
+	"condor/internal/diag"
 	"condor/internal/fifo"
 	"condor/internal/nn"
 	"condor/internal/tensor"
@@ -21,7 +22,9 @@ type Accelerator struct {
 
 // Instantiate binds a spec to its weights: every compute layer's weights
 // are loaded into the datamover's on-board memory, and on-chip caching
-// decisions are accounted.
+// decisions are accounted. Consistency failures are reported as wrapped
+// diag.Diagnostic errors carrying the same rule IDs the internal/verify
+// pass fires statically, so callers and tests can match on diag.Rule.
 func Instantiate(spec *Spec, ws *condorir.WeightSet) (*Accelerator, error) {
 	a := &Accelerator{Spec: spec, dm: NewDatamover()}
 	for _, pe := range spec.PEs {
@@ -31,15 +34,22 @@ func Instantiate(spec *Spec, ws *condorir.WeightSet) (*Accelerator, error) {
 			}
 			we, ok := ws.Get(l.Name, condorir.EntryWeights)
 			if !ok {
-				return nil, fmt.Errorf("dataflow: weights for layer %q not in weight set", l.Name)
+				return nil, fmt.Errorf("dataflow: %w",
+					diag.Errorf(diag.RuleWeightMissing, pe.ID, l.Name, "weights for layer %q not in weight set", l.Name))
 			}
 			var bias []float32
 			if be, ok := ws.Get(l.Name, condorir.EntryBias); ok {
 				bias = be.Data
+				if len(bias) != l.OutShape.Channels {
+					return nil, fmt.Errorf("dataflow: %w",
+						diag.Errorf(diag.RuleBiasWords, pe.ID, l.Name,
+							"layer %q bias has %d words, accelerator needs %d", l.Name, len(bias), l.OutShape.Channels))
+				}
 			}
-			wantW := wantWeightWords(&l)
-			if len(we.Data) != wantW {
-				return nil, fmt.Errorf("dataflow: layer %q weight set has %d words, accelerator needs %d", l.Name, len(we.Data), wantW)
+			if wantW := l.WeightWords(); len(we.Data) != wantW {
+				return nil, fmt.Errorf("dataflow: %w",
+					diag.Errorf(diag.RuleWeightWords, pe.ID, l.Name,
+						"layer %q weight set has %d words, accelerator needs %d", l.Name, len(we.Data), wantW))
 			}
 			a.dm.LoadWeights(l.Name, we.Data, bias)
 			if pe.WeightsOnChip {
@@ -48,17 +58,6 @@ func Instantiate(spec *Spec, ws *condorir.WeightSet) (*Accelerator, error) {
 		}
 	}
 	return a, nil
-}
-
-func wantWeightWords(l *LayerHW) int {
-	switch l.Kind {
-	case nn.Conv:
-		return l.OutShape.Channels * l.InShape.Channels * l.Kernel * l.Kernel
-	case nn.FullyConnected:
-		return l.OutShape.Channels * l.InShape.Volume()
-	default:
-		return 0
-	}
 }
 
 // Datamover exposes the on-board memory interface (used by tests and the

@@ -57,6 +57,21 @@ func (l *LayerHW) WindowTaps() int {
 	return 1
 }
 
+// WeightWords returns the number of weight words (excluding bias) the
+// layer's geometry implies: the word count a weight-set entry must carry and
+// the datamover streams per image when weights stay off-chip. Non-compute
+// layers need none.
+func (l *LayerHW) WeightWords() int {
+	switch l.Kind {
+	case nn.Conv:
+		return l.OutShape.Channels * l.InShape.Channels * l.Kernel * l.Kernel
+	case nn.FullyConnected:
+		return l.OutShape.Channels * l.InShape.Volume()
+	default:
+		return 0
+	}
+}
+
 // PE is one processing element of the accelerator together with its memory
 // subsystem. A PE implements one or more logical layers (fused PEs iterate
 // over their layers with an outer loop, per Section 3.2 of the paper).

@@ -1,0 +1,92 @@
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		d    *Diagnostic
+		want string
+	}{
+		{Errorf(RuleShapeChain, "pe1", "conv2", "bad shape"),
+			"error[CND001] pe1/conv2: bad shape"},
+		{New(RuleFIFODepth, Warning, "pe0", "", "oversized"),
+			"warning[CND006] pe0: oversized"},
+		{Errorf(RuleBoardUnknown, "", "", "no such board"),
+			"error[CND011]: no such board"},
+		{New(RuleWeightWords, Error, "", "fc1", "short entry"),
+			"error[CND008] fc1: short entry"},
+	}
+	for _, tc := range cases {
+		if got := tc.d.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+		if got := tc.d.Error(); got != tc.want {
+			t.Errorf("Error() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestRuleUnwrapsChains(t *testing.T) {
+	base := Errorf(RuleWeightMissing, "pe2", "fc1", "no weights")
+	wrapped := fmt.Errorf("dataflow: %w", fmt.Errorf("instantiate: %w", base))
+	if r := Rule(wrapped); r != RuleWeightMissing {
+		t.Fatalf("Rule(wrapped) = %q, want %s", r, RuleWeightMissing)
+	}
+	if r := Rule(errors.New("plain")); r != "" {
+		t.Fatalf("Rule(plain) = %q, want empty", r)
+	}
+	if r := Rule(nil); r != "" {
+		t.Fatalf("Rule(nil) = %q, want empty", r)
+	}
+}
+
+func TestSortOrdersErrorsFirst(t *testing.T) {
+	ds := []*Diagnostic{
+		New(RuleFIFODepth, Warning, "pe0", "", "w"),
+		Errorf(RuleShapeChain, "pe1", "b", "e"),
+		Errorf(RuleShapeChain, "pe1", "a", "e"),
+		Errorf(RuleParallelism, "pe0", "", "e"),
+	}
+	Sort(ds)
+	want := []string{
+		"error[CND001] pe1/a: e",
+		"error[CND001] pe1/b: e",
+		"error[CND015] pe0: e",
+		"warning[CND006] pe0: w",
+	}
+	for i, d := range ds {
+		if d.String() != want[i] {
+			t.Fatalf("position %d: got %q, want %q", i, d, want[i])
+		}
+	}
+}
+
+func TestErrAndHasErrors(t *testing.T) {
+	warnOnly := []*Diagnostic{New(RuleFIFODepth, Warning, "pe0", "", "w")}
+	if HasErrors(warnOnly) {
+		t.Fatal("HasErrors true for warnings only")
+	}
+	if err := Err(warnOnly); err != nil {
+		t.Fatalf("Err(warnings) = %v, want nil", err)
+	}
+
+	mixed := append(warnOnly, Errorf(RuleShapeChain, "pe1", "l", "bad"))
+	Sort(mixed)
+	if !HasErrors(mixed) {
+		t.Fatal("HasErrors false with an error present")
+	}
+	err := Err(mixed)
+	if err == nil {
+		t.Fatal("Err(mixed) = nil")
+	}
+	if Rule(err) != RuleShapeChain {
+		t.Fatalf("Rule(Err(mixed)) = %q, want %s", Rule(err), RuleShapeChain)
+	}
+	if Err(nil) != nil {
+		t.Fatal("Err(nil) != nil")
+	}
+}

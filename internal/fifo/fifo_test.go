@@ -93,8 +93,11 @@ func TestStats(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		f.Push(Word(i))
 	}
-	f.Pop()
-	f.Pop()
+	for i := 0; i < 2; i++ {
+		if v, ok := f.Pop(); !ok || v != Word(i) {
+			t.Fatalf("pop %d = %v, %v", i, v, ok)
+		}
+	}
 	s := f.Stats()
 	if s.Name != "stats" || s.Depth != 8 {
 		t.Fatalf("stats identity wrong: %+v", s)

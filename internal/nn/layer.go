@@ -209,14 +209,5 @@ func (l *Layer) CheckWeights(in Shape) error {
 	return nil
 }
 
-func shapeEq(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
+// shapeEq delegates to the canonical dimension-list comparison.
+func shapeEq(a, b []int) bool { return tensor.ShapeEq(a, b) }

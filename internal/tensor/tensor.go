@@ -156,12 +156,17 @@ func AllClose(a, b *Tensor, tol float64) bool {
 }
 
 // SameShape reports whether a and b have identical shapes.
-func SameShape(a, b *Tensor) bool {
-	if len(a.shape) != len(b.shape) {
+func SameShape(a, b *Tensor) bool { return ShapeEq(a.shape, b.shape) }
+
+// ShapeEq reports whether two dimension lists are identical. It is the one
+// supported way to compare raw shape slices (the shapecompare analyzer in
+// internal/analysis rejects hand-rolled alternatives).
+func ShapeEq(a, b []int) bool {
+	if len(a) != len(b) {
 		return false
 	}
-	for i := range a.shape {
-		if a.shape[i] != b.shape[i] {
+	for i := range a {
+		if a[i] != b[i] {
 			return false
 		}
 	}
