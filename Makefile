@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet condorlint lint test race bench ci
+.PHONY: all build vet condorlint lint test race race-serve smoke-serve bench ci
 
 all: build lint test
 
@@ -22,6 +22,24 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-serve focuses the race detector on the serving tier and its
+# root-package stress gate (64 concurrent clients, mixed backend pool).
+race-serve:
+	$(GO) test -race ./internal/serve/...
+	$(GO) test -race -run 'TestServe|TestDeployLocalUnique' .
+
+# smoke-serve boots awsmock and condor-serve, then probes one inference
+# round over HTTP (the same step CI runs).
+smoke-serve:
+	$(GO) build -o bin/ ./cmd/awsmock ./cmd/condor-serve
+	./bin/awsmock -addr 127.0.0.1:8780 -afi-delay 100ms -fail-rate 0.05 & echo $$! > .awsmock.pid
+	./bin/condor-serve -addr 127.0.0.1:8781 -model tc1 -local 1 \
+		-endpoint http://127.0.0.1:8780 -instance-type f1.4xlarge -slots 2 & echo $$! > .serve.pid
+	for i in $$(seq 1 50); do curl -fs http://127.0.0.1:8781/healthz >/dev/null 2>&1 && break; sleep 0.2; done
+	./bin/condor-serve -probe http://127.0.0.1:8781
+	curl -fs http://127.0.0.1:8781/healthz >/dev/null
+	kill $$(cat .serve.pid .awsmock.pid); rm -f .serve.pid .awsmock.pid
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,254 @@
+// Command condor-serve is the inference serving frontend of the Condor
+// backend: it builds an accelerator for a catalogued model, deploys it onto
+// a pool of backends — local boards and/or F1 slots of a cloud endpoint
+// such as cmd/awsmock — and serves single-image inference over HTTP with
+// dynamic batching, admission control and least-loaded scheduling.
+//
+// Serve a pool of two local boards plus the slots of an F1 instance:
+//
+//	awsmock -addr 127.0.0.1:8780 &
+//	condor-serve -addr 127.0.0.1:8781 -model tc1 -local 2 \
+//	    -endpoint http://127.0.0.1:8780 -instance-type f1.4xlarge -slots 2
+//
+// Endpoints:
+//
+//	POST /infer   {"image":[...]}  single NCHW image, row-major float32
+//	GET  /healthz                  readiness + accepted input shape
+//	GET  /statsz                   queue depth, batch histogram, utilization
+//
+// The probe mode drives one round against a running server and exits
+// non-zero on failure (the CI smoke test):
+//
+//	condor-serve -probe http://127.0.0.1:8781
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"condor"
+	"condor/internal/aws"
+	"condor/internal/condorir"
+	"condor/internal/models"
+	"condor/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8781", "HTTP listen address")
+		model       = flag.String("model", "tc1", "model to serve: tc1 | lenet")
+		local       = flag.Int("local", 1, "number of local boards to program")
+		localBoard  = flag.String("local-board", "ku115", "board id for local deployments")
+		endpoint    = flag.String("endpoint", "", "cloud endpoint URL (e.g. awsmock); empty disables the cloud pool")
+		bucket      = flag.String("bucket", "condor-serve", "S3 bucket for cloud deployments")
+		instType    = flag.String("instance-type", "f1.2xlarge", "F1 instance type for the cloud pool")
+		slots       = flag.Int("slots", 1, "F1 slots to program and schedule")
+		maxBatch    = flag.Int("max-batch", 8, "largest coalesced batch")
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "max wait for a batch to fill")
+		queueDepth  = flag.Int("queue", 64, "admission queue bound (backpressure beyond it)")
+		reqTimeout  = flag.Duration("request-timeout", 2*time.Second, "per-request serving deadline")
+		probe       = flag.String("probe", "", "probe a running condor-serve at this URL and exit")
+	)
+	flag.Parse()
+
+	if *probe != "" {
+		if err := runProbe(*probe); err != nil {
+			fmt.Fprintln(os.Stderr, "condor-serve: probe:", err)
+			os.Exit(1)
+		}
+		fmt.Println("probe ok")
+		return
+	}
+	if err := run(*addr, *model, *local, *localBoard, *endpoint, *bucket, *instType,
+		*slots, *maxBatch, *batchWindow, *queueDepth, *reqTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "condor-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func modelIR(model string) (*condorir.Network, *condorir.WeightSet, error) {
+	switch model {
+	case "tc1":
+		return models.TC1()
+	case "lenet":
+		return models.LeNet()
+	default:
+		return nil, nil, fmt.Errorf("unknown model %q (tc1 | lenet)", model)
+	}
+}
+
+func run(addr, model string, local int, localBoard, endpoint, bucket, instType string,
+	slots, maxBatch int, batchWindow time.Duration, queueDepth int, reqTimeout time.Duration) error {
+	if local <= 0 && endpoint == "" {
+		return fmt.Errorf("nothing to serve: need -local > 0 and/or -endpoint")
+	}
+	f := &condor.Framework{Logf: func(format string, a ...any) {
+		fmt.Printf("[condor] "+format+"\n", a...)
+	}}
+
+	var pool []serve.Backend
+
+	// Local boards: one build for the on-premise board, one deployment per
+	// device.
+	if local > 0 {
+		ir, ws, err := modelIR(model)
+		if err != nil {
+			return err
+		}
+		build, err := f.BuildAccelerator(condor.Input{IR: ir, Weights: ws, Board: localBoard})
+		if err != nil {
+			return fmt.Errorf("local build: %w", err)
+		}
+		for i := 0; i < local; i++ {
+			dep, err := f.DeployLocal(build)
+			if err != nil {
+				return fmt.Errorf("local deployment %d: %w", i, err)
+			}
+			fmt.Printf("backend pool += local board %s (%s)\n", dep.ID(), localBoard)
+			pool = append(pool, dep)
+		}
+	}
+
+	// Cloud slots: a separate F1 build goes through S3 → AFI → instance,
+	// then every programmed slot joins the pool as its own backend.
+	if endpoint != "" {
+		ir, ws, err := modelIR(model)
+		if err != nil {
+			return err
+		}
+		build, err := f.BuildAccelerator(condor.Input{IR: ir, Weights: ws, Board: models.F1Board})
+		if err != nil {
+			return fmt.Errorf("cloud build: %w", err)
+		}
+		dep, err := f.DeployCloud(build, condor.CloudConfig{
+			Endpoint: endpoint, License: aws.LicenseFromAMI(),
+			Bucket: bucket, InstanceType: instType, Slots: slots,
+		})
+		if err != nil {
+			return fmt.Errorf("cloud deployment: %w", err)
+		}
+		defer dep.Terminate() //nolint:errcheck
+		for _, sb := range dep.SlotBackends() {
+			fmt.Printf("backend pool += F1 slot %s\n", sb.ID())
+			pool = append(pool, sb)
+		}
+	}
+
+	srv, err := serve.New(serve.Config{
+		Backends:    pool,
+		MaxBatch:    maxBatch,
+		BatchWindow: batchWindow,
+		QueueDepth:  queueDepth,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Every pool member serves the same network, so the HTTP tier validates
+	// requests against the model's input geometry.
+	ir, _, err := modelIR(model)
+	if err != nil {
+		return err
+	}
+	input := serve.InputShape{Channels: ir.Input.Channels, Height: ir.Input.Height, Width: ir.Input.Width}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           serve.NewHandler(srv, input, reqTimeout),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("serving %s on http://%s with %d backends (max batch %d, window %v, queue %d)\n",
+		model, addr, len(pool), maxBatch, batchWindow, queueDepth)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Printf("\n%v: draining in-flight requests\n", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Printf("drained: %d completed, %d rejected, %d expired, %d failed across %d batches\n",
+		st.Completed, st.Rejected, st.Expired, st.Failed, st.Batches)
+	return nil
+}
+
+// runProbe exercises a running server once: health, one inference, stats.
+func runProbe(base string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	var health serve.HealthResponse
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("healthz decode: %w", err)
+	}
+	if health.Status != "ok" || health.Input.Volume() == 0 {
+		return fmt.Errorf("unhealthy server: %+v", health)
+	}
+
+	img := make([]float32, health.Input.Volume())
+	for i := range img {
+		img[i] = float32(i%7) / 7
+	}
+	body, err := json.Marshal(serve.InferRequest{Image: img})
+	if err != nil {
+		return err
+	}
+	resp, err = client.Post(base+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /infer: status %s", resp.Status)
+	}
+	var infer serve.InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&infer); err != nil {
+		return fmt.Errorf("infer decode: %w", err)
+	}
+	if len(infer.Output) == 0 {
+		return fmt.Errorf("empty inference output")
+	}
+	fmt.Printf("inferred: argmax %d over %d classes, modeled kernel %.3f ms\n",
+		infer.Argmax, len(infer.Output), infer.KernelMs)
+
+	resp, err = client.Get(base + "/statsz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var stats serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return fmt.Errorf("statsz decode: %w", err)
+	}
+	if stats.Completed == 0 {
+		return fmt.Errorf("statsz reports no completed requests after a successful inference")
+	}
+	fmt.Printf("stats: %d completed, %d batches, %d backends\n",
+		stats.Completed, stats.Batches, len(stats.Backends))
+	return nil
+}

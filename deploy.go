@@ -3,12 +3,21 @@ package condor
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"condor/internal/aws"
 	"condor/internal/bitstream"
 	"condor/internal/sdaccel"
+	"condor/internal/serve"
 	"condor/internal/tensor"
+)
+
+// Both deployment kinds (and each programmed F1 slot) satisfy the serving
+// tier's Backend contract, so a serve.Server can pool them freely.
+var (
+	_ serve.Backend = (*LocalDeployment)(nil)
+	_ serve.Backend = (*SlotBackend)(nil)
 )
 
 // LocalDeployment is a build loaded onto an on-premise board through the
@@ -18,11 +27,17 @@ type LocalDeployment struct {
 	build  *Build
 }
 
-// DeployLocal programs a local device with the build's xclbin and loads the
-// weights (the on-premise path of the backend tier).
+// localDeviceSeq numbers local boards so every deployment models a distinct
+// card (fpga0, fpga1, …) — a pool of local backends must not alias one
+// device.
+var localDeviceSeq atomic.Uint64
+
+// DeployLocal programs the next free local device with the build's xclbin
+// and loads the weights (the on-premise path of the backend tier). Each
+// call claims a distinct device id.
 func (f *Framework) DeployLocal(b *Build) (*LocalDeployment, error) {
 	f.logf("backend: programming local board %s", b.Meta.Board)
-	dev, err := sdaccel.NewDevice("fpga0", b.Meta.Board)
+	dev, err := sdaccel.NewDevice(fmt.Sprintf("fpga%d", localDeviceSeq.Add(1)-1), b.Meta.Board)
 	if err != nil {
 		return nil, err
 	}
@@ -34,6 +49,9 @@ func (f *Framework) DeployLocal(b *Build) (*LocalDeployment, error) {
 	}
 	return &LocalDeployment{Device: dev, build: b}, nil
 }
+
+// ID identifies the deployment's device, e.g. for serving-pool stats.
+func (d *LocalDeployment) ID() string { return d.Device.ID }
 
 // Infer runs a batch on the local device and returns the outputs plus the
 // modeled kernel time in milliseconds.
@@ -100,6 +118,10 @@ type CloudDeployment struct {
 	Slot       int   // first programmed slot
 	Slots      []int // all programmed slots; batches shard across them
 	build      *Build
+
+	// runSeq numbers inference runs so concurrent callers get disjoint S3
+	// staging keys.
+	runSeq atomic.Uint64
 }
 
 // DeployCloud runs the full cloud path of the backend: package the AFI
@@ -187,53 +209,49 @@ func PackageAFITarball(b *Build) ([]byte, error) {
 	return bitstream.PackageAFITarball(b.Xclbin)
 }
 
-// Infer uploads a batch to S3, runs it on the deployed slot and downloads
-// the outputs, returning them with the modeled kernel milliseconds.
+// Infer uploads a batch to S3, runs it on the deployment's first slot and
+// downloads the outputs, returning them with the modeled kernel
+// milliseconds. Concurrent calls stage under disjoint S3 keys.
 func (d *CloudDeployment) Infer(batch []*tensor.Tensor) ([]*tensor.Tensor, float64, error) {
-	spec := d.build.Spec
-	inVol := spec.Input.Volume()
-	outShape := spec.OutputShape()
-	outVol := outShape.Volume()
-	flat := make([]float32, 0, len(batch)*inVol)
-	for i, img := range batch {
-		if img.Len() != inVol {
-			return nil, 0, fmt.Errorf("condor: image %d has %d words, accelerator input is %d", i, img.Len(), inVol)
-		}
-		flat = append(flat, img.Data()...)
+	return d.inferOnSlot(d.Slot, fmt.Sprintf("runs/run%d", d.runSeq.Add(1)), batch)
+}
+
+// ID identifies the deployment's primary slot in a serving pool; use
+// SlotBackends to schedule every programmed slot independently.
+func (d *CloudDeployment) ID() string {
+	return fmt.Sprintf("%s/slot%d", d.InstanceID, d.Slot)
+}
+
+// SlotBackend exposes one programmed F1 slot as an independently
+// schedulable inference backend: the unit of parallelism the serving tier's
+// scheduler dispatches batches to. Each backend stages its runs under its
+// own S3 keys, so different slots of one instance execute concurrently
+// without colliding.
+type SlotBackend struct {
+	dep  *CloudDeployment
+	slot int
+}
+
+// SlotBackends returns one backend per programmed slot of the instance.
+func (d *CloudDeployment) SlotBackends() []*SlotBackend {
+	slots := d.Slots
+	if len(slots) == 0 {
+		slots = []int{d.Slot}
 	}
-	inKey := "runs/input.bin"
-	outKey := "runs/output.bin"
-	if err := d.Client.PutObject(d.Bucket, inKey, aws.EncodeBatch(flat)); err != nil {
-		return nil, 0, err
+	out := make([]*SlotBackend, len(slots))
+	for i, s := range slots {
+		out[i] = &SlotBackend{dep: d, slot: s}
 	}
-	res, err := d.Client.ExecuteInference(aws.InferenceJob{
-		InstanceID: d.InstanceID, Slot: d.Slot,
-		Weights: aws.ObjectRef{Bucket: d.Bucket, Key: weightsKey(d.build)},
-		Input:   aws.ObjectRef{Bucket: d.Bucket, Key: inKey},
-		Output:  aws.ObjectRef{Bucket: d.Bucket, Key: outKey},
-		Batch:   len(batch),
-	})
-	if err != nil {
-		return nil, 0, err
-	}
-	outBytes, err := d.Client.GetObject(d.Bucket, outKey)
-	if err != nil {
-		return nil, 0, err
-	}
-	vals, err := aws.DecodeBatch(outBytes)
-	if err != nil {
-		return nil, 0, err
-	}
-	if len(vals) != len(batch)*outVol {
-		return nil, 0, fmt.Errorf("condor: remote output has %d words, want %d", len(vals), len(batch)*outVol)
-	}
-	outs := make([]*tensor.Tensor, len(batch))
-	for i := range outs {
-		t := tensor.New(outShape.Channels, outShape.Height, outShape.Width)
-		copy(t.Data(), vals[i*outVol:(i+1)*outVol])
-		outs[i] = t
-	}
-	return outs, res.KernelMs, nil
+	return out
+}
+
+// ID names the backend after its instance and slot.
+func (b *SlotBackend) ID() string { return fmt.Sprintf("%s/slot%d", b.dep.InstanceID, b.slot) }
+
+// Infer runs one batch on this slot.
+func (b *SlotBackend) Infer(batch []*tensor.Tensor) ([]*tensor.Tensor, float64, error) {
+	prefix := fmt.Sprintf("runs/slot%d/run%d", b.slot, b.dep.runSeq.Add(1))
+	return b.dep.inferOnSlot(b.slot, prefix, batch)
 }
 
 // InferSharded splits a batch across every programmed slot of the instance
@@ -258,7 +276,9 @@ func (d *CloudDeployment) InferSharded(batch []*tensor.Tensor) ([]*tensor.Tensor
 		ms   float64
 		err  error
 	}
-	// Contiguous shards preserve output ordering on reassembly.
+	// Contiguous shards preserve output ordering on reassembly; every shard
+	// of this run stages under a run-unique key prefix.
+	run := d.runSeq.Add(1)
 	per := (len(batch) + n - 1) / n
 	results := make(chan shardResult, n)
 	shards := 0
@@ -272,10 +292,10 @@ func (d *CloudDeployment) InferSharded(batch []*tensor.Tensor) ([]*tensor.Tensor
 			break
 		}
 		shards++
-		go func(idx, slot int, part []*tensor.Tensor) {
-			outs, ms, err := d.inferOnSlot(slot, idx, part)
+		go func(idx, slot int, prefix string, part []*tensor.Tensor) {
+			outs, ms, err := d.inferOnSlot(slot, prefix, part)
 			results <- shardResult{idx: idx, outs: outs, ms: ms, err: err}
-		}(i, slots[i], batch[lo:hi])
+		}(i, slots[i], fmt.Sprintf("runs/run%d/shard%d", run, i), batch[lo:hi])
 	}
 	outs := make([]*tensor.Tensor, len(batch))
 	var maxMs float64
@@ -299,19 +319,24 @@ func (d *CloudDeployment) InferSharded(batch []*tensor.Tensor) ([]*tensor.Tensor
 	return outs, maxMs, nil
 }
 
-// inferOnSlot runs one shard against a specific slot using per-shard S3
-// keys so concurrent shards do not collide.
-func (d *CloudDeployment) inferOnSlot(slot, shard int, batch []*tensor.Tensor) ([]*tensor.Tensor, float64, error) {
+// inferOnSlot runs one batch against a specific slot, staging input and
+// output under the given S3 key prefix; callers pass disjoint prefixes so
+// concurrent runs (shards of one batch, or scheduler dispatches to
+// different slots) do not collide.
+func (d *CloudDeployment) inferOnSlot(slot int, keyPrefix string, batch []*tensor.Tensor) ([]*tensor.Tensor, float64, error) {
 	spec := d.build.Spec
 	inVol := spec.Input.Volume()
 	outShape := spec.OutputShape()
 	outVol := outShape.Volume()
 	flat := make([]float32, 0, len(batch)*inVol)
-	for _, img := range batch {
+	for i, img := range batch {
+		if img.Len() != inVol {
+			return nil, 0, fmt.Errorf("condor: image %d has %d words, accelerator input is %d", i, img.Len(), inVol)
+		}
 		flat = append(flat, img.Data()...)
 	}
-	inKey := fmt.Sprintf("runs/shard%d/input.bin", shard)
-	outKey := fmt.Sprintf("runs/shard%d/output.bin", shard)
+	inKey := keyPrefix + "/input.bin"
+	outKey := keyPrefix + "/output.bin"
 	if err := d.Client.PutObject(d.Bucket, inKey, aws.EncodeBatch(flat)); err != nil {
 		return nil, 0, err
 	}
@@ -334,7 +359,7 @@ func (d *CloudDeployment) inferOnSlot(slot, shard int, batch []*tensor.Tensor) (
 		return nil, 0, err
 	}
 	if len(vals) != len(batch)*outVol {
-		return nil, 0, fmt.Errorf("condor: shard %d output has %d words, want %d", shard, len(vals), len(batch)*outVol)
+		return nil, 0, fmt.Errorf("condor: slot %d output under %s has %d words, want %d", slot, keyPrefix, len(vals), len(batch)*outVol)
 	}
 	outs := make([]*tensor.Tensor, len(batch))
 	for i := range outs {

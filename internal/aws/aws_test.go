@@ -89,6 +89,56 @@ func TestClientGivesUpAfterMaxRetries(t *testing.T) {
 	}
 }
 
+// A cloud that drops half of all requests is still usable through the
+// client's jittered retries: with enough attempts the chance every retry of
+// one request hits an injected fault is negligible.
+func TestClientRetriesThroughTransientErrorRate(t *testing.T) {
+	srv := NewServer(Options{
+		AFIGenerationDelay: 5 * time.Millisecond,
+		TransientErrorRate: 0.5,
+		TransientErrorSeed: 42,
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, LicenseFromAMI())
+	c.MaxRetries = 12
+	c.Backoff = time.Microsecond
+	if err := c.CreateBucket("flaky-bucket"); err != nil {
+		t.Fatalf("CreateBucket through 50%% fault rate: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("obj/%d", i)
+		if err := c.PutObject("flaky-bucket", key, []byte{byte(i)}); err != nil {
+			t.Fatalf("PutObject %d through fault rate: %v", i, err)
+		}
+		if _, err := c.GetObject("flaky-bucket", key); err != nil {
+			t.Fatalf("GetObject %d through fault rate: %v", i, err)
+		}
+	}
+	// Turning the rate off stops the injection entirely.
+	srv.SetTransientErrorRate(0)
+	c.MaxRetries = 0
+	for i := 0; i < 10; i++ {
+		if _, err := c.GetObject("flaky-bucket", "obj/0"); err != nil {
+			t.Fatalf("request %d failed with the fault rate disabled: %v", i, err)
+		}
+	}
+}
+
+func TestRetryJitterBounds(t *testing.T) {
+	for _, d := range []time.Duration{time.Millisecond, time.Second} {
+		for i := 0; i < 100; i++ {
+			j := jitter(d)
+			if j < d/2 || j > d {
+				t.Fatalf("jitter(%v) = %v, want within [%v, %v]", d, j, d/2, d)
+			}
+		}
+	}
+	if j := jitter(1); j != 1 {
+		t.Fatalf("jitter(1) = %v, want passthrough", j)
+	}
+}
+
 // buildTC1Tarball compiles TC1 for the F1 and packages the AFI tarball.
 func buildTC1Tarball(t *testing.T) ([]byte, *condorir.WeightSet, *dataflow.Spec) {
 	t.Helper()

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"time"
@@ -41,13 +42,16 @@ func NewClient(base, license string) *Client {
 // LicenseFromAMI returns the licence token the FPGA Developer AMI provides.
 func LicenseFromAMI() string { return DefaultLicense }
 
-// doRaw issues one HTTP request with retries on transient failures.
+// doRaw issues one HTTP request with retries on transient failures. The
+// sleep between attempts doubles and is jittered, so a fleet of scheduler
+// goroutines retrying the same outage spreads out instead of hammering the
+// endpoint in lockstep (the AWS SDK "full jitter" guidance).
 func (c *Client) doRaw(method, path string, body []byte, contentType string) ([]byte, error) {
 	var lastErr error
 	delay := c.Backoff
 	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(delay)
+			time.Sleep(jitter(delay))
 			delay *= 2
 		}
 		req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
@@ -81,6 +85,16 @@ func (c *Client) doRaw(method, path string, body []byte, contentType string) ([]
 		return data, nil
 	}
 	return nil, fmt.Errorf("aws: request failed after %d attempts: %w", c.MaxRetries+1, lastErr)
+}
+
+// jitter picks a uniform sleep in [d/2, d]; the global rand source is
+// goroutine-safe, so concurrent retry paths decorrelate.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := int64(d) / 2
+	return time.Duration(half + rand.Int63n(half+1))
 }
 
 func decodeAPIError(status int, body []byte) error {

@@ -25,6 +25,11 @@ type Instance struct {
 
 	devices []*sdaccel.Device
 	loaded  []string // agfi id per slot, "" when cleared
+
+	// slotMu serialises the load-weights → run sequence per slot, so
+	// concurrent ExecuteInference calls from serving-scheduler goroutines
+	// are safe: each targets one slot, different slots run in parallel.
+	slotMu []sync.Mutex
 }
 
 // SlotStatus reports what an FPGA slot is running.
@@ -63,6 +68,7 @@ func (e *ec2Service) runInstance(instanceType string) (*Instance, error) {
 		State:        "running",
 		Slots:        slots,
 		loaded:       make([]string, slots),
+		slotMu:       make([]sync.Mutex, slots),
 	}
 	for s := 0; s < slots; s++ {
 		dev, err := sdaccel.NewDevice(fmt.Sprintf("%s/slot%d", inst.InstanceID, s), "aws-f1-vu9p")
@@ -124,6 +130,8 @@ func (e *ec2Service) loadImage(instanceID string, slot int, agfi string) error {
 	if err != nil {
 		return err
 	}
+	inst.slotMu[slot].Lock()
+	defer inst.slotMu[slot].Unlock()
 	if err := dev.ProgramFromAFI(xclbin); err != nil {
 		return &apiError{Code: "FpgaImageLoadFailure", Status: 500, Message: err.Error()}
 	}
@@ -161,10 +169,14 @@ type InferenceResult struct {
 // and writes the raw float32 outputs back to S3.
 func (e *ec2Service) executeInference(instanceID string, slot int,
 	weightsBucket, weightsKey, inputBucket, inputKey, outputBucket, outputKey string, batch int) (*InferenceResult, error) {
-	_, dev, err := e.slot(instanceID, slot)
+	inst, dev, err := e.slot(instanceID, slot)
 	if err != nil {
 		return nil, err
 	}
+	// The whole host-program run — weight load through kernel execution —
+	// holds the slot, as the real per-slot host process would.
+	inst.slotMu[slot].Lock()
+	defer inst.slotMu[slot].Unlock()
 	if !dev.Programmed() {
 		return nil, &apiError{Code: "FpgaNotProgrammed", Status: 409,
 			Message: fmt.Sprintf("slot %d of %s has no image loaded", slot, instanceID)}
@@ -219,6 +231,7 @@ func (e *ec2Service) executeInference(instanceID string, slot int,
 func instSnapshot(i *Instance) *Instance {
 	cp := *i
 	cp.devices = nil
+	cp.slotMu = nil
 	cp.loaded = append([]string(nil), i.loaded...)
 	return &cp
 }

@@ -3,6 +3,7 @@ package aws
 import (
 	"encoding/json"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -21,6 +22,14 @@ type Options struct {
 	AFIGenerationDelay time.Duration
 	// Licenses are the accepted licence tokens (default: DefaultLicense).
 	Licenses []string
+	// TransientErrorRate makes that fraction of requests fail with a 503
+	// before reaching any service, modelling the sporadic throttling and
+	// internal errors of the real cloud (0 disables). Clients are expected
+	// to absorb these through their retry policy.
+	TransientErrorRate float64
+	// TransientErrorSeed seeds the fault-injection RNG so flaky-cloud tests
+	// are reproducible (0 uses a fixed default seed).
+	TransientErrorSeed int64
 }
 
 // Server is the in-process AWS endpoint: an S3-like store under /s3/ and
@@ -32,8 +41,10 @@ type Server struct {
 
 	licenses map[string]bool
 
-	mu    sync.Mutex
-	failN int // fault injection: fail the next N requests with 503
+	mu       sync.Mutex
+	failN    int     // fault injection: fail the next N requests with 503
+	failRate float64 // fault injection: fail this fraction of requests
+	failRNG  *rand.Rand
 }
 
 // NewServer builds a cloud endpoint.
@@ -46,11 +57,17 @@ func NewServer(opts Options) *Server {
 	}
 	store := newObjectStore()
 	afi := newAFIService(store, opts.AFIGenerationDelay)
+	seed := opts.TransientErrorSeed
+	if seed == 0 {
+		seed = 1
+	}
 	s := &Server{
 		store:    store,
 		afi:      afi,
 		ec2:      newEC2Service(afi, store),
 		licenses: make(map[string]bool),
+		failRate: opts.TransientErrorRate,
+		failRNG:  rand.New(rand.NewSource(seed)),
 	}
 	for _, l := range opts.Licenses {
 		s.licenses[l] = true
@@ -65,15 +82,29 @@ func (s *Server) FailNextN(n int) {
 	s.mu.Unlock()
 }
 
+// SetTransientErrorRate changes the injected transient-failure fraction at
+// runtime (0 disables).
+func (s *Server) SetTransientErrorRate(rate float64) {
+	s.mu.Lock()
+	s.failRate = rate
+	s.mu.Unlock()
+}
+
 func (s *Server) injectFault(w http.ResponseWriter) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.failN > 0 {
+	fail := false
+	switch {
+	case s.failN > 0:
 		s.failN--
-		http.Error(w, `{"Code":"ServiceUnavailable","Message":"injected fault"}`, http.StatusServiceUnavailable)
-		return true
+		fail = true
+	case s.failRate > 0:
+		fail = s.failRNG.Float64() < s.failRate
 	}
-	return false
+	if fail {
+		http.Error(w, `{"Code":"ServiceUnavailable","Message":"injected fault"}`, http.StatusServiceUnavailable)
+	}
+	return fail
 }
 
 // ServeHTTP routes S3 and API traffic.

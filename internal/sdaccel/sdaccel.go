@@ -8,6 +8,7 @@ package sdaccel
 
 import (
 	"fmt"
+	"sync"
 
 	"condor/internal/bitstream"
 	"condor/internal/board"
@@ -17,11 +18,15 @@ import (
 	"condor/internal/tensor"
 )
 
-// Device models one FPGA card visible to the runtime.
+// Device models one FPGA card visible to the runtime. A device serialises
+// programming, weight loads and command-queue execution behind one mutex —
+// a physical card runs one kernel at a time — so scheduler goroutines of
+// the serving tier may share a Device without external locking.
 type Device struct {
 	ID    string
 	Board *board.Board
 
+	mu      sync.Mutex
 	xclbin  *bitstream.Xclbin
 	weights *condorir.WeightSet
 	acc     *dataflow.Accelerator
@@ -60,16 +65,24 @@ func (d *Device) program(data []byte) error {
 	if x.Meta.Board != d.Board.ID {
 		return fmt.Errorf("sdaccel: xclbin targets %s, device is %s", x.Meta.Board, d.Board.ID)
 	}
+	d.mu.Lock()
 	d.xclbin = x
 	d.acc = nil // weights must be (re)loaded for the new image
+	d.mu.Unlock()
 	return nil
 }
 
 // Programmed reports whether a kernel image is loaded.
-func (d *Device) Programmed() bool { return d.xclbin != nil }
+func (d *Device) Programmed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.xclbin != nil
+}
 
 // Spec returns the fabric specification of the loaded image.
 func (d *Device) Spec() (*dataflow.Spec, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.xclbin == nil {
 		return nil, fmt.Errorf("sdaccel: device %s has no image loaded", d.ID)
 	}
@@ -78,6 +91,8 @@ func (d *Device) Spec() (*dataflow.Spec, error) {
 
 // Meta returns the loaded image's metadata.
 func (d *Device) Meta() (bitstream.Metadata, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.xclbin == nil {
 		return bitstream.Metadata{}, fmt.Errorf("sdaccel: device %s has no image loaded", d.ID)
 	}
@@ -88,6 +103,8 @@ func (d *Device) Meta() (bitstream.Metadata, error) {
 // (the dynamic weight-load step that lets a retrained network run without
 // re-synthesis) and instantiates the fabric.
 func (d *Device) LoadWeights(ws *condorir.WeightSet) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.xclbin == nil {
 		return fmt.Errorf("sdaccel: device %s has no image loaded", d.ID)
 	}
@@ -205,8 +222,13 @@ type RunInfo struct {
 }
 
 // Finish executes all enqueued commands in order and returns the
-// accumulated run info.
+// accumulated run info. The device is held for the whole command sequence,
+// so contexts created by concurrent goroutines (the serving scheduler, the
+// cloud service's per-slot host programs) serialise on the card exactly as
+// one physical device would.
 func (c *Context) Finish() (RunInfo, error) {
+	c.dev.mu.Lock()
+	defer c.dev.mu.Unlock()
 	for _, cmd := range c.queue {
 		if err := cmd(); err != nil {
 			c.queue = nil

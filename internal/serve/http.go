@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"condor/internal/tensor"
+)
+
+// InputShape is the image geometry the served accelerator accepts.
+type InputShape struct {
+	Channels int `json:"channels"`
+	Height   int `json:"height"`
+	Width    int `json:"width"`
+}
+
+// Volume returns the number of float32 words per image.
+func (s InputShape) Volume() int { return s.Channels * s.Height * s.Width }
+
+// InferRequest is the JSON body of POST /infer: one image, row-major NCHW.
+type InferRequest struct {
+	Image []float32 `json:"image"`
+}
+
+// InferResponse is the JSON reply of POST /infer.
+type InferResponse struct {
+	Output   []float32 `json:"output"`
+	Argmax   int       `json:"argmax"`
+	KernelMs float64   `json:"kernel_ms"`
+}
+
+// HealthResponse is the JSON reply of GET /healthz; probes use the input
+// shape to build well-formed requests.
+type HealthResponse struct {
+	Status   string     `json:"status"`
+	Input    InputShape `json:"input"`
+	Backends int        `json:"backends"`
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// NewHandler exposes a Server over HTTP:
+//
+//	POST /infer   {"image":[...]}  → {"output":[...],"argmax":n,"kernel_ms":x}
+//	GET  /healthz                  → {"status":"ok","input":{...},"backends":n}
+//	GET  /statsz                   → the Stats snapshot
+//
+// requestTimeout bounds each inference request's time in the serving
+// pipeline (queueing + batching + device); 0 means no per-request deadline.
+// Backpressure maps to 429, deadlines to 504, shutdown to 503.
+func NewHandler(s *Server, input InputShape, requestTimeout time.Duration) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, HealthResponse{
+			Status:   "ok",
+			Input:    input,
+			Backends: len(s.cfg.Backends),
+		})
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, httpError{Error: "POST required"})
+			return
+		}
+		var req InferRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: "malformed JSON: " + err.Error()})
+			return
+		}
+		if len(req.Image) != input.Volume() {
+			writeJSON(w, http.StatusBadRequest, httpError{
+				Error: fmt.Sprintf("image has %d words, accelerator input %dx%dx%d needs %d",
+					len(req.Image), input.Channels, input.Height, input.Width, input.Volume()),
+			})
+			return
+		}
+		ctx := r.Context()
+		if requestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, requestTimeout)
+			defer cancel()
+		}
+		img := tensor.FromSlice(req.Image, input.Channels, input.Height, input.Width)
+		out, ms, err := s.Submit(ctx, img)
+		if err != nil {
+			writeJSON(w, statusForErr(err), httpError{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, InferResponse{
+			Output:   out.Data(),
+			Argmax:   argmax(out.Data()),
+			KernelMs: ms,
+		})
+	})
+	return mux
+}
+
+func statusForErr(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func argmax(vals []float32) int {
+	best := 0
+	for i, v := range vals {
+		if v > vals[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}

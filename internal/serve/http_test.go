@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newTestHandler(t *testing.T) (*Server, http.Handler) {
+	t.Helper()
+	fb := &fakeBackend{id: "b0", kernelMs: 1}
+	s, err := New(Config{Backends: []Backend{fb}, MaxBatch: 4, BatchWindow: time.Millisecond, QueueDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, NewHandler(s, InputShape{Channels: 1, Height: 2, Width: 2}, time.Second)
+}
+
+func TestHTTPInfer(t *testing.T) {
+	s, h := newTestHandler(t)
+	defer mustShutdown(t, s)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	body, _ := json.Marshal(InferRequest{Image: []float32{0.1, 0.9, 0.3, 0.2}})
+	resp, err := client.Post(ts.URL+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /infer status %d", resp.StatusCode)
+	}
+	var ir InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	// The fake backend echoes its input, so argmax picks the 0.9 word.
+	if ir.Argmax != 1 || len(ir.Output) != 4 {
+		t.Fatalf("infer response %+v", ir)
+	}
+	if ir.KernelMs <= 0 {
+		t.Fatalf("kernel ms %v, want > 0", ir.KernelMs)
+	}
+}
+
+func TestHTTPBadShape(t *testing.T) {
+	s, h := newTestHandler(t)
+	defer mustShutdown(t, s)
+	rec := httptest.NewRecorder()
+	body, _ := json.Marshal(InferRequest{Image: []float32{1, 2, 3}})
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/infer", bytes.NewReader(body)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("short image: status %d, want 400", rec.Code)
+	}
+}
+
+func TestHTTPHealthAndStats(t *testing.T) {
+	s, h := newTestHandler(t)
+	defer mustShutdown(t, s)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz status %d", rec.Code)
+	}
+	var hr HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.Input.Volume() != 4 || hr.Backends != 1 {
+		t.Fatalf("health %+v", hr)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statsz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/statsz status %d", rec.Code)
+	}
+	var st Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.QueueCapacity != 16 {
+		t.Fatalf("statsz queue capacity %d, want 16", st.QueueCapacity)
+	}
+}
+
+func TestHTTPBackpressureStatus(t *testing.T) {
+	if got := statusForErr(ErrQueueFull); got != http.StatusTooManyRequests {
+		t.Fatalf("ErrQueueFull → %d, want 429", got)
+	}
+	if got := statusForErr(ErrClosed); got != http.StatusServiceUnavailable {
+		t.Fatalf("ErrClosed → %d, want 503", got)
+	}
+	if got := statusForErr(context.DeadlineExceeded); got != http.StatusGatewayTimeout {
+		t.Fatalf("DeadlineExceeded → %d, want 504", got)
+	}
+}

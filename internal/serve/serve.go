@@ -1,0 +1,321 @@
+// Package serve is the inference serving tier of the Condor backend: it
+// multiplexes many concurrent single-image clients onto a heterogeneous
+// pool of deployed accelerators — local boards programmed through the
+// SDAccel runtime and programmed F1 slots reached through the cloud API —
+// behind one Server.
+//
+// The server is built from three cooperating pieces:
+//
+//   - admission control: a bounded request queue; when it is full Submit
+//     fails fast with ErrQueueFull (backpressure) instead of letting latency
+//     grow without bound, and per-request contexts carry deadlines and
+//     cancellation;
+//   - a dynamic batcher: single-image requests are coalesced into
+//     device-sized batches under a max-batch/max-latency window, because the
+//     accelerator pipeline only reaches its steady-state initiation interval
+//     when consecutive images stream back to back (the paper's Figure 5
+//     batch behaviour);
+//   - a scheduler: formed batches are dispatched to the least-loaded free
+//     backend, measured by accumulated modeled kernel milliseconds, so a
+//     mixed pool of fast and slow devices stays balanced.
+//
+// Shutdown drains gracefully: admission stops, queued and in-flight batches
+// complete, and every admitted request receives a reply. No admitted
+// request is ever silently dropped — each one either completes or fails
+// with an explicit backpressure, deadline or backend error.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"condor/internal/tensor"
+)
+
+// Backend is one inference executor the scheduler dispatches formed batches
+// to: a local board (condor.LocalDeployment) or one programmed F1 slot
+// (condor.SlotBackend). The scheduler never calls the same backend
+// concurrently with itself, but different backends run in parallel from
+// separate goroutines, so implementations must not share unsynchronised
+// mutable state.
+type Backend interface {
+	// ID identifies the backend in stats (device id or instance/slot).
+	ID() string
+	// Infer runs one batch, returning outputs in input order and the
+	// modeled kernel time in milliseconds.
+	Infer(batch []*tensor.Tensor) ([]*tensor.Tensor, float64, error)
+}
+
+// Sentinel errors of the admission path.
+var (
+	// ErrQueueFull is the backpressure signal: the bounded request queue is
+	// at capacity and the request was rejected at admission.
+	ErrQueueFull = errors.New("serve: request queue full (backpressure)")
+	// ErrClosed reports a Submit after Shutdown started.
+	ErrClosed = errors.New("serve: server is shut down")
+)
+
+// Config sizes the serving pipeline.
+type Config struct {
+	// Backends is the pool of inference executors (at least one).
+	Backends []Backend
+	// MaxBatch caps the size of a formed batch (default 8). A full batch is
+	// dispatched immediately.
+	MaxBatch int
+	// BatchWindow bounds how long the first request of a forming batch
+	// waits for company before the partial batch is flushed (default 2ms).
+	BatchWindow time.Duration
+	// QueueDepth bounds the admission queue; a full queue rejects with
+	// ErrQueueFull (default 64).
+	QueueDepth int
+	// LatencySamples sizes the reservoir behind the p50/p95/p99 estimates
+	// (default 4096).
+	LatencySamples int
+}
+
+func (c *Config) applyDefaults() error {
+	if len(c.Backends) == 0 {
+		return errors.New("serve: config needs at least one backend")
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.LatencySamples <= 0 {
+		c.LatencySamples = 4096
+	}
+	return nil
+}
+
+// request is one admitted single-image inference.
+type request struct {
+	ctx      context.Context
+	img      *tensor.Tensor
+	enqueued time.Time
+	done     chan result // buffered(1): the pipeline never blocks on delivery
+}
+
+type result struct {
+	out      *tensor.Tensor
+	kernelMs float64
+	err      error
+}
+
+// Server multiplexes concurrent clients onto the backend pool.
+type Server struct {
+	cfg     Config
+	queue   chan *request
+	batches chan []*request
+
+	mu     sync.Mutex
+	closed bool
+
+	admitted sync.WaitGroup // one count per admitted request until its reply
+	loops    sync.WaitGroup // batcher + scheduler goroutines
+	drain    sync.Once
+	drained  chan struct{}
+
+	sched *scheduler
+	stats *statsCollector
+}
+
+// New starts a server over the configured backend pool. The batcher and
+// scheduler goroutines run until Shutdown.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *request, cfg.QueueDepth),
+		// A shallow batch buffer lets the batcher keep forming while every
+		// backend is busy without hiding backpressure from the queue.
+		batches: make(chan []*request, len(cfg.Backends)),
+		drained: make(chan struct{}),
+		sched:   newScheduler(cfg.Backends),
+		stats:   newStatsCollector(cfg.MaxBatch, cfg.LatencySamples),
+	}
+	s.loops.Add(2)
+	go s.batchLoop()
+	go s.scheduleLoop()
+	return s, nil
+}
+
+// Submit runs one image through the serving pipeline and blocks until the
+// result is ready, the request's context expires, or admission rejects it.
+// Every admitted request is eventually answered even if the caller has
+// already given up on its context.
+func (s *Server) Submit(ctx context.Context, img *tensor.Tensor) (*tensor.Tensor, float64, error) {
+	req := &request{ctx: ctx, img: img, enqueued: time.Now(), done: make(chan result, 1)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	select {
+	case s.queue <- req:
+		s.admitted.Add(1)
+		s.stats.admit()
+	default:
+		s.mu.Unlock()
+		s.stats.reject()
+		return nil, 0, ErrQueueFull
+	}
+	s.mu.Unlock()
+	select {
+	case r := <-req.done:
+		return r.out, r.kernelMs, r.err
+	case <-ctx.Done():
+		// The request stays in the pipeline (its batch still runs and the
+		// reply lands in the buffered done channel); the caller gets the
+		// explicit deadline/cancellation error now.
+		return nil, 0, ctx.Err()
+	}
+}
+
+// finish delivers a request's reply exactly once and settles its admission
+// accounting.
+func (s *Server) finish(req *request, r result) {
+	s.stats.settle(req, r)
+	req.done <- r
+	s.admitted.Done()
+}
+
+// batchLoop coalesces queued requests into batches: a batch is flushed as
+// soon as it reaches MaxBatch, or BatchWindow after its first request
+// arrived, whichever comes first.
+func (s *Server) batchLoop() {
+	defer s.loops.Done()
+	defer close(s.batches)
+	var pending []*request
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	timerLive := false
+	flush := func() {
+		if timerLive {
+			if !timer.Stop() {
+				<-timer.C
+			}
+			timerLive = false
+		}
+		if len(pending) == 0 {
+			return
+		}
+		s.batches <- pending
+		pending = nil
+	}
+	for {
+		select {
+		case req, ok := <-s.queue:
+			if !ok {
+				flush()
+				return
+			}
+			if err := req.ctx.Err(); err != nil {
+				s.finish(req, result{err: fmt.Errorf("serve: request expired while queued: %w", err)})
+				continue
+			}
+			pending = append(pending, req)
+			if len(pending) >= s.cfg.MaxBatch {
+				flush()
+			} else if len(pending) == 1 {
+				timer.Reset(s.cfg.BatchWindow)
+				timerLive = true
+			}
+		case <-timer.C:
+			timerLive = false
+			flush()
+		}
+	}
+}
+
+// scheduleLoop takes formed batches and dispatches each to the least-loaded
+// free backend, blocking while the whole pool is busy. Dispatches run in
+// their own goroutines so independent backends execute in parallel.
+func (s *Server) scheduleLoop() {
+	defer s.loops.Done()
+	var dispatch sync.WaitGroup
+	for batch := range s.batches {
+		// Requests whose deadline passed while the batch formed are settled
+		// here with an explicit error rather than wasting device time.
+		live := make([]*request, 0, len(batch))
+		for _, req := range batch {
+			if err := req.ctx.Err(); err != nil {
+				s.finish(req, result{err: fmt.Errorf("serve: deadline passed before dispatch: %w", err)})
+				continue
+			}
+			live = append(live, req)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		st := s.sched.acquire()
+		s.stats.recordBatch(len(live))
+		dispatch.Add(1)
+		go func(st *backendState, reqs []*request) {
+			defer dispatch.Done()
+			imgs := make([]*tensor.Tensor, len(reqs))
+			for i, r := range reqs {
+				imgs[i] = r.img
+			}
+			outs, ms, err := st.backend.Infer(imgs)
+			s.sched.release(st, ms, len(reqs), err != nil)
+			if err != nil {
+				err = fmt.Errorf("serve: backend %s: %w", st.backend.ID(), err)
+				for _, r := range reqs {
+					s.finish(r, result{err: err})
+				}
+				return
+			}
+			for i, r := range reqs {
+				s.finish(r, result{out: outs[i], kernelMs: ms})
+			}
+		}(st, live)
+	}
+	dispatch.Wait()
+}
+
+// Shutdown stops admission and drains: queued requests are batched and
+// executed, in-flight batches complete, and every admitted request receives
+// its reply. ctx bounds how long to wait for the drain. Shutdown is
+// idempotent; concurrent calls all wait for the same drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.drain.Do(func() {
+		go func() {
+			s.loops.Wait()
+			s.admitted.Wait()
+			close(s.drained)
+		}()
+	})
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown drain incomplete: %w", ctx.Err())
+	}
+}
+
+// QueueDepth reports how many admitted requests are waiting for batching.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Stats snapshots the serving counters, batch histogram, per-backend
+// utilization and latency quantiles.
+func (s *Server) Stats() Stats {
+	return s.stats.snapshot(len(s.queue), s.cfg.QueueDepth, s.sched.snapshot())
+}
