@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet condorlint lint test race race-serve smoke-serve bench ci
+.PHONY: all build vet condorlint lint test race race-serve smoke-serve bench bench-fabric profile-fabric ci
 
 all: build lint test
 
@@ -43,6 +43,18 @@ smoke-serve:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-fabric runs the streaming-datapath microbenchmarks and writes the
+# machine-readable results CI uploads as an artifact.
+bench-fabric:
+	$(GO) run ./cmd/condor-bench -json BENCH_fabric.json
+
+# profile-fabric captures a CPU profile of the functional fabric benchmark;
+# inspect it with `go tool pprof fabric.cpu.prof`.
+profile-fabric:
+	$(GO) test -run '^$$' -bench BenchmarkFabricThroughput -benchtime 200x \
+		-cpuprofile fabric.cpu.prof -o fabric.bench.test .
+	$(GO) tool pprof -top -nodecount=15 fabric.cpu.prof
 
 # ci is the full gate the workflow runs: build, both linters, and the race
 # detector over the test suite.

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"condor"
+	"condor/internal/models"
+	"condor/internal/tensor"
+)
+
+// benchResult is one machine-readable microbenchmark row. The names mirror
+// the go-test benchmarks in bench_test.go so CI dashboards can join the two
+// sources.
+type benchResult struct {
+	Name    string  `json:"name"`
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+	ImgPerS float64 `json:"img_per_s"`
+}
+
+// timeIt runs fn (one image of work per call) until it has both a minimum
+// iteration count and a minimum elapsed time, then reports the mean.
+func timeIt(name string, fn func() error) (benchResult, error) {
+	const (
+		minIters = 3
+		minTime  = 200 * time.Millisecond
+		maxIters = 10000
+	)
+	// Warm-up: first call pays one-time costs (weight staging, allocator).
+	if err := fn(); err != nil {
+		return benchResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	iters := 0
+	start := time.Now()
+	for {
+		if err := fn(); err != nil {
+			return benchResult{}, fmt.Errorf("%s: %w", name, err)
+		}
+		iters++
+		if iters >= maxIters || (iters >= minIters && time.Since(start) >= minTime) {
+			break
+		}
+	}
+	nsPerOp := float64(time.Since(start).Nanoseconds()) / float64(iters)
+	return benchResult{Name: name, Iters: iters, NsPerOp: nsPerOp, ImgPerS: 1e9 / nsPerOp}, nil
+}
+
+// benchJSON runs the fabric-throughput microbenchmarks (the same workloads
+// as BenchmarkFabricThroughput, BenchmarkReferenceEngine and
+// BenchmarkBaselineGEMMEngine) and writes the results as JSON, for CI
+// artifact upload and regression tracking.
+func benchJSON(path string) error {
+	ir, ws, err := models.TC1()
+	if err != nil {
+		return err
+	}
+	bld, err := condor.New().BuildAccelerator(condor.Input{IR: ir, Weights: ws})
+	if err != nil {
+		return err
+	}
+	dep, err := bld.Fabric()
+	if err != nil {
+		return err
+	}
+	net, err := ir.BuildNN(ws)
+	if err != nil {
+		return err
+	}
+	fabricImgs := models.USPSImages(1, 5)
+	refImg := models.USPSImages(1, 6)[0]
+	gemmImg := models.USPSImages(1, 3)[0]
+
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"BenchmarkFabricThroughput", func() error {
+			_, _, err := dep.Run(fabricImgs)
+			return err
+		}},
+		{"BenchmarkReferenceEngine", func() error {
+			_, err := net.Predict(refImg)
+			return err
+		}},
+		{"BenchmarkBaselineGEMMEngine/direct", func() error {
+			_, err := net.Predict(gemmImg)
+			return err
+		}},
+		{"BenchmarkBaselineGEMMEngine/gemm", func() error {
+			var out *tensor.Tensor
+			out, err := net.GEMMForward(gemmImg)
+			_ = out
+			return err
+		}},
+	}
+
+	var results []benchResult
+	fmt.Println("Fabric microbenchmarks")
+	for _, c := range cases {
+		r, err := timeIt(c.name, c.fn)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		fmt.Printf("%-38s %10d iters %14.0f ns/op %12.1f img/s\n", r.Name, r.Iters, r.NsPerOp, r.ImgPerS)
+	}
+
+	blob, err := json.MarshalIndent(struct {
+		Benchmarks []benchResult `json:"benchmarks"`
+	}{results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", path)
+	return nil
+}

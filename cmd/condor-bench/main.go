@@ -8,6 +8,7 @@
 //
 //	condor-bench            # everything
 //	condor-bench -only table1|table2|figure5
+//	condor-bench -json BENCH_fabric.json   # fabric microbenchmarks → JSON
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 func main() {
 	only := flag.String("only", "", "run a single experiment: table1 | table2 | figure5")
+	jsonOut := flag.String("json", "", "run the fabric microbenchmarks and write results to this JSON file (e.g. BENCH_fabric.json)")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -29,6 +31,15 @@ func main() {
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "condor-bench: %s: %v\n", name, err)
 			os.Exit(1)
+		}
+	}
+	if *jsonOut != "" {
+		if err := benchJSON(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "condor-bench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *only == "" && flag.NFlag() == 1 {
+			return // -json alone runs only the microbenchmarks
 		}
 	}
 	run("table1", table1)

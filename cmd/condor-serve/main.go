@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,6 +57,7 @@ func main() {
 		queueDepth  = flag.Int("queue", 64, "admission queue bound (backpressure beyond it)")
 		reqTimeout  = flag.Duration("request-timeout", 2*time.Second, "per-request serving deadline")
 		probe       = flag.String("probe", "", "probe a running condor-serve at this URL and exit")
+		pprofOn     = flag.Bool("pprof", false, "expose Go profiling under /debug/pprof (opt-in; do not enable on untrusted networks)")
 	)
 	flag.Parse()
 
@@ -68,7 +70,7 @@ func main() {
 		return
 	}
 	if err := run(*addr, *model, *local, *localBoard, *endpoint, *bucket, *instType,
-		*slots, *maxBatch, *batchWindow, *queueDepth, *reqTimeout); err != nil {
+		*slots, *maxBatch, *batchWindow, *queueDepth, *reqTimeout, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "condor-serve:", err)
 		os.Exit(1)
 	}
@@ -86,7 +88,7 @@ func modelIR(model string) (*condorir.Network, *condorir.WeightSet, error) {
 }
 
 func run(addr, model string, local int, localBoard, endpoint, bucket, instType string,
-	slots, maxBatch int, batchWindow time.Duration, queueDepth int, reqTimeout time.Duration) error {
+	slots, maxBatch int, batchWindow time.Duration, queueDepth int, reqTimeout time.Duration, pprofOn bool) error {
 	if local <= 0 && endpoint == "" {
 		return fmt.Errorf("nothing to serve: need -local > 0 and/or -endpoint")
 	}
@@ -160,9 +162,25 @@ func run(addr, model string, local int, localBoard, endpoint, bucket, instType s
 	}
 	input := serve.InputShape{Channels: ir.Input.Channels, Height: ir.Input.Height, Width: ir.Input.Width}
 
+	var handler http.Handler = serve.NewHandler(srv, input, reqTimeout)
+	if pprofOn {
+		// The serving handler stays the default route; the profiling
+		// endpoints are registered explicitly (the server does not use
+		// http.DefaultServeMux, so the net/http/pprof side-effect import
+		// alone would expose nothing).
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Printf("pprof enabled on http://%s/debug/pprof/\n", addr)
+	}
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           serve.NewHandler(srv, input, reqTimeout),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errc := make(chan error, 1)

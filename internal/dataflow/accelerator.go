@@ -98,7 +98,24 @@ func (s *RunStats) TotalMACs() int64 {
 // pipeline across the PEs exactly as on the device; outputs are returned in
 // input order. The returned stats carry per-PE cycle counts and DDR
 // traffic for the batch.
+//
+// Run uses the burst datapath: FIFO traffic moves in slice-granularity
+// bursts (whole images, padded rows, output tensors) with identical word
+// content, order, traffic totals and modeled cycles as the word-at-a-time
+// path, which is retained behind RunWords as the equivalence oracle.
 func (a *Accelerator) Run(batch []*tensor.Tensor) ([]*tensor.Tensor, *RunStats, error) {
+	return a.run(batch, true)
+}
+
+// RunWords executes the batch with the original word-at-a-time datapath:
+// one FIFO operation per streamed word, the exact granularity of the modeled
+// hardware. It exists so tests can assert the burst datapath is functionally
+// and statistically bit-identical; production callers should use Run.
+func (a *Accelerator) RunWords(batch []*tensor.Tensor) ([]*tensor.Tensor, *RunStats, error) {
+	return a.run(batch, false)
+}
+
+func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor, *RunStats, error) {
 	if len(batch) == 0 {
 		return nil, &RunStats{}, nil
 	}
@@ -122,15 +139,21 @@ func (a *Accelerator) Run(batch []*tensor.Tensor) ([]*tensor.Tensor, *RunStats, 
 
 	var wg sync.WaitGroup
 
-	// Feeder: the datamover streams every image from on-board memory.
+	// Feeder: the datamover streams every image from on-board memory. In
+	// burst mode a whole image moves per PushSlice (chunked internally by
+	// the FIFO's free space, so the bounded depth still throttles).
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer fifos[0].Close()
 		for _, img := range batch {
 			a.dm.AccountInput(int64(img.Len()))
-			for _, v := range img.Data() {
-				fifos[0].Push(v)
+			if burst {
+				fifos[0].PushSlice(img.Data())
+			} else {
+				for _, v := range img.Data() {
+					fifos[0].Push(v)
+				}
 			}
 		}
 	}()
@@ -138,7 +161,12 @@ func (a *Accelerator) Run(batch []*tensor.Tensor) ([]*tensor.Tensor, *RunStats, 
 	// One goroutine per PE.
 	for i, pe := range spec.PEs {
 		stats.PEs[i].ID = pe.ID
-		exec := &peExec{pe: pe, dm: a.dm, in: fifos[i], out: fifos[i+1], stats: &stats.PEs[i]}
+		var exec interface{ run(int) error }
+		if burst {
+			exec = &peExec{pe: pe, dm: a.dm, in: fifos[i], out: fifos[i+1], stats: &stats.PEs[i]}
+		} else {
+			exec = &peExecWords{pe: pe, dm: a.dm, in: fifos[i], out: fifos[i+1], stats: &stats.PEs[i]}
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -158,21 +186,30 @@ func (a *Accelerator) Run(batch []*tensor.Tensor) ([]*tensor.Tensor, *RunStats, 
 		for b := range outputs {
 			t := tensor.New(outShape.Channels, outShape.Height, outShape.Width)
 			data := t.Data()
-			for j := range data {
-				v, ok := sink.Pop()
-				if !ok {
-					errs <- fmt.Errorf("dataflow: output stream ended at image %d element %d", b, j)
+			if burst {
+				if n := sink.PopInto(data); n < len(data) {
+					errs <- fmt.Errorf("dataflow: output stream ended at image %d element %d", b, n)
 					return
 				}
-				data[j] = v
+			} else {
+				for j := range data {
+					v, ok := sink.Pop()
+					if !ok {
+						errs <- fmt.Errorf("dataflow: output stream ended at image %d element %d", b, j)
+						return
+					}
+					data[j] = v
+				}
 			}
 			a.dm.AccountOutput(int64(len(data)))
 			outputs[b] = t
 		}
-		// Anything extra indicates a shape accounting bug.
+		// Anything extra indicates a shape accounting bug. Drain the sink
+		// synchronously so no goroutine outlives Run: the last PE has closed
+		// (or will close) its output FIFO, so the drain terminates.
 		if _, ok := sink.Pop(); ok {
 			errs <- fmt.Errorf("dataflow: accelerator produced more output words than %d images require", len(outputs))
-			go sink.Drain()
+			sink.Drain()
 		}
 	}()
 

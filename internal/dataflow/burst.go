@@ -1,0 +1,187 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"condor/internal/fifo"
+)
+
+// This file implements the burst-mode stencil datapath: the same filter
+// pipeline as stencil.go (one goroutine per window access, FIFOs between
+// them), advanced one padded input row per synchronisation instead of one
+// word. Window contents, delivery order and every modeled quantity are
+// identical to the word-at-a-time path — bursts only batch the host-side
+// channel operations, the way Caffeine-class accelerators batch their DDR
+// traffic. The word-granularity implementation is retained in wordpath.go
+// and stencil.go as the equivalence oracle.
+
+// tapFIFODepthRows sizes the tap FIFOs of the row-granularity chain. The
+// consumer retires whole output rows (outW words per tap) in slot order,
+// blocking on the bottom window row (m = k-1); for the single chain
+// goroutine to reach the padded row that feeds it, the top window row's tap
+// (m = 0) must absorb every intervening output row it selects —
+// ⌈(k-1)/stride⌉+1 rows — without blocking. One extra row of slack keeps
+// producer and consumer decoupled. This is a simulation margin only — the
+// resource model charges the analytic minimum, as with tapFIFODepth.
+func tapFIFODepthRows(l *LayerHW) int {
+	rows := (l.Kernel-1)/l.Stride + 2
+	d := rows * l.OutShape.Width
+	if m := 2 * l.Kernel * l.Kernel; m > d {
+		d = m
+	}
+	if d < 8 {
+		d = 8
+	}
+	return d
+}
+
+// padFIFODepth sizes the padded-stream FIFO so a whole padded row fits.
+func padFIFODepth(l *LayerHW) int {
+	if w := l.PaddedWidth(); w > 64 {
+		return w
+	}
+	return 64
+}
+
+// startRows spawns the filter pipeline for one input map at row granularity.
+// src must deliver exactly paddedH×paddedW words in whole rows. Each active
+// tap FIFO receives exactly OutH×OutW words in row-major output order, one
+// PushSlice per output row, and is closed when the map ends.
+//
+// At row granularity every filter of the chain observes the identical
+// padded row sequence — the inter-filter reuse FIFOs of the word-level
+// pipeline (stencil.go) carry it unchanged from filter to filter — so the
+// whole chain advances as a single goroutine that applies each filter's
+// row/column selection in turn. This collapses the k²+ goroutine handoffs
+// per row into one, which is where the word-level simulator spends its
+// time; the per-filter decomposition and reuse-distance FIFOs remain in
+// the word path and in the resource model, which still charges the
+// analytic c.FIFODepths.
+func (c *FilterChain) startRows(l *LayerHW, src *fifo.FIFO) (*chainRun, error) {
+	if l.PaddedWidth() > c.PaddedW {
+		return nil, fmt.Errorf("dataflow: layer %q padded width %d exceeds chain width %d", l.Name, l.PaddedWidth(), c.PaddedW)
+	}
+	run := &chainRun{taps: make([]*fifo.FIFO, len(c.Taps))}
+
+	paddedW := l.PaddedWidth()
+	outH, outW := l.OutShape.Height, l.OutShape.Width
+	stride := l.Stride
+
+	type activeTap struct {
+		f *fifo.FIFO
+		Tap
+	}
+	var active []activeTap
+	for i, tap := range c.Taps {
+		tapF := fifo.New(fmt.Sprintf("tap(%d,%d)", tap.M, tap.N), tapFIFODepthRows(l))
+		run.taps[i] = tapF
+		if tap.M < l.Kernel && tap.N < l.Kernel {
+			active = append(active, activeTap{tapF, tap})
+		} else {
+			// Taps outside the layer's window (fused chains size the window
+			// for the largest layer) select nothing for this map.
+			tapF.Close()
+		}
+	}
+
+	run.wg.Add(1)
+	go func() {
+		defer run.wg.Done()
+		defer func() {
+			for _, at := range active {
+				at.f.Close()
+			}
+		}()
+		row := make([]fifo.Word, paddedW)
+		sel := make([]fifo.Word, outW)
+		// Each filter's inequality set at row granularity: padded row y
+		// contributes to tap (M,N) iff it is the M-th row of some valid
+		// output row; within it, the selected columns are N, N+stride, …
+		for y := 0; ; y++ {
+			n := src.PopInto(row)
+			if n < paddedW { // 0 = end of map; short = truncated upstream
+				return
+			}
+			for _, at := range active {
+				if y >= at.M && (y-at.M)%stride == 0 && (y-at.M)/stride < outH {
+					for ox := 0; ox < outW; ox++ {
+						sel[ox] = row[at.N+ox*stride]
+					}
+					at.f.PushSlice(sel)
+				}
+			}
+		}
+	}()
+	return run, nil
+}
+
+// rowWindowReader reads one output row of windows per synchronisation from
+// a row-granularity chain run.
+type rowWindowReader struct {
+	run   *chainRun
+	order []int         // chain tap index for window slot (m*k+n)
+	rows  [][]fifo.Word // per slot, the current output row of tap words
+	win   []fifo.Word   // assembled window, reused across calls
+}
+
+// newRowWindowReader prepares a reader for the layer's k×k window.
+func (c *FilterChain) newRowWindowReader(run *chainRun, l *LayerHW) (*rowWindowReader, error) {
+	order, err := c.activeTaps(l.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	k := l.Kernel
+	r := &rowWindowReader{run: run, order: order, win: make([]fifo.Word, k*k)}
+	r.rows = make([][]fifo.Word, k*k)
+	for i := range r.rows {
+		r.rows[i] = make([]fifo.Word, l.OutShape.Width)
+	}
+	return r, nil
+}
+
+// nextRow pulls one output row worth of words from every active tap;
+// ok=false when the map is exhausted.
+func (r *rowWindowReader) nextRow() bool {
+	for slot, ti := range r.order {
+		if n := r.run.taps[ti].PopInto(r.rows[slot]); n < len(r.rows[slot]) {
+			return false
+		}
+	}
+	return true
+}
+
+// window assembles window ox of the current output row (indexed [m*k+n]).
+// The returned slice is reused across calls.
+func (r *rowWindowReader) window(ox int) []fifo.Word {
+	for slot := range r.win {
+		r.win[slot] = r.rows[slot][ox]
+	}
+	return r.win
+}
+
+// streamPaddedRows pushes one feature map (h×w words of data) into dst as a
+// zero-padded (h+2p)×(w+2p) row-major stream, one PushSlice per padded row,
+// then closes dst. Burst twin of streamPadded.
+func streamPaddedRows(data []float32, h, w, pad int, dst *fifo.FIFO) error {
+	defer dst.Close()
+	if len(data) != h*w {
+		return fmt.Errorf("dataflow: input map has %d words, want %d", len(data), h*w)
+	}
+	paddedW := w + 2*pad
+	var zero []fifo.Word
+	if pad > 0 {
+		zero = make([]fifo.Word, paddedW)
+		for i := 0; i < pad; i++ {
+			dst.PushSlice(zero)
+		}
+	}
+	row := make([]fifo.Word, paddedW) // pad borders stay zero
+	for y := 0; y < h; y++ {
+		copy(row[pad:pad+w], data[y*w:(y+1)*w])
+		dst.PushSlice(row)
+	}
+	for i := 0; i < pad; i++ {
+		dst.PushSlice(zero)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package dataflow
+
+import (
+	"math"
+	"testing"
+
+	"condor/internal/condorir"
+	"condor/internal/models"
+	"condor/internal/tensor"
+)
+
+// These tests pin the tentpole invariant of the burst datapath: Run (burst
+// granularity) and RunWords (one FIFO operation per word, the modeled
+// hardware granularity) must produce bit-identical outputs and identical
+// RunStats — same stream traffic totals, MACs, windows, modeled cycles and
+// DDR bytes. MaxOccupancy is the one excluded quantity: it is a high-water
+// mark of a race between producer and consumer and is nondeterministic even
+// between two word-at-a-time runs.
+
+func runEquivalence(t *testing.T, ir *condorir.Network, ws *condorir.WeightSet, batch []*tensor.Tensor) {
+	t.Helper()
+
+	spec, err := BuildSpec(ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Separate instantiations so the datamovers' DDR counters accumulate
+	// each path's traffic independently.
+	burstAcc, err := Instantiate(spec, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wordAcc, err := Instantiate(spec, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	burstOut, burstStats, err := burstAcc.Run(batch)
+	if err != nil {
+		t.Fatalf("burst run: %v", err)
+	}
+	wordOut, wordStats, err := wordAcc.RunWords(batch)
+	if err != nil {
+		t.Fatalf("word run: %v", err)
+	}
+
+	// Outputs: bit-identical, not approximately equal — the burst path must
+	// preserve the exact floating-point accumulation order.
+	if len(burstOut) != len(wordOut) {
+		t.Fatalf("output count %d vs %d", len(burstOut), len(wordOut))
+	}
+	for i := range burstOut {
+		bd, wd := burstOut[i].Data(), wordOut[i].Data()
+		if len(bd) != len(wd) {
+			t.Fatalf("image %d: output volume %d vs %d", i, len(bd), len(wd))
+		}
+		for j := range bd {
+			if math.Float32bits(bd[j]) != math.Float32bits(wd[j]) {
+				t.Fatalf("image %d element %d: burst %v (%#x) != word %v (%#x)",
+					i, j, bd[j], math.Float32bits(bd[j]), wd[j], math.Float32bits(wd[j]))
+			}
+		}
+	}
+
+	if burstStats.Images != wordStats.Images {
+		t.Errorf("Images: %d vs %d", burstStats.Images, wordStats.Images)
+	}
+	if len(burstStats.PEs) != len(wordStats.PEs) {
+		t.Fatalf("PE count %d vs %d", len(burstStats.PEs), len(wordStats.PEs))
+	}
+	for i := range burstStats.PEs {
+		if burstStats.PEs[i] != wordStats.PEs[i] {
+			t.Errorf("PE %d stats differ:\n burst %+v\n word  %+v", i, burstStats.PEs[i], wordStats.PEs[i])
+		}
+	}
+	if burstStats.DRAM != wordStats.DRAM {
+		t.Errorf("DRAM traffic differs: burst %+v, word %+v", burstStats.DRAM, wordStats.DRAM)
+	}
+	if len(burstStats.Streams) != len(wordStats.Streams) {
+		t.Fatalf("stream count %d vs %d", len(burstStats.Streams), len(wordStats.Streams))
+	}
+	for i := range burstStats.Streams {
+		bs, ws := burstStats.Streams[i], wordStats.Streams[i]
+		if bs.Name != ws.Name || bs.Depth != ws.Depth || bs.Pushes != ws.Pushes || bs.Pops != ws.Pops {
+			t.Errorf("stream %d differs (MaxOccupancy excluded):\n burst %+v\n word  %+v", i, bs, ws)
+		}
+	}
+}
+
+func TestBurstWordEquivalenceTC1(t *testing.T) {
+	ir, ws, err := models.TC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEquivalence(t, ir, ws, models.USPSImages(4, 7))
+}
+
+func TestBurstWordEquivalenceLeNet(t *testing.T) {
+	ir, ws, err := models.LeNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEquivalence(t, ir, ws, models.MNISTImages(2, 11))
+}

@@ -99,22 +99,43 @@ func maxI64(a, b int64) int64 {
 	return b
 }
 
-// peExec executes one PE over a batch of images.
+// peExec executes one PE over a batch of images with the burst datapath:
+// the input image is pulled from the PE's input FIFO in bursts, each layer
+// fills a preallocated output buffer, and the final layer's output leaves
+// in a single PushSlice. Arithmetic order, FIFO traffic totals, MAC counts
+// and modeled cycles are identical to the word-at-a-time oracle in
+// wordpath.go.
 type peExec struct {
 	pe    *PE
 	dm    *Datamover
 	in    *fifo.FIFO
 	out   *fifo.FIFO
 	stats *PEStats
+
+	// Scratch buffers reused across layers and images to avoid the append
+	// churn of the original per-word emit path.
+	inBuf   []float32
+	outBuf  []float32
+	partial []float32
+}
+
+// growSlice returns s resized to n, reallocating only when capacity is
+// short. Contents are unspecified — callers overwrite or clear.
+func growSlice(s []float32, n int) []float32 {
+	if cap(s) < n {
+		return make([]float32, n)
+	}
+	return s[:n]
 }
 
 // run processes batch images and closes the output FIFO. On error it drains
-// the input stream so upstream PEs never block forever.
+// the input stream so upstream PEs never block forever; the drain completes
+// before run returns, so no goroutine outlives Accelerator.Run.
 func (x *peExec) run(batch int) error {
 	defer x.out.Close()
 	for img := 0; img < batch; img++ {
 		if err := x.runImage(img); err != nil {
-			go x.in.Drain()
+			x.in.Drain()
 			return fmt.Errorf("dataflow: %s image %d: %w", x.pe.ID, img, err)
 		}
 		x.stats.Images++
@@ -124,34 +145,33 @@ func (x *peExec) run(batch int) error {
 
 // runImage pushes one image through the PE's fused layer sequence.
 func (x *peExec) runImage(img int) error {
-	// cur holds the intermediate activations between fused layers; nil for
-	// the first layer, whose input arrives over the input FIFO.
-	var cur []float32
+	// The whole input image is burst out of the input FIFO up front; the
+	// bounded FIFO still throttles the producer, PopInto just retires each
+	// arriving chunk with one synchronisation instead of one per word.
+	vol := x.pe.Layers[0].InShape.Volume()
+	x.inBuf = growSlice(x.inBuf, vol)
+	n := x.in.PopInto(x.inBuf)
+	x.stats.ElemsIn += int64(n)
+	if n < vol {
+		return fmt.Errorf("input stream ended after %d of %d elements", n, vol)
+	}
+	cur := x.inBuf
 	for li := range x.pe.Layers {
 		l := &x.pe.Layers[li]
-
-		read, err := x.layerReader(l, cur)
-		if err != nil {
-			return err
+		if len(cur) != l.InShape.Volume() {
+			return fmt.Errorf("fused intermediate has %d words, layer expects %d", len(cur), l.InShape.Volume())
 		}
-		var outBuf []float32
-		last := li == len(x.pe.Layers)-1
-		emit := func(v float32) {
-			if last {
-				x.out.Push(v)
-				x.stats.ElemsOut++
-			} else {
-				outBuf = append(outBuf, v)
-			}
-		}
+		x.outBuf = growSlice(x.outBuf, l.OutShape.Volume())
+		out := x.outBuf
 
+		var err error
 		switch l.Kind {
 		case nn.Conv:
-			err = x.runConv(l, read, emit)
+			err = x.runConv(l, cur, out)
 		case nn.MaxPool, nn.AvgPool:
-			err = x.runPool(l, read, emit)
+			err = x.runPool(l, cur, out)
 		case nn.FullyConnected:
-			err = x.runFC(l, read, emit)
+			err = x.runFC(l, cur, out)
 		default:
 			err = fmt.Errorf("layer %q: unsupported PE kind %v", l.Name, l.Kind)
 		}
@@ -160,46 +180,23 @@ func (x *peExec) runImage(img int) error {
 		}
 		x.stats.Cycles += LayerCycles(l, x.pe.Par)
 
-		if !last {
+		if li == len(x.pe.Layers)-1 {
+			x.out.PushSlice(out)
+			x.stats.ElemsOut += int64(len(out))
+		} else {
 			// Fused-layer handoff goes through the datamover (the paper's
 			// partial-result exchange): write the intermediate to DDR and
 			// stream it back for the next layer's pass.
 			name := fmt.Sprintf("%s/fused/%s/img%d", x.pe.ID, l.Name, img)
-			x.dm.WriteBuffer(name, outBuf)
+			x.dm.WriteBuffer(name, out)
 			cur, err = x.dm.ReadBuffer(name)
 			if err != nil {
 				return err
 			}
-			x.stats.Cycles += 2 * int64(len(outBuf))
+			x.stats.Cycles += 2 * int64(len(out))
 		}
 	}
 	return nil
-}
-
-// layerReader returns the element source for a layer: the PE input FIFO for
-// the first fused layer, or the buffered intermediate for the rest.
-func (x *peExec) layerReader(l *LayerHW, cur []float32) (func() (fifo.Word, bool), error) {
-	if cur == nil {
-		return func() (fifo.Word, bool) {
-			v, ok := x.in.Pop()
-			if ok {
-				x.stats.ElemsIn++
-			}
-			return v, ok
-		}, nil
-	}
-	if len(cur) != l.InShape.Volume() {
-		return nil, fmt.Errorf("fused intermediate has %d words, layer expects %d", len(cur), l.InShape.Volume())
-	}
-	i := 0
-	return func() (fifo.Word, bool) {
-		if i >= len(cur) {
-			return 0, false
-		}
-		v := cur[i]
-		i++
-		return v, true
-	}, nil
 }
 
 // runConv implements the convolutional PE schedule: input feature maps are
@@ -207,10 +204,11 @@ func (x *peExec) layerReader(l *LayerHW, cur []float32) (func() (fifo.Word, bool
 // position the K² taps are read once and reused across all output channels,
 // accumulating into the partial-sum buffer; after the last input map the
 // bias is added, the folded activation applied, and the output maps are
-// emitted channel-major.
-func (x *peExec) runConv(l *LayerHW, read func() (fifo.Word, bool), emit func(float32)) error {
+// written channel-major into out.
+func (x *peExec) runConv(l *LayerHW, cur, out []float32) error {
 	c, f, k := l.InShape.Channels, l.OutShape.Channels, l.Kernel
 	outHW := l.OutShape.Height * l.OutShape.Width
+	inHW := l.InShape.Height * l.InShape.Width
 	w, b, err := x.dm.Weights(l.Name, x.pe.WeightsOnChip)
 	if err != nil {
 		return err
@@ -218,18 +216,21 @@ func (x *peExec) runConv(l *LayerHW, read func() (fifo.Word, bool), emit func(fl
 	if len(w) != f*c*k*k {
 		return fmt.Errorf("weight stream has %d words, want %d", len(w), f*c*k*k)
 	}
-	partial := make([]float32, f*outHW)
+	x.partial = growSlice(x.partial, f*outHW)
+	partial := x.partial
+	clear(partial)
+	kk := k * k
 	for ci := 0; ci < c; ci++ {
-		if err := x.stencilPass(l, read, func(pos int, win []fifo.Word) {
+		if err := x.stencilRows(l, cur[ci*inHW:(ci+1)*inHW], func(pos int, win []fifo.Word) {
 			for fi := 0; fi < f; fi++ {
-				base := (fi*c + ci) * k * k
+				base := (fi*c + ci) * kk
 				acc := partial[fi*outHW+pos]
-				for t := 0; t < k*k; t++ {
+				for t := 0; t < kk; t++ {
 					acc += w[base+t] * win[t]
 				}
 				partial[fi*outHW+pos] = acc
 			}
-			x.stats.MACs += int64(f * k * k)
+			x.stats.MACs += int64(f * kk)
 		}); err != nil {
 			return err
 		}
@@ -244,7 +245,7 @@ func (x *peExec) runConv(l *LayerHW, read func() (fifo.Word, bool), emit func(fl
 			bias = b[fi]
 		}
 		for pos := 0; pos < outHW; pos++ {
-			emit(applyActivation(l.Activation, partial[fi*outHW+pos]+bias))
+			out[fi*outHW+pos] = applyActivation(l.Activation, partial[fi*outHW+pos]+bias)
 		}
 	}
 	return nil
@@ -252,12 +253,15 @@ func (x *peExec) runConv(l *LayerHW, read func() (fifo.Word, bool), emit func(fl
 
 // runPool implements the sub-sampling PE: one filter-chain pass per channel,
 // each window replaced by its maximum or average.
-func (x *peExec) runPool(l *LayerHW, read func() (fifo.Word, bool), emit func(float32)) error {
+func (x *peExec) runPool(l *LayerHW, cur, out []float32) error {
 	k := l.Kernel
 	isMax := l.Kind == nn.MaxPool
 	inv := 1 / float32(k*k)
+	outHW := l.OutShape.Height * l.OutShape.Width
+	inHW := l.InShape.Height * l.InShape.Width
 	for ci := 0; ci < l.InShape.Channels; ci++ {
-		if err := x.stencilPass(l, read, func(pos int, win []fifo.Word) {
+		base := ci * outHW
+		if err := x.stencilRows(l, cur[ci*inHW:(ci+1)*inHW], func(pos int, win []fifo.Word) {
 			var v float32
 			if isMax {
 				v = float32(math.Inf(-1))
@@ -272,7 +276,7 @@ func (x *peExec) runPool(l *LayerHW, read func() (fifo.Word, bool), emit func(fl
 				}
 				v *= inv
 			}
-			emit(applyActivation(l.Activation, v))
+			out[base+pos] = applyActivation(l.Activation, v)
 		}); err != nil {
 			return err
 		}
@@ -280,44 +284,47 @@ func (x *peExec) runPool(l *LayerHW, read func() (fifo.Word, bool), emit func(fl
 	return nil
 }
 
-// stencilPass streams one input map through the PE's filter chain, invoking
-// fn for every window in row-major output order.
-func (x *peExec) stencilPass(l *LayerHW, read func() (fifo.Word, bool), fn func(pos int, win []fifo.Word)) error {
-	src := fifo.New(x.pe.ID+"/pad", 64)
+// stencilRows streams one input map through the PE's filter chain at row
+// granularity, invoking fn for every window in row-major output order.
+func (x *peExec) stencilRows(l *LayerHW, chmap []float32, fn func(pos int, win []fifo.Word)) error {
+	src := fifo.New(x.pe.ID+"/pad", padFIFODepth(l))
 	padErr := make(chan error, 1)
 	go func() {
-		padErr <- streamPadded(read, l.InShape.Height, l.InShape.Width, l.Pad, src)
+		padErr <- streamPaddedRows(chmap, l.InShape.Height, l.InShape.Width, l.Pad, src)
 	}()
-	run, err := x.pe.Chain.start(l, src)
+	run, err := x.pe.Chain.startRows(l, src)
 	if err != nil {
 		return err
 	}
-	wr, err := x.pe.Chain.newWindowReader(run, l.Kernel)
+	rr, err := x.pe.Chain.newRowWindowReader(run, l)
 	if err != nil {
 		return err
 	}
-	outHW := l.OutShape.Height * l.OutShape.Width
-	for pos := 0; pos < outHW; pos++ {
-		win, ok := wr.next()
-		if !ok {
+	outH, outW := l.OutShape.Height, l.OutShape.Width
+	pos := 0
+	for oy := 0; oy < outH; oy++ {
+		if !rr.nextRow() {
 			run.wait()
 			if err := <-padErr; err != nil {
 				return err
 			}
-			return fmt.Errorf("filter chain delivered only %d of %d windows", pos, outHW)
+			return fmt.Errorf("filter chain delivered only %d of %d windows", pos, outH*outW)
 		}
-		fn(pos, win)
-		x.stats.WindowsRead++
+		for ox := 0; ox < outW; ox++ {
+			fn(pos, rr.window(ox))
+			pos++
+		}
+		x.stats.WindowsRead += int64(outW)
 	}
 	run.wait()
 	return <-padErr
 }
 
 // runFC implements the fully-connected PE as a single-input/single-output
-// 1x1 convolution: each streamed input element is multiplied against every
-// output neuron's weight, accumulating in the on-chip partial vector; the
-// optional normalisation (LogSoftMax/SoftMax) is applied before emission.
-func (x *peExec) runFC(l *LayerHW, read func() (fifo.Word, bool), emit func(float32)) error {
+// 1x1 convolution. The loop nest is output-major over the contiguous weight
+// rows; each neuron's accumulation visits the inputs in the same order as
+// the streaming oracle, so the result is bit-identical.
+func (x *peExec) runFC(l *LayerHW, cur, out []float32) error {
 	v := l.InShape.Volume()
 	o := l.OutShape.Channels
 	w, b, err := x.dm.Weights(l.Name, x.pe.WeightsOnChip)
@@ -327,27 +334,27 @@ func (x *peExec) runFC(l *LayerHW, read func() (fifo.Word, bool), emit func(floa
 	if len(w) != o*v {
 		return fmt.Errorf("weight stream has %d words, want %d", len(w), o*v)
 	}
-	partial := make([]float32, o)
+	x.partial = growSlice(x.partial, o)
+	partial := x.partial
+	clear(partial)
 	copy(partial, b)
-	for h := 0; h < v; h++ {
-		xv, ok := read()
-		if !ok {
-			return fmt.Errorf("input stream ended after %d of %d elements", h, v)
+	in := cur[:v]
+	for oi := 0; oi < o; oi++ {
+		acc := partial[oi]
+		wrow := w[oi*v : (oi+1)*v]
+		for h, xv := range in {
+			acc += wrow[h] * xv
 		}
-		for oi := 0; oi < o; oi++ {
-			partial[oi] += w[oi*v+h] * xv
-		}
-		x.stats.MACs += int64(o)
+		partial[oi] = acc
 	}
+	x.stats.MACs += int64(o) * int64(v)
 	for i := range partial {
 		partial[i] = applyActivation(l.Activation, partial[i])
 	}
 	if l.Normalize != NoActivation {
 		normalizeInPlace(l.Normalize, partial)
 	}
-	for _, p := range partial {
-		emit(p)
-	}
+	copy(out, partial)
 	return nil
 }
 

@@ -4,12 +4,19 @@
 // communicating over FIFOs ... using blocking reads and writes"; this
 // package is that primitive, instrumented with the occupancy statistics the
 // resource model uses to size on-chip buffers.
+//
+// The implementation is a mutex+condvar ring buffer rather than a Go
+// channel: alongside the word-granularity Push/Pop of the hardware model it
+// exposes burst transfers (PushSlice, PopSlice, PopInto) that move many
+// words per synchronisation, the way Caffeine-class accelerators batch
+// their DDR traffic. Bursts are a host-simulation optimisation only — the
+// traffic counters advance by exactly the same totals as the equivalent
+// word-at-a-time sequence, so the modeled quantities are unchanged.
 package fifo
 
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 )
 
 // Word is the data type carried by fabric FIFOs: single-precision floating
@@ -18,17 +25,25 @@ type Word = float32
 
 // FIFO is a bounded, blocking, closeable queue of Words. Push blocks while
 // the FIFO is full; Pop blocks while it is empty and no writer has closed
-// it. It is safe for one producer and one consumer goroutine (the fabric's
-// point-to-point channels); multiple producers must coordinate externally.
+// it. It is safe for concurrent producers and consumers, though the fabric
+// uses it point-to-point (one producer, one consumer).
 type FIFO struct {
 	name string
-	ch   chan Word
 
-	pushes atomic.Int64
-	pops   atomic.Int64
-	maxOcc atomic.Int64
+	mu       sync.Mutex
+	notEmpty sync.Cond // signalled when words arrive or the FIFO closes
+	notFull  sync.Cond // signalled when space frees or the FIFO closes
 
-	closeOnce sync.Once
+	buf    []Word // ring storage, len(buf) == depth
+	head   int    // index of the oldest word
+	count  int    // words currently buffered
+	closed bool
+
+	// Traffic counters, guarded by mu. Burst operations account once per
+	// burst chunk; the totals equal the word-at-a-time sequence exactly.
+	pushes int64
+	pops   int64
+	maxOcc int64 // high-water mark, observed at burst boundaries
 }
 
 // New creates a FIFO with the given capacity (depth in words). Depth must be
@@ -37,42 +52,161 @@ func New(name string, depth int) *FIFO {
 	if depth < 1 {
 		panic(fmt.Sprintf("fifo %q: depth %d < 1", name, depth))
 	}
-	return &FIFO{name: name, ch: make(chan Word, depth)}
+	f := &FIFO{name: name, buf: make([]Word, depth)}
+	f.notEmpty.L = &f.mu
+	f.notFull.L = &f.mu
+	return f
 }
 
 // Name returns the FIFO's identifier (used in fabric netlists and stats).
 func (f *FIFO) Name() string { return f.name }
 
 // Depth returns the FIFO capacity in words.
-func (f *FIFO) Depth() int { return cap(f.ch) }
+func (f *FIFO) Depth() int { return len(f.buf) }
+
+// enqueueLocked copies vs (which must fit) into the ring and accounts the
+// burst. Callers hold mu and have ensured space.
+func (f *FIFO) enqueueLocked(vs []Word) {
+	tail := f.head + f.count
+	if tail >= len(f.buf) {
+		tail -= len(f.buf)
+	}
+	n := copy(f.buf[tail:], vs)
+	copy(f.buf, vs[n:])
+	f.count += len(vs)
+	f.pushes += int64(len(vs))
+	if occ := int64(f.count); occ > f.maxOcc {
+		f.maxOcc = occ
+	}
+}
+
+// dequeueLocked moves up to len(dst) buffered words into dst and accounts
+// the burst; it returns the number moved. Callers hold mu.
+func (f *FIFO) dequeueLocked(dst []Word) int {
+	n := len(dst)
+	if n > f.count {
+		n = f.count
+	}
+	if n == 0 {
+		return 0
+	}
+	first := copy(dst[:n], f.buf[f.head:])
+	copy(dst[first:n], f.buf)
+	f.head += n
+	if f.head >= len(f.buf) {
+		f.head -= len(f.buf)
+	}
+	f.count -= n
+	f.pops += int64(n)
+	return n
+}
 
 // Push appends v, blocking while the FIFO is full. Pushing to a closed FIFO
 // panics, as writing to a hardware FIFO after end-of-stream is a design bug.
 func (f *FIFO) Push(v Word) {
-	f.ch <- v
-	n := f.pushes.Add(1) - f.pops.Load()
-	for {
-		cur := f.maxOcc.Load()
-		if n <= cur || f.maxOcc.CompareAndSwap(cur, n) {
-			break
+	f.mu.Lock()
+	for f.count == len(f.buf) && !f.closed {
+		f.notFull.Wait()
+	}
+	if f.closed {
+		f.mu.Unlock()
+		panic(fmt.Sprintf("fifo %q: push after close", f.name))
+	}
+	var one [1]Word
+	one[0] = v
+	f.enqueueLocked(one[:])
+	f.notEmpty.Broadcast()
+	f.mu.Unlock()
+}
+
+// PushSlice appends every word of vs in order, blocking as needed. The burst
+// is split into chunks no larger than the free space, so vs may exceed the
+// FIFO depth; each chunk advances the traffic counters once. vs is copied —
+// the caller may reuse it immediately. Pushing to a closed FIFO panics.
+func (f *FIFO) PushSlice(vs []Word) {
+	for len(vs) > 0 {
+		f.mu.Lock()
+		for f.count == len(f.buf) && !f.closed {
+			f.notFull.Wait()
 		}
+		if f.closed {
+			f.mu.Unlock()
+			panic(fmt.Sprintf("fifo %q: push after close", f.name))
+		}
+		n := len(f.buf) - f.count
+		if n > len(vs) {
+			n = len(vs)
+		}
+		f.enqueueLocked(vs[:n])
+		f.notEmpty.Broadcast()
+		f.mu.Unlock()
+		vs = vs[n:]
 	}
 }
 
 // Pop removes and returns the oldest word. It blocks while the FIFO is
 // empty; once the FIFO is closed and drained it returns ok=false.
 func (f *FIFO) Pop() (Word, bool) {
-	v, ok := <-f.ch
-	if ok {
-		f.pops.Add(1)
+	f.mu.Lock()
+	for f.count == 0 && !f.closed {
+		f.notEmpty.Wait()
 	}
-	return v, ok
+	var one [1]Word
+	if f.dequeueLocked(one[:]) == 0 {
+		f.mu.Unlock()
+		return 0, false
+	}
+	f.notFull.Broadcast()
+	f.mu.Unlock()
+	return one[0], true
+}
+
+// PopSlice removes up to len(dst) words in one burst: it blocks until at
+// least one word is available (or the FIFO is closed and drained), then
+// moves everything currently buffered, up to len(dst). It returns the
+// number of words written to dst; ok=false marks end-of-stream (closed and
+// empty, n == 0).
+func (f *FIFO) PopSlice(dst []Word) (int, bool) {
+	if len(dst) == 0 {
+		return 0, true
+	}
+	f.mu.Lock()
+	for f.count == 0 && !f.closed {
+		f.notEmpty.Wait()
+	}
+	n := f.dequeueLocked(dst)
+	if n == 0 {
+		f.mu.Unlock()
+		return 0, false
+	}
+	f.notFull.Broadcast()
+	f.mu.Unlock()
+	return n, true
+}
+
+// PopInto fills dst completely, blocking for more words as needed, and
+// returns the number of words written. A short count (< len(dst)) means the
+// FIFO was closed and drained before the burst completed.
+func (f *FIFO) PopInto(dst []Word) int {
+	filled := 0
+	for filled < len(dst) {
+		n, ok := f.PopSlice(dst[filled:])
+		filled += n
+		if !ok {
+			break
+		}
+	}
+	return filled
 }
 
 // Close marks end-of-stream. Subsequent Pops drain remaining words and then
 // report ok=false. Close is idempotent.
 func (f *FIFO) Close() {
-	f.closeOnce.Do(func() { close(f.ch) })
+	f.mu.Lock()
+	f.closed = true
+	f.notEmpty.Broadcast()
+	f.notFull.Broadcast()
+	f.mu.Unlock()
 }
 
 // Stats is a snapshot of FIFO traffic counters.
@@ -85,26 +219,31 @@ type Stats struct {
 }
 
 // Stats returns the current traffic counters. MaxOccupancy is a high-water
-// mark observed at push time; under concurrent producers/consumers it is an
-// upper-bound estimate, which is the quantity buffer sizing needs.
+// mark observed at burst boundaries: the largest buffered word count right
+// after a push burst landed, which is the quantity buffer sizing needs.
 func (f *FIFO) Stats() Stats {
-	return Stats{
+	f.mu.Lock()
+	s := Stats{
 		Name:         f.name,
-		Depth:        cap(f.ch),
-		Pushes:       f.pushes.Load(),
-		Pops:         f.pops.Load(),
-		MaxOccupancy: f.maxOcc.Load(),
+		Depth:        len(f.buf),
+		Pushes:       f.pushes,
+		Pops:         f.pops,
+		MaxOccupancy: f.maxOcc,
 	}
+	f.mu.Unlock()
+	return s
 }
 
 // Drain pops until the FIFO is closed and empty, returning the number of
 // words discarded. Used by teardown paths and tests.
 func (f *FIFO) Drain() int {
-	n := 0
+	var scratch [256]Word
+	total := 0
 	for {
-		if _, ok := f.Pop(); !ok {
-			return n
+		n, ok := f.PopSlice(scratch[:])
+		total += n
+		if !ok {
+			return total
 		}
-		n++
 	}
 }

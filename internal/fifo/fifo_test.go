@@ -161,6 +161,186 @@ func TestZeroDepthPanics(t *testing.T) {
 	New("bad", 0)
 }
 
+func TestPushSliceLargerThanDepth(t *testing.T) {
+	f := New("burst", 4)
+	src := make([]Word, 19)
+	for i := range src {
+		src[i] = Word(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		f.PushSlice(src)
+		f.Close()
+		close(done)
+	}()
+	for i := 0; i < len(src); i++ {
+		v, ok := f.Pop()
+		if !ok || v != Word(i) {
+			t.Fatalf("pop %d = %v ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := f.Pop(); ok {
+		t.Fatal("stream should be closed after the burst")
+	}
+	<-done
+}
+
+// Burst wraparound: interleaved bursts that straddle the ring boundary must
+// preserve order and content.
+func TestBurstWraparound(t *testing.T) {
+	f := New("wrap", 7) // deliberately not a power of two
+	next := Word(0)
+	buf := make([]Word, 5)
+	for round := 0; round < 50; round++ {
+		n := round%5 + 1
+		chunk := make([]Word, n)
+		for i := range chunk {
+			chunk[i] = next + Word(i)
+		}
+		f.PushSlice(chunk)
+		got := f.PopInto(buf[:n])
+		if got != n {
+			t.Fatalf("round %d: PopInto returned %d, want %d", round, got, n)
+		}
+		for i := 0; i < n; i++ {
+			if buf[i] != next+Word(i) {
+				t.Fatalf("round %d word %d: got %v, want %v", round, i, buf[i], next+Word(i))
+			}
+		}
+		next += Word(n)
+	}
+}
+
+// Close mid-burst: a blocked PopInto must return a short count once the
+// producer closes with the burst only partially delivered.
+func TestCloseMidBurst(t *testing.T) {
+	f := New("mid", 8)
+	got := make(chan int, 1)
+	buf := make([]Word, 10)
+	go func() {
+		got <- f.PopInto(buf)
+	}()
+	f.PushSlice([]Word{1, 2, 3})
+	f.Close()
+	select {
+	case n := <-got:
+		if n != 3 {
+			t.Fatalf("PopInto after close = %d, want 3", n)
+		}
+		for i, want := range []Word{1, 2, 3} {
+			if buf[i] != want {
+				t.Fatalf("buf[%d] = %v, want %v", i, buf[i], want)
+			}
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PopInto never unblocked after close")
+	}
+}
+
+func TestPopSliceBatches(t *testing.T) {
+	f := New("batch", 16)
+	f.PushSlice([]Word{1, 2, 3, 4, 5})
+	buf := make([]Word, 3)
+	n, ok := f.PopSlice(buf)
+	if !ok || n != 3 || buf[0] != 1 || buf[2] != 3 {
+		t.Fatalf("first PopSlice: n=%d ok=%v buf=%v", n, ok, buf)
+	}
+	n, ok = f.PopSlice(buf)
+	if !ok || n != 2 || buf[0] != 4 || buf[1] != 5 {
+		t.Fatalf("second PopSlice: n=%d ok=%v buf=%v", n, ok, buf)
+	}
+	f.Close()
+	if n, ok = f.PopSlice(buf); ok || n != 0 {
+		t.Fatalf("PopSlice after drain: n=%d ok=%v", n, ok)
+	}
+}
+
+// Stats invariants: burst operations account exactly one push/pop per word
+// moved, and the high-water mark reflects burst-boundary occupancy without
+// ever exceeding the depth.
+func TestBurstStatsInvariants(t *testing.T) {
+	f := New("inv", 8)
+	f.PushSlice(make([]Word, 6))
+	s := f.Stats()
+	if s.Pushes != 6 || s.Pops != 0 || s.MaxOccupancy != 6 {
+		t.Fatalf("after burst push: %+v", s)
+	}
+	buf := make([]Word, 4)
+	if n := f.PopInto(buf); n != 4 {
+		t.Fatalf("PopInto = %d", n)
+	}
+	f.PushSlice(make([]Word, 5))
+	s = f.Stats()
+	if s.Pushes != 11 || s.Pops != 4 {
+		t.Fatalf("counters after mixed traffic: %+v", s)
+	}
+	if s.MaxOccupancy != 7 {
+		t.Fatalf("max occupancy = %d, want 7 (2 left + 5 burst)", s.MaxOccupancy)
+	}
+	if s.MaxOccupancy > int64(s.Depth) {
+		t.Fatalf("occupancy %d exceeds depth %d", s.MaxOccupancy, s.Depth)
+	}
+}
+
+// 1P1C bursts under the race detector: a producer pushing variable-size
+// bursts and a consumer draining with variable-size PopInto see the exact
+// word sequence, and the counters balance.
+func TestBurstStream1P1C(t *testing.T) {
+	const total = 10000
+	f := New("stream", 13)
+	go func() {
+		i := 0
+		for i < total {
+			n := i%97 + 1
+			if i+n > total {
+				n = total - i
+			}
+			chunk := make([]Word, n)
+			for j := range chunk {
+				chunk[j] = Word(i + j)
+			}
+			f.PushSlice(chunk)
+			i += n
+		}
+		f.Close()
+	}()
+	buf := make([]Word, 61)
+	seen := 0
+	for {
+		n, ok := f.PopSlice(buf)
+		for j := 0; j < n; j++ {
+			if buf[j] != Word(seen+j) {
+				t.Fatalf("word %d = %v", seen+j, buf[j])
+			}
+		}
+		seen += n
+		if !ok {
+			break
+		}
+	}
+	if seen != total {
+		t.Fatalf("consumed %d of %d words", seen, total)
+	}
+	s := f.Stats()
+	if s.Pushes != total || s.Pops != total {
+		t.Fatalf("traffic counters %d/%d", s.Pushes, s.Pops)
+	}
+	if s.MaxOccupancy > int64(s.Depth) {
+		t.Fatalf("occupancy %d exceeds depth %d", s.MaxOccupancy, s.Depth)
+	}
+}
+
+func TestPushAfterClosePanics(t *testing.T) {
+	f := New("closed", 2)
+	f.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic pushing to a closed FIFO")
+		}
+	}()
+	f.Push(1)
+}
+
 // Property: a single-producer single-consumer stream of any length passes
 // through unchanged and in order, for any FIFO depth.
 func TestFIFOOrderProperty(t *testing.T) {

@@ -44,18 +44,17 @@ func forwardLayer(l *Layer, in *tensor.Tensor, shape Shape) (*tensor.Tensor, err
 	}
 }
 
-// paddedAt reads the input with symmetric zero padding: coordinates outside
-// the feature map read as zero.
-func paddedAt(in *tensor.Tensor, c, y, x, h, w int) float32 {
-	if y < 0 || y >= h || x < 0 || x >= w {
-		return 0
-	}
-	return in.At(c, y, x)
-}
-
 // forwardConv implements equation (1): each output point (i,j) of output map
 // φ is the windowed dot product of the weights with the input, summed over
 // all input channels, plus the optional bias b_φ.
+//
+// The loop nest is restructured from the literal per-window form into a
+// scalar-times-row accumulation over flat slices: for every weight
+// (f,c,m,n) the contribution w·x is added across a whole output row at
+// once, with the column range clamped so zero-padded positions (which
+// contribute w·0) are skipped. Each output point still accumulates its
+// terms in (c,m,n) order after the bias, so the result matches the literal
+// form. Output channels are independent and computed in parallel bands.
 func forwardConv(l *Layer, in *tensor.Tensor, shape Shape) (*tensor.Tensor, error) {
 	outShape, err := l.OutputShape(shape)
 	if err != nil {
@@ -63,27 +62,54 @@ func forwardConv(l *Layer, in *tensor.Tensor, shape Shape) (*tensor.Tensor, erro
 	}
 	out := tensor.New(outShape.Channels, outShape.Height, outShape.Width)
 	k, s, p := l.Kernel, l.Stride, l.Pad
-	for f := 0; f < outShape.Channels; f++ {
-		var bias float32
-		if l.Bias != nil {
-			bias = l.Bias.At(f)
-		}
-		for oy := 0; oy < outShape.Height; oy++ {
-			for ox := 0; ox < outShape.Width; ox++ {
-				acc := bias
-				for c := 0; c < shape.Channels; c++ {
-					for m := 0; m < k; m++ {
-						for nn := 0; nn < k; nn++ {
-							w := l.Weights.At(f, c, m, nn)
-							x := paddedAt(in, c, oy*s+m-p, ox*s+nn-p, shape.Height, shape.Width)
-							acc += w * x
+	h, w, cIn := shape.Height, shape.Width, shape.Channels
+	outH, outW := outShape.Height, outShape.Width
+	outHW := outH * outW
+	src := in.Data()
+	dst := out.Data()
+	wd := l.Weights.Data()
+	parallelFor(outShape.Channels, func(fLo, fHi int) {
+		for f := fLo; f < fHi; f++ {
+			fmap := dst[f*outHW : (f+1)*outHW]
+			if l.Bias != nil {
+				bias := l.Bias.At(f)
+				for i := range fmap {
+					fmap[i] = bias
+				}
+			}
+			for c := 0; c < cIn; c++ {
+				cmap := src[c*h*w : (c+1)*h*w]
+				wbase := (f*cIn + c) * k * k
+				for m := 0; m < k; m++ {
+					for n := 0; n < k; n++ {
+						wv := wd[wbase+m*k+n]
+						if wv == 0 {
+							continue
+						}
+						// Valid output columns: 0 ≤ ox·s+n-p < w.
+						oxLo, oxHi := 0, outW
+						if n < p {
+							oxLo = (p - n + s - 1) / s
+						}
+						if hi := (w - 1 - n + p) / s; hi+1 < oxHi {
+							oxHi = hi + 1
+						}
+						for oy := 0; oy < outH; oy++ {
+							y := oy*s + m - p
+							if y < 0 || y >= h {
+								continue
+							}
+							irow := cmap[y*w:]
+							orow := fmap[oy*outW:]
+							for ox := oxLo; ox < oxHi; ox++ {
+								orow[ox] += wv * irow[ox*s+n-p]
+							}
 						}
 					}
 				}
-				out.Set(acc, f, oy, ox)
 			}
 		}
-	}
+	})
 	return out, nil
 }
 
@@ -96,32 +122,59 @@ func forwardPool(l *Layer, in *tensor.Tensor, shape Shape, isMax bool) (*tensor.
 	}
 	out := tensor.New(outShape.Channels, outShape.Height, outShape.Width)
 	k, s, p := l.Kernel, l.Stride, l.Pad
-	for c := 0; c < shape.Channels; c++ {
-		for oy := 0; oy < outShape.Height; oy++ {
-			for ox := 0; ox < outShape.Width; ox++ {
-				var v float32
-				if isMax {
-					v = float32(math.Inf(-1))
-				}
-				for m := 0; m < k; m++ {
-					for nn := 0; nn < k; nn++ {
-						x := paddedAt(in, c, oy*s+m-p, ox*s+nn-p, shape.Height, shape.Width)
-						if isMax {
-							if x > v {
-								v = x
+	h, w := shape.Height, shape.Width
+	outH, outW := outShape.Height, outShape.Width
+	outHW := outH * outW
+	src := in.Data()
+	dst := out.Data()
+	kk := float32(k * k)
+	parallelFor(shape.Channels, func(cLo, cHi int) {
+		for c := cLo; c < cHi; c++ {
+			cmap := src[c*h*w : (c+1)*h*w]
+			orow := dst[c*outHW:]
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					var v float32
+					if isMax {
+						v = float32(math.Inf(-1))
+					}
+					clipped := false
+					for m := 0; m < k; m++ {
+						y := oy*s + m - p
+						if y < 0 || y >= h {
+							clipped = true
+							continue
+						}
+						irow := cmap[y*w : (y+1)*w]
+						for nn := 0; nn < k; nn++ {
+							x := ox*s + nn - p
+							if x < 0 || x >= w {
+								clipped = true
+								continue
 							}
-						} else {
-							v += x
+							if isMax {
+								if irow[x] > v {
+									v = irow[x]
+								}
+							} else {
+								v += irow[x]
+							}
 						}
 					}
+					if isMax {
+						// Padded positions read as zero and participate in
+						// the max, exactly as in the literal form.
+						if clipped && v < 0 {
+							v = 0
+						}
+					} else {
+						v /= kk
+					}
+					orow[oy*outW+ox] = v
 				}
-				if !isMax {
-					v /= float32(k * k)
-				}
-				out.Set(v, c, oy, ox)
 			}
 		}
-	}
+	})
 	return out, nil
 }
 
@@ -135,16 +188,22 @@ func forwardFC(l *Layer, in *tensor.Tensor, shape Shape) (*tensor.Tensor, error)
 		return nil, fmt.Errorf("fc input volume %d, want %d", len(flat), shape.Volume())
 	}
 	out := tensor.New(l.OutputCount, 1, 1)
-	for o := 0; o < l.OutputCount; o++ {
-		var acc float32
-		if l.Bias != nil {
-			acc = l.Bias.At(o)
+	dst := out.Data()
+	wd := l.Weights.Data()
+	v := len(flat)
+	parallelFor(l.OutputCount, func(oLo, oHi int) {
+		for o := oLo; o < oHi; o++ {
+			var acc float32
+			if l.Bias != nil {
+				acc = l.Bias.At(o)
+			}
+			wrow := wd[o*v : (o+1)*v]
+			for h, x := range flat {
+				acc += wrow[h] * x
+			}
+			dst[o] = acc
 		}
-		for h := 0; h < len(flat); h++ {
-			acc += l.Weights.At(o, h) * flat[h]
-		}
-		out.Set(acc, o, 0, 0)
-	}
+	})
 	return out, nil
 }
 

@@ -30,22 +30,38 @@ func Im2Col(in *tensor.Tensor, shape Shape, k, stride, pad int) (*tensor.Tensor,
 	cols := outH * outW
 	out := tensor.New(rows, cols)
 	dst := out.Data()
+	src := in.Data()
+	h, w := shape.Height, shape.Width
 	for c := 0; c < shape.Channels; c++ {
+		cmap := src[c*h*w : (c+1)*h*w]
 		for m := 0; m < k; m++ {
 			for n := 0; n < k; n++ {
 				row := (c*k+m)*k + n
 				base := row * cols
-				col := 0
+				// Padded positions read as zero; dst is zero-initialised, so
+				// only in-bounds input elements are materialised. For the
+				// unit-stride case each output row is one contiguous segment
+				// of the input row, moved with a single copy.
+				oxLo, oxHi := 0, outW
+				if n < pad {
+					oxLo = (pad - n + stride - 1) / stride
+				}
+				if hi := (w - 1 - n + pad) / stride; hi+1 < oxHi {
+					oxHi = hi + 1
+				}
 				for oy := 0; oy < outH; oy++ {
 					y := oy*stride + m - pad
-					for ox := 0; ox < outW; ox++ {
-						x := ox*stride + n - pad
-						var v float32
-						if y >= 0 && y < shape.Height && x >= 0 && x < shape.Width {
-							v = in.At(c, y, x)
+					if y < 0 || y >= h {
+						continue
+					}
+					irow := cmap[y*w : (y+1)*w]
+					drow := dst[base+oy*outW : base+(oy+1)*outW]
+					if stride == 1 {
+						copy(drow[oxLo:oxHi], irow[oxLo+n-pad:])
+					} else {
+						for ox := oxLo; ox < oxHi; ox++ {
+							drow[ox] = irow[ox*stride+n-pad]
 						}
-						dst[base+col] = v
-						col++
 					}
 				}
 			}
@@ -66,19 +82,34 @@ func MatMul(a, b *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	out := tensor.New(m, n)
 	ad, bd, cd := a.Data(), b.Data(), out.Data()
-	for i := 0; i < m; i++ {
-		arow := ad[i*ka : (i+1)*ka]
-		crow := cd[i*n : (i+1)*n]
-		for kk, av := range arow {
-			if av == 0 {
-				continue
+	// Row bands are independent, so they run on the bounded worker pool;
+	// within a band the i/kk/j order (and therefore each element's
+	// accumulation order over kk) is unchanged. The kk dimension is
+	// additionally blocked so the touched rows of B stay cache-resident
+	// across the band's output rows.
+	const kkBlock = 256
+	parallelFor(m, func(iLo, iHi int) {
+		for kk0 := 0; kk0 < ka; kk0 += kkBlock {
+			kk1 := kk0 + kkBlock
+			if kk1 > ka {
+				kk1 = ka
 			}
-			brow := bd[kk*n : (kk+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
+			for i := iLo; i < iHi; i++ {
+				arow := ad[i*ka : (i+1)*ka]
+				crow := cd[i*n : (i+1)*n]
+				for kk := kk0; kk < kk1; kk++ {
+					av := arow[kk]
+					if av == 0 {
+						continue
+					}
+					brow := bd[kk*n : (kk+1)*n]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
 			}
 		}
-	}
+	})
 	return out, nil
 }
 

@@ -1,0 +1,38 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor splits [0,n) into contiguous bands, one per worker, and runs
+// fn(lo,hi) on each concurrently. The worker pool is bounded by GOMAXPROCS;
+// with a single band (or tiny n) it degenerates to a direct call, so the
+// host reference engine stays allocation- and goroutine-free on small
+// problems and on single-CPU machines. Each band writes a disjoint slice of
+// the output and accumulation order within a band is unchanged, so results
+// do not depend on the worker count.
+func parallelFor(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	band := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += band {
+		hi := lo + band
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
