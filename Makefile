@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet condorlint lint test race race-serve smoke-serve bench bench-fabric profile-fabric ci
+.PHONY: all build vet condorlint lint test race race-serve smoke-serve bench bench-fabric bench-check profile-fabric ci
 
 all: build lint test
 
@@ -48,6 +48,13 @@ bench:
 # machine-readable results CI uploads as an artifact.
 bench-fabric:
 	$(GO) run ./cmd/condor-bench -json BENCH_fabric.json
+
+# bench-check is the throughput-regression gate: regenerate the fabric
+# microbenchmarks and diff them against the committed baseline, failing on a
+# >25% drop. Refresh the baseline with
+# `go run ./cmd/condor-bench -json BENCH_baseline.json` on a quiet machine.
+bench-check: bench-fabric
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_fabric.json -max-regression 0.25
 
 # profile-fabric captures a CPU profile of the functional fabric benchmark;
 # inspect it with `go tool pprof fabric.cpu.prof`.

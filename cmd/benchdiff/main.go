@@ -1,0 +1,127 @@
+// Command benchdiff is the CI bench-regression gate: it compares two
+// `condor-bench -json` result files and fails when any benchmark's
+// throughput dropped by more than the allowed fraction against the
+// committed baseline.
+//
+// Usage:
+//
+//	condor-bench -json BENCH_fabric.json
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_fabric.json -max-regression 0.25
+//
+// The gate is deliberately loose (default 25%): shared CI runners are noisy,
+// and the gate exists to catch algorithmic regressions — an accidental
+// word-at-a-time fallback, a lock on the hot path — not single-digit drift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchResult mirrors one row of the condor-bench JSON schema.
+type benchResult struct {
+	Name    string  `json:"name"`
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+	ImgPerS float64 `json:"img_per_s"`
+}
+
+type benchFile struct {
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// verdict is the comparison outcome for one baseline benchmark.
+type verdict struct {
+	Name      string
+	Baseline  float64 // img/s
+	Current   float64 // img/s
+	Delta     float64 // fractional throughput change; negative is slower
+	Regressed bool
+}
+
+// compare checks every baseline benchmark against the current run. A
+// benchmark missing from the current file is an error (a silently dropped
+// benchmark must not pass the gate); benchmarks only in the current file are
+// ignored (new benchmarks need a baseline refresh, not a failure).
+func compare(baseline, current benchFile, maxRegression float64) ([]verdict, error) {
+	cur := make(map[string]benchResult, len(current.Benchmarks))
+	for _, b := range current.Benchmarks {
+		cur[b.Name] = b
+	}
+	out := make([]verdict, 0, len(baseline.Benchmarks))
+	for _, base := range baseline.Benchmarks {
+		c, ok := cur[base.Name]
+		if !ok {
+			return nil, fmt.Errorf("benchmark %q is in the baseline but missing from the current run", base.Name)
+		}
+		if base.ImgPerS <= 0 {
+			return nil, fmt.Errorf("baseline benchmark %q has non-positive throughput %v", base.Name, base.ImgPerS)
+		}
+		delta := c.ImgPerS/base.ImgPerS - 1
+		out = append(out, verdict{
+			Name:      base.Name,
+			Baseline:  base.ImgPerS,
+			Current:   c.ImgPerS,
+			Delta:     delta,
+			Regressed: delta < -maxRegression,
+		})
+	}
+	return out, nil
+}
+
+func readBenchFile(path string) (benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchFile{}, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return benchFile{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return benchFile{}, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return f, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline results")
+	currentPath := flag.String("current", "BENCH_fabric.json", "fresh condor-bench -json results")
+	maxRegression := flag.Float64("max-regression", 0.25, "largest tolerated fractional throughput drop")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	baseline, err := readBenchFile(*baselinePath)
+	if err != nil {
+		fail(err)
+	}
+	current, err := readBenchFile(*currentPath)
+	if err != nil {
+		fail(err)
+	}
+	verdicts, err := compare(baseline, current, *maxRegression)
+	if err != nil {
+		fail(err)
+	}
+
+	regressions := 0
+	fmt.Printf("%-40s %14s %14s %9s\n", "benchmark", "baseline img/s", "current img/s", "delta")
+	for _, v := range verdicts {
+		mark := ""
+		if v.Regressed {
+			mark = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-40s %14.1f %14.1f %8.1f%%%s\n", v.Name, v.Baseline, v.Current, 100*v.Delta, mark)
+	}
+	if regressions > 0 {
+		fail(fmt.Errorf("%d of %d benchmarks regressed more than %.0f%% vs %s",
+			regressions, len(verdicts), 100**maxRegression, *baselinePath))
+	}
+	fmt.Printf("ok: %d benchmarks within %.0f%% of baseline\n", len(verdicts), 100**maxRegression)
+}

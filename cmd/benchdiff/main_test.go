@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func file(results ...benchResult) benchFile { return benchFile{Benchmarks: results} }
+
+func TestCompareAtBaseline(t *testing.T) {
+	base := file(
+		benchResult{Name: "fabric/tc1/b8", ImgPerS: 1000},
+		benchResult{Name: "fabric/lenet/b8", ImgPerS: 400},
+	)
+	verdicts, err := compare(base, base, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verdicts {
+		if v.Regressed {
+			t.Errorf("%s: identical results flagged as regression (delta %v)", v.Name, v.Delta)
+		}
+		if v.Delta != 0 {
+			t.Errorf("%s: want delta 0, got %v", v.Name, v.Delta)
+		}
+	}
+}
+
+func TestCompareInjectedRegression(t *testing.T) {
+	base := file(
+		benchResult{Name: "fabric/tc1/b8", ImgPerS: 1000},
+		benchResult{Name: "fabric/lenet/b8", ImgPerS: 400},
+	)
+	// tc1 loses 30% of its throughput — past the 25% gate; lenet is fine.
+	cur := file(
+		benchResult{Name: "fabric/tc1/b8", ImgPerS: 700},
+		benchResult{Name: "fabric/lenet/b8", ImgPerS: 390},
+	)
+	verdicts, err := compare(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regressed := 0
+	for _, v := range verdicts {
+		if v.Regressed {
+			regressed++
+			if v.Name != "fabric/tc1/b8" {
+				t.Errorf("wrong benchmark flagged: %s", v.Name)
+			}
+		}
+	}
+	if regressed != 1 {
+		t.Fatalf("want exactly 1 regression, got %d (%+v)", regressed, verdicts)
+	}
+}
+
+func TestCompareBoundaryAndImprovement(t *testing.T) {
+	base := file(
+		benchResult{Name: "exact", ImgPerS: 1000},
+		benchResult{Name: "faster", ImgPerS: 1000},
+	)
+	// A drop of exactly the threshold passes (the gate is strict-greater);
+	// an improvement always passes.
+	cur := file(
+		benchResult{Name: "exact", ImgPerS: 750},
+		benchResult{Name: "faster", ImgPerS: 2000},
+	)
+	verdicts, err := compare(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verdicts {
+		if v.Regressed {
+			t.Errorf("%s: delta %v should not trip a 0.25 gate", v.Name, v.Delta)
+		}
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := file(benchResult{Name: "fabric/tc1/b8", ImgPerS: 1000})
+	cur := file(benchResult{Name: "fabric/other", ImgPerS: 1000})
+	_, err := compare(base, cur, 0.25)
+	if err == nil {
+		t.Fatal("dropped benchmark must fail the gate")
+	}
+	if !strings.Contains(err.Error(), "fabric/tc1/b8") {
+		t.Errorf("error should name the missing benchmark: %v", err)
+	}
+}

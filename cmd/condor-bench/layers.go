@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"condor"
+	"condor/internal/condorir"
+	"condor/internal/models"
+	"condor/internal/tensor"
+)
+
+// layerTable runs a traced batch on the named model's fabric and prints the
+// per-layer span rollup: where the modeled cycles go, element by element.
+// The same data exports as Chrome trace-event JSON via `condor-sim -trace`.
+func layerTable(model string, batch int) error {
+	var (
+		ir   *condorir.Network
+		ws   *condorir.WeightSet
+		imgs []*tensor.Tensor
+		err  error
+	)
+	switch model {
+	case "tc1":
+		ir, ws, err = models.TC1()
+		imgs = models.USPSImages(batch, 5)
+	case "lenet":
+		ir, ws, err = models.LeNet()
+		imgs = models.MNISTImages(batch, 5)
+	default:
+		return fmt.Errorf("unknown model %q (want tc1 or lenet)", model)
+	}
+	if err != nil {
+		return err
+	}
+	bld, err := condor.New().BuildAccelerator(condor.Input{IR: ir, Weights: ws})
+	if err != nil {
+		return err
+	}
+	tr, stats, err := bld.TraceFabric(imgs)
+	if err != nil {
+		return err
+	}
+
+	var totalCycles int64
+	for i := range stats.PEs {
+		totalCycles += stats.PEs[i].Cycles
+	}
+	fmt.Printf("Per-layer fabric profile — %s, batch %d (modeled cycles; wall is host simulation time)\n", model, batch)
+	fmt.Printf("%-10s %-10s %6s %14s %12s %10s %7s\n",
+		"track", "span", "count", "cycles/img", "words/img", "wall", "share")
+	for _, row := range tr.Summary() {
+		share := ""
+		if row.Cycles > 0 && totalCycles > 0 {
+			share = fmt.Sprintf("%6.1f%%", 100*float64(row.Cycles)/float64(totalCycles))
+		}
+		fmt.Printf("%-10s %-10s %6d %14d %12d %10s %7s\n",
+			row.Track, row.Name, row.Count,
+			row.Cycles/int64(batch), row.Words/int64(batch),
+			row.Wall.Round(10*time.Microsecond).String(), share)
+	}
+	fmt.Printf("total: %d modeled PE cycles across %d images (%d cycles/img bottleneck)\n\n",
+		totalCycles, stats.Images, stats.BottleneckCycles())
+	return nil
+}

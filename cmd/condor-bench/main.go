@@ -9,6 +9,7 @@
 //	condor-bench            # everything
 //	condor-bench -only table1|table2|figure5
 //	condor-bench -json BENCH_fabric.json   # fabric microbenchmarks → JSON
+//	condor-bench -layers tc1               # per-layer traced cycle profile
 package main
 
 import (
@@ -22,7 +23,19 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment: table1 | table2 | figure5")
 	jsonOut := flag.String("json", "", "run the fabric microbenchmarks and write results to this JSON file (e.g. BENCH_fabric.json)")
+	layers := flag.String("layers", "", "print a per-layer traced cycle profile of the fabric: tc1 | lenet")
+	layersBatch := flag.Int("layers-batch", 4, "batch size for the -layers profile")
 	flag.Parse()
+
+	if *layers != "" {
+		if err := layerTable(*layers, *layersBatch); err != nil {
+			fmt.Fprintf(os.Stderr, "condor-bench: layers: %v\n", err)
+			os.Exit(1)
+		}
+		if *only == "" && *jsonOut == "" {
+			return // -layers alone prints only the profile
+		}
+	}
 
 	run := func(name string, fn func() error) {
 		if *only != "" && *only != name {

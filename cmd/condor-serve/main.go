@@ -15,6 +15,8 @@
 //	POST /infer   {"image":[...]}  single NCHW image, row-major float32
 //	GET  /healthz                  readiness + accepted input shape
 //	GET  /statsz                   queue depth, batch histogram, utilization
+//	GET  /metricsz                 the same figures in Prometheus text form,
+//	                               plus per-device and cloud-client counters
 //
 // The probe mode drives one round against a running server and exits
 // non-zero on failure (the CI smoke test):
@@ -39,6 +41,7 @@ import (
 	"condor/internal/aws"
 	"condor/internal/condorir"
 	"condor/internal/models"
+	"condor/internal/obs"
 	"condor/internal/serve"
 )
 
@@ -162,22 +165,28 @@ func run(addr, model string, local int, localBoard, endpoint, bucket, instType s
 	}
 	input := serve.InputShape{Channels: ir.Input.Channels, Height: ir.Input.Height, Width: ir.Input.Width}
 
-	var handler http.Handler = serve.NewHandler(srv, input, reqTimeout)
+	// Prometheus exposition: the serving pipeline's figures plus the
+	// per-device execution counters and cloud-client retry accounting of
+	// every pool member, all read at scrape time.
+	reg := obs.NewRegistry()
+	serve.RegisterMetrics(reg, srv)
+	condor.RegisterDeploymentMetrics(reg, pool...)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.NewHandler(srv, input, reqTimeout))
+	mux.Handle("/metricsz", reg.Handler())
 	if pprofOn {
-		// The serving handler stays the default route; the profiling
-		// endpoints are registered explicitly (the server does not use
-		// http.DefaultServeMux, so the net/http/pprof side-effect import
-		// alone would expose nothing).
-		mux := http.NewServeMux()
-		mux.Handle("/", handler)
+		// The profiling endpoints are registered explicitly (the server does
+		// not use http.DefaultServeMux, so the net/http/pprof side-effect
+		// import alone would expose nothing).
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		handler = mux
 		fmt.Printf("pprof enabled on http://%s/debug/pprof/\n", addr)
 	}
+	var handler http.Handler = mux
 	httpSrv := &http.Server{
 		Addr:              addr,
 		Handler:           handler,
@@ -268,5 +277,22 @@ func runProbe(base string) error {
 	}
 	fmt.Printf("stats: %d completed, %d batches, %d backends\n",
 		stats.Completed, stats.Batches, len(stats.Backends))
+
+	resp, err = client.Get(base + "/metricsz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metricsz: status %s", resp.Status)
+	}
+	var metrics bytes.Buffer
+	if _, err := metrics.ReadFrom(resp.Body); err != nil {
+		return fmt.Errorf("metricsz read: %w", err)
+	}
+	if !bytes.Contains(metrics.Bytes(), []byte("condor_serve_requests_total")) {
+		return fmt.Errorf("metricsz exposition missing condor_serve_requests_total:\n%s", metrics.String())
+	}
+	fmt.Printf("metrics: %d bytes of Prometheus exposition\n", metrics.Len())
 	return nil
 }

@@ -9,6 +9,14 @@
 //	condor-sim -model tc1 -batch 16
 //	condor-sim -xclbin build/LeNet.xclbin -weights build/LeNet.cndw -batch 8
 //	condor-sim -model lenet -sweep          # Figure 5-style batch sweep
+//
+// Observability: -trace writes the run as Chrome trace-event JSON (load it
+// in chrome://tracing or Perfetto; one lane per fabric element, one span per
+// layer per image), -metrics dumps the run's counters in Prometheus text
+// form, and -check-trace validates a previously written trace file:
+//
+//	condor-sim -model tc1 -batch 4 -trace trace.json -metrics -
+//	condor-sim -check-trace trace.json
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"condor/internal/dataflow"
 	"condor/internal/models"
 	"condor/internal/nn"
+	"condor/internal/obs"
 	"condor/internal/perf"
 	"condor/internal/tensor"
 )
@@ -34,15 +43,40 @@ func main() {
 	batch := flag.Int("batch", 8, "images per batch")
 	sweep := flag.Bool("sweep", false, "run the Figure 5 batch-size sweep instead of one batch")
 	seed := flag.Int64("seed", 42, "input generator seed")
+	tracePath := flag.String("trace", "", "write the run as Chrome trace-event JSON to this file")
+	metricsPath := flag.String("metrics", "", `write the run's counters in Prometheus text form to this file ("-" for stdout)`)
+	checkTrace := flag.String("check-trace", "", "validate a trace-event JSON file and exit")
 	flag.Parse()
 
-	if err := run(*model, *xclbinPath, *weightsPath, *batch, *sweep, *seed); err != nil {
+	if *checkTrace != "" {
+		if err := runCheckTrace(*checkTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "condor-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*model, *xclbinPath, *weightsPath, *batch, *sweep, *seed, *tracePath, *metricsPath); err != nil {
 		fmt.Fprintln(os.Stderr, "condor-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, xclbinPath, weightsPath string, batch int, sweep bool, seed int64) error {
+// runCheckTrace validates that path holds loadable trace-event JSON — the CI
+// gate behind `condor-sim -trace` output.
+func runCheckTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	n, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: valid trace-event JSON, %d events\n", path, n)
+	return nil
+}
+
+func run(model, xclbinPath, weightsPath string, batch int, sweep bool, seed int64, tracePath, metricsPath string) error {
 	var spec *dataflow.Spec
 	var ws *condorir.WeightSet
 	var freq float64
@@ -101,6 +135,9 @@ func run(model, xclbinPath, weightsPath string, batch int, sweep bool, seed int6
 	fmt.Printf("%s: %d PEs, input %s, %0.f MHz\n", spec.Name, len(spec.PEs), spec.Input, freq)
 
 	if sweep {
+		if tracePath != "" || metricsPath != "" {
+			return fmt.Errorf("-trace/-metrics apply to a single batch run, not -sweep")
+		}
 		fmt.Printf("%8s %16s %16s\n", "batch", "device ms/img", "device img/s")
 		for _, bsz := range []int{1, 2, 4, 8, 16, 32, 64} {
 			cycles := perf.SimulateBatch(stages, bsz)
@@ -110,6 +147,11 @@ func run(model, xclbinPath, weightsPath string, batch int, sweep bool, seed int6
 		return nil
 	}
 
+	var tr *obs.Trace
+	if tracePath != "" {
+		tr = obs.NewTrace()
+		acc.SetTracer(tr)
+	}
 	imgs := makeInputs(spec.Input, batch, seed)
 	start := time.Now()
 	outs, stats, err := acc.Run(imgs)
@@ -129,6 +171,36 @@ func run(model, xclbinPath, weightsPath string, batch int, sweep bool, seed int6
 			break
 		}
 		fmt.Printf("  image %d -> class %d\n", i, out.ArgMax())
+	}
+
+	if tr != nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		err = tr.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		spans := 0
+		for _, tk := range tr.Tracks() {
+			spans += len(tk.Spans())
+		}
+		fmt.Printf("trace: %d spans across %d tracks -> %s (open in chrome://tracing or Perfetto)\n",
+			spans, len(tr.Tracks()), tracePath)
+	}
+	if metricsPath != "" {
+		reg := obs.NewRegistry()
+		stats.Publish(reg)
+		text := reg.TextSnapshot()
+		if metricsPath == "-" {
+			fmt.Print(text)
+		} else if err := os.WriteFile(metricsPath, []byte(text), 0o644); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
 	}
 	return nil
 }

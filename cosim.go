@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	"condor/internal/dataflow"
+	"condor/internal/obs"
 	"condor/internal/tensor"
 )
 
@@ -23,6 +25,20 @@ type CosimReport struct {
 	// per-PE maximum measured by the functional simulator (they must agree).
 	ModelCycles    int64
 	MeasuredCycles int64
+	// Stats carries the fabric run's full counters (per-PE cycles, DDR
+	// traffic, FIFO occupancy) for observability dumps.
+	Stats *dataflow.RunStats
+}
+
+// MetricsText renders the run's fabric counters in Prometheus text form
+// (empty when the run never reached the fabric).
+func (r CosimReport) MetricsText() string {
+	if r.Stats == nil {
+		return ""
+	}
+	reg := obs.NewRegistry()
+	r.Stats.Publish(reg)
+	return reg.TextSnapshot()
 }
 
 // Passed reports whether the co-simulation met the tolerance on every image
@@ -67,6 +83,7 @@ func (b *Build) Cosim(n int, seed int64, tolerance float64) (CosimReport, error)
 	if err != nil {
 		return rep, err
 	}
+	rep.Stats = stats
 	agree := 0
 	for i := range imgs {
 		want, err := net.Predict(imgs[i])

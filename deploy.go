@@ -8,6 +8,7 @@ import (
 
 	"condor/internal/aws"
 	"condor/internal/bitstream"
+	"condor/internal/obs"
 	"condor/internal/sdaccel"
 	"condor/internal/serve"
 	"condor/internal/tensor"
@@ -373,6 +374,56 @@ func (d *CloudDeployment) inferOnSlot(slot int, keyPrefix string, batch []*tenso
 // Terminate shuts the F1 instance down.
 func (d *CloudDeployment) Terminate() error {
 	return d.Client.TerminateInstance(d.InstanceID)
+}
+
+// RegisterMetrics exposes the deployment's device execution counters under
+// the condor_sdaccel_* families. For pools with several deployments use
+// RegisterDeploymentMetrics, which registers each family once.
+func (d *LocalDeployment) RegisterMetrics(reg *obs.Registry) {
+	sdaccel.RegisterMetrics(reg, d.Device)
+}
+
+// RegisterMetrics exposes the deployment's cloud-client retry accounting
+// under the condor_aws_* families. For pools with several deployments use
+// RegisterDeploymentMetrics, which registers each family once.
+func (d *CloudDeployment) RegisterMetrics(reg *obs.Registry) {
+	aws.RegisterMetrics(reg, d.Client)
+}
+
+// RegisterDeploymentMetrics wires a whole serving pool's backend
+// observability into reg: the execution counters of every distinct local
+// device (condor_sdaccel_*) and the aggregate retry accounting of every
+// distinct cloud client (condor_aws_*). Backends of other types are ignored.
+func RegisterDeploymentMetrics(reg *obs.Registry, backends ...serve.Backend) {
+	var devs []*sdaccel.Device
+	seenDev := map[*sdaccel.Device]bool{}
+	var clients []*aws.Client
+	seenCli := map[*aws.Client]bool{}
+	addClient := func(d *CloudDeployment) {
+		if d != nil && d.Client != nil && !seenCli[d.Client] {
+			seenCli[d.Client] = true
+			clients = append(clients, d.Client)
+		}
+	}
+	for _, b := range backends {
+		switch x := b.(type) {
+		case *LocalDeployment:
+			if x.Device != nil && !seenDev[x.Device] {
+				seenDev[x.Device] = true
+				devs = append(devs, x.Device)
+			}
+		case *CloudDeployment:
+			addClient(x)
+		case *SlotBackend:
+			addClient(x.dep)
+		}
+	}
+	if len(devs) > 0 {
+		sdaccel.RegisterMetrics(reg, devs...)
+	}
+	if len(clients) > 0 {
+		aws.RegisterMetrics(reg, clients...)
+	}
 }
 
 func weightsKey(b *Build) string { return "weights/" + b.Meta.Kernel + ".cndw" }

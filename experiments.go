@@ -2,6 +2,7 @@ package condor
 
 import (
 	"fmt"
+	"math/rand"
 
 	"condor/internal/board"
 	"condor/internal/condorir"
@@ -9,8 +10,10 @@ import (
 	"condor/internal/dse"
 	"condor/internal/hls"
 	"condor/internal/models"
+	"condor/internal/obs"
 	"condor/internal/perf"
 	"condor/internal/power"
+	"condor/internal/tensor"
 )
 
 // This file drives the reproduction of the paper's evaluation (Section 4):
@@ -217,6 +220,49 @@ var DefaultFigure5Batches = []int{1, 2, 4, 8, 12, 16, 24, 32, 48, 64}
 // SDAccel runtime), used by the benchmarks and cmd/condor-sim.
 func (b *Build) Fabric() (*dataflow.Accelerator, error) {
 	return dataflow.Instantiate(b.Spec, b.Weights)
+}
+
+// TraceFabric runs a batch through the build's fabric with span tracing
+// attached, returning the recorded trace (one track per fabric element, one
+// span per layer per image) alongside the run's stats. The trace exports to
+// Chrome trace-event JSON via obs.Trace.WriteChromeTrace and summarises with
+// obs.Trace.Summary; span cycle totals reconcile exactly with the stats.
+func (b *Build) TraceFabric(batch []*tensor.Tensor) (*obs.Trace, *dataflow.RunStats, error) {
+	acc, err := b.Fabric()
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := obs.NewTrace()
+	acc.SetTracer(tr)
+	_, stats, err := acc.Run(batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, stats, nil
+}
+
+// FabricMetricsSnapshot runs n seeded random images through the fabric and
+// returns the run's counters in Prometheus text form — the one-shot metrics
+// dump behind `condor-sim -metrics`.
+func (b *Build) FabricMetricsSnapshot(n int, seed int64) (string, error) {
+	acc, err := b.Fabric()
+	if err != nil {
+		return "", err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	imgs := make([]*tensor.Tensor, n)
+	for i := range imgs {
+		img := tensor.New(b.Spec.Input.Channels, b.Spec.Input.Height, b.Spec.Input.Width)
+		img.FillRandom(rng, 1)
+		imgs[i] = img
+	}
+	_, stats, err := acc.Run(imgs)
+	if err != nil {
+		return "", err
+	}
+	reg := obs.NewRegistry()
+	stats.Publish(reg)
+	return reg.TextSnapshot(), nil
 }
 
 // RooflineOf characterises a build with the roofline model: the compute

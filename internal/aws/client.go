@@ -8,7 +8,10 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"sync/atomic"
 	"time"
+
+	"condor/internal/obs"
 )
 
 // Client is the SDK the Condor framework and CLI use to talk to the cloud
@@ -23,6 +26,58 @@ type Client struct {
 	MaxRetries int
 	// Backoff is the initial retry delay (default 10ms, doubling).
 	Backoff time.Duration
+
+	// Request accounting, updated atomically on the retry path so concurrent
+	// scheduler goroutines share one client without locking.
+	requests  atomic.Int64 // HTTP attempts issued (including retries)
+	retries   atomic.Int64 // attempts beyond the first per request
+	failures  atomic.Int64 // requests that exhausted all attempts
+	backoffNs atomic.Int64 // cumulative jittered sleep before retries
+}
+
+// ClientStats is a snapshot of the client's retry accounting.
+type ClientStats struct {
+	Requests int64 // HTTP attempts issued, retries included
+	Retries  int64 // attempts beyond the first
+	Failures int64 // requests failed after exhausting retries
+	Backoff  time.Duration
+}
+
+// Stats snapshots the retry counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Requests: c.requests.Load(),
+		Retries:  c.retries.Load(),
+		Failures: c.failures.Load(),
+		Backoff:  time.Duration(c.backoffNs.Load()),
+	}
+}
+
+// RegisterMetrics exposes the aggregate retry accounting of the given
+// clients through reg under the condor_aws_* families, read at scrape time.
+// Register each family once per registry: pass every client in one call.
+func RegisterMetrics(reg *obs.Registry, clients ...*Client) {
+	total := func(fn func(ClientStats) float64) func() []obs.Sample {
+		return func() []obs.Sample {
+			var sum float64
+			for _, c := range clients {
+				sum += fn(c.Stats())
+			}
+			return []obs.Sample{{Value: sum}}
+		}
+	}
+	reg.Func("condor_aws_requests_total", obs.TypeCounter,
+		"HTTP attempts issued to the cloud endpoint, retries included.",
+		total(func(s ClientStats) float64 { return float64(s.Requests) }))
+	reg.Func("condor_aws_retries_total", obs.TypeCounter,
+		"Retry attempts after transient failures.",
+		total(func(s ClientStats) float64 { return float64(s.Retries) }))
+	reg.Func("condor_aws_request_failures_total", obs.TypeCounter,
+		"Requests failed after exhausting all retry attempts.",
+		total(func(s ClientStats) float64 { return float64(s.Failures) }))
+	reg.Func("condor_aws_backoff_seconds_total", obs.TypeCounter,
+		"Cumulative jittered backoff slept before retries.",
+		total(func(s ClientStats) float64 { return s.Backoff.Seconds() }))
 }
 
 // NewClient creates a client for the endpoint at base (e.g. the URL of an
@@ -51,9 +106,13 @@ func (c *Client) doRaw(method, path string, body []byte, contentType string) ([]
 	delay := c.Backoff
 	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(jitter(delay))
+			sleep := jitter(delay)
+			c.retries.Add(1)
+			c.backoffNs.Add(int64(sleep))
+			time.Sleep(sleep)
 			delay *= 2
 		}
+		c.requests.Add(1)
 		req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
@@ -84,6 +143,7 @@ func (c *Client) doRaw(method, path string, body []byte, contentType string) ([]
 		}
 		return data, nil
 	}
+	c.failures.Add(1)
 	return nil, fmt.Errorf("aws: request failed after %d attempts: %w", c.MaxRetries+1, lastErr)
 }
 

@@ -8,6 +8,7 @@ import (
 	"condor/internal/diag"
 	"condor/internal/fifo"
 	"condor/internal/nn"
+	"condor/internal/obs"
 	"condor/internal/tensor"
 )
 
@@ -16,9 +17,19 @@ import (
 // inference batches. This is the functional equivalent of the synthesized
 // bitstream running on the device.
 type Accelerator struct {
-	Spec *Spec
-	dm   *Datamover
+	Spec   *Spec
+	dm     *Datamover
+	tracer obs.Tracer
 }
+
+// SetTracer attaches a span tracer to the fabric. Every subsequent Run
+// records one track per element (feeder, each PE, collector) with one span
+// per layer per image, bracketing the element's modeled cycle counter so
+// span cycle totals reconcile exactly with RunStats. A nil tracer (the
+// default) disables tracing; the hot path then pays only a nil check per
+// hook site. Tracing covers the burst datapath only — RunWords is the
+// equivalence oracle and stays uninstrumented.
+func (a *Accelerator) SetTracer(t obs.Tracer) { a.tracer = t }
 
 // Instantiate binds a spec to its weights: every compute layer's weights
 // are loaded into the datamover's on-board memory, and on-chip caching
@@ -139,6 +150,19 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 
 	var wg sync.WaitGroup
 
+	// Tracks are created up front, one per fabric element, so each element
+	// goroutine owns its track exclusively (single-writer, no locking on
+	// the record path). Nil tracks mean tracing is off.
+	var feedTrack, sinkTrack *obs.Track
+	peTracks := make([]*obs.Track, len(spec.PEs))
+	if a.tracer != nil && burst {
+		feedTrack = a.tracer.Track("feeder")
+		for i, pe := range spec.PEs {
+			peTracks[i] = a.tracer.Track(pe.ID)
+		}
+		sinkTrack = a.tracer.Track("collector")
+	}
+
 	// Feeder: the datamover streams every image from on-board memory. In
 	// burst mode a whole image moves per PushSlice (chunked internally by
 	// the FIFO's free space, so the bounded depth still throttles).
@@ -147,6 +171,10 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 		defer wg.Done()
 		defer fifos[0].Close()
 		for _, img := range batch {
+			sid := 0
+			if feedTrack != nil {
+				sid = feedTrack.Begin("feed", 0)
+			}
 			a.dm.AccountInput(int64(img.Len()))
 			if burst {
 				fifos[0].PushSlice(img.Data())
@@ -154,6 +182,10 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 				for _, v := range img.Data() {
 					fifos[0].Push(v)
 				}
+			}
+			if feedTrack != nil {
+				feedTrack.AddWords(sid, int64(img.Len()))
+				feedTrack.End(sid, 0)
 			}
 		}
 	}()
@@ -163,7 +195,7 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 		stats.PEs[i].ID = pe.ID
 		var exec interface{ run(int) error }
 		if burst {
-			exec = &peExec{pe: pe, dm: a.dm, in: fifos[i], out: fifos[i+1], stats: &stats.PEs[i]}
+			exec = &peExec{pe: pe, dm: a.dm, in: fifos[i], out: fifos[i+1], stats: &stats.PEs[i], track: peTracks[i]}
 		} else {
 			exec = &peExecWords{pe: pe, dm: a.dm, in: fifos[i], out: fifos[i+1], stats: &stats.PEs[i]}
 		}
@@ -186,6 +218,10 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 		for b := range outputs {
 			t := tensor.New(outShape.Channels, outShape.Height, outShape.Width)
 			data := t.Data()
+			sid := 0
+			if sinkTrack != nil {
+				sid = sinkTrack.Begin("collect", 0)
+			}
 			if burst {
 				if n := sink.PopInto(data); n < len(data) {
 					errs <- fmt.Errorf("dataflow: output stream ended at image %d element %d", b, n)
@@ -202,6 +238,10 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 				}
 			}
 			a.dm.AccountOutput(int64(len(data)))
+			if sinkTrack != nil {
+				sinkTrack.AddWords(sid, int64(len(data)))
+				sinkTrack.End(sid, 0)
+			}
 			outputs[b] = t
 		}
 		// Anything extra indicates a shape accounting bug. Drain the sink

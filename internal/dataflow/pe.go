@@ -7,6 +7,7 @@ import (
 	"condor/internal/condorir"
 	"condor/internal/fifo"
 	"condor/internal/nn"
+	"condor/internal/obs"
 )
 
 // PEStats aggregates one PE's activity over a batch run.
@@ -111,6 +112,7 @@ type peExec struct {
 	in    *fifo.FIFO
 	out   *fifo.FIFO
 	stats *PEStats
+	track *obs.Track // nil when tracing is off
 
 	// Scratch buffers reused across layers and images to avoid the append
 	// churn of the original per-word emit path.
@@ -164,6 +166,15 @@ func (x *peExec) runImage(img int) error {
 		x.outBuf = growSlice(x.outBuf, l.OutShape.Volume())
 		out := x.outBuf
 
+		// The span brackets the PE's cumulative cycle counter: its cycle
+		// width is this layer's LayerCycles plus, for fused layers, the DDR
+		// round trip of the intermediate — so per-track span totals sum to
+		// exactly PEStats.Cycles.
+		sid := 0
+		if x.track != nil {
+			sid = x.track.Begin(l.Name, x.stats.Cycles)
+		}
+
 		var err error
 		switch l.Kind {
 		case nn.Conv:
@@ -194,6 +205,10 @@ func (x *peExec) runImage(img int) error {
 				return err
 			}
 			x.stats.Cycles += 2 * int64(len(out))
+		}
+		if x.track != nil {
+			x.track.AddWords(sid, int64(len(out)))
+			x.track.End(sid, x.stats.Cycles)
 		}
 	}
 	return nil

@@ -40,10 +40,15 @@ type FIFO struct {
 	closed bool
 
 	// Traffic counters, guarded by mu. Burst operations account once per
-	// burst chunk; the totals equal the word-at-a-time sequence exactly.
-	pushes int64
-	pops   int64
-	maxOcc int64 // high-water mark, observed at burst boundaries
+	// burst chunk; the word totals equal the word-at-a-time sequence
+	// exactly, while the burst counters record how many synchronisations
+	// carried them (the quantity the observability layer reports as
+	// words-per-burst efficiency).
+	pushes     int64
+	pops       int64
+	pushBursts int64
+	popBursts  int64
+	maxOcc     int64 // high-water mark, observed at burst boundaries
 }
 
 // New creates a FIFO with the given capacity (depth in words). Depth must be
@@ -75,6 +80,7 @@ func (f *FIFO) enqueueLocked(vs []Word) {
 	copy(f.buf, vs[n:])
 	f.count += len(vs)
 	f.pushes += int64(len(vs))
+	f.pushBursts++
 	if occ := int64(f.count); occ > f.maxOcc {
 		f.maxOcc = occ
 	}
@@ -98,6 +104,7 @@ func (f *FIFO) dequeueLocked(dst []Word) int {
 	}
 	f.count -= n
 	f.pops += int64(n)
+	f.popBursts++
 	return n
 }
 
@@ -209,12 +216,17 @@ func (f *FIFO) Close() {
 	f.mu.Unlock()
 }
 
-// Stats is a snapshot of FIFO traffic counters.
+// Stats is a snapshot of FIFO traffic counters. Pushes/Pops count words and
+// are datapath-invariant; PushBursts/PopBursts count the synchronisations
+// that carried them (equal to the word counts on the word-at-a-time path,
+// far smaller on the burst path).
 type Stats struct {
 	Name         string
 	Depth        int
 	Pushes       int64
 	Pops         int64
+	PushBursts   int64
+	PopBursts    int64
 	MaxOccupancy int64
 }
 
@@ -228,6 +240,8 @@ func (f *FIFO) Stats() Stats {
 		Depth:        len(f.buf),
 		Pushes:       f.pushes,
 		Pops:         f.pops,
+		PushBursts:   f.pushBursts,
+		PopBursts:    f.popBursts,
 		MaxOccupancy: f.maxOcc,
 	}
 	f.mu.Unlock()

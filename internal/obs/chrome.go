@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file exports a Trace in the Chrome trace-event format (the JSON
+// schema chrome://tracing and Perfetto load directly): one "complete"
+// ("ph":"X") event per span with microsecond timestamps relative to the
+// trace epoch, one process for the fabric, and one thread per track with a
+// thread_name metadata event so the UI shows feeder/PE/collector lanes.
+
+// chromeEvent is one entry of the traceEvents array. Fields follow the
+// trace-event format specification; unused optional fields are omitted.
+type chromeEvent struct {
+	Name  string           `json:"name"`
+	Cat   string           `json:"cat,omitempty"`
+	Phase string           `json:"ph"`
+	PID   int              `json:"pid"`
+	TID   int              `json:"tid"`
+	TsUs  float64          `json:"ts"`
+	DurUs *float64         `json:"dur,omitempty"`
+	Args  map[string]int64 `json:"args,omitempty"`
+}
+
+// threadMeta names a thread lane in the viewer.
+type threadMeta struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args"`
+}
+
+// WriteChromeTrace serialises the trace as Chrome trace-event JSON (the
+// {"traceEvents":[...]} object form). Call only after the traced run has
+// returned.
+func (tr *Trace) WriteChromeTrace(w io.Writer) error {
+	tracks := tr.sortedTracks()
+	events := make([]any, 0, len(tracks))
+	for tid, t := range tracks {
+		events = append(events, threadMeta{
+			Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+			Args: map[string]string{"name": t.name},
+		})
+	}
+	for tid, t := range tracks {
+		for i := range t.spans {
+			sp := &t.spans[i]
+			dur := sp.End.Sub(sp.Start).Seconds() * 1e6
+			args := map[string]int64{"cycles": sp.Cycles()}
+			if sp.Words != 0 {
+				args["words"] = sp.Words
+			}
+			events = append(events, chromeEvent{
+				Name: sp.Name, Cat: "fabric", Phase: "X", PID: 1, TID: tid,
+				TsUs:  sp.Start.Sub(tr.epoch).Seconds() * 1e6,
+				DurUs: &dur, Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(struct {
+		TraceEvents     []any  `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ValidateChromeTrace checks that data parses as trace-event JSON — either
+// the bare event array or the {"traceEvents":[...]} object — and that every
+// event carries the fields the viewers require: a "ph" phase, a name,
+// numeric "pid"/"tid", and, for complete ("X") events, numeric "ts" and
+// "dur". It returns the number of events validated; zero events is an error
+// (an empty trace means the tracer was never attached). CI runs this over
+// the output of `condor-sim -trace` via `condor-sim -check-trace`.
+func ValidateChromeTrace(data []byte) (int, error) {
+	var events []json.RawMessage
+	if err := json.Unmarshal(data, &events); err != nil {
+		var obj struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(data, &obj); err != nil {
+			return 0, fmt.Errorf("obs: not trace-event JSON: %w", err)
+		}
+		events = obj.TraceEvents
+	}
+	if len(events) == 0 {
+		return 0, fmt.Errorf("obs: trace has no events")
+	}
+	spans := 0
+	for i, raw := range events {
+		var ev struct {
+			Name *string  `json:"name"`
+			Ph   *string  `json:"ph"`
+			PID  *int     `json:"pid"`
+			TID  *int     `json:"tid"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return 0, fmt.Errorf("obs: event %d malformed: %w", i, err)
+		}
+		if ev.Ph == nil || *ev.Ph == "" {
+			return 0, fmt.Errorf("obs: event %d has no phase", i)
+		}
+		if ev.Name == nil || *ev.Name == "" {
+			return 0, fmt.Errorf("obs: event %d has no name", i)
+		}
+		if ev.PID == nil || ev.TID == nil {
+			return 0, fmt.Errorf("obs: event %d missing pid/tid", i)
+		}
+		if *ev.Ph == "X" {
+			if ev.Ts == nil || ev.Dur == nil {
+				return 0, fmt.Errorf("obs: complete event %d (%s) missing ts/dur", i, *ev.Name)
+			}
+			if *ev.Dur < 0 {
+				return 0, fmt.Errorf("obs: complete event %d (%s) has negative duration", i, *ev.Name)
+			}
+			spans++
+		}
+	}
+	if spans == 0 {
+		return 0, fmt.Errorf("obs: trace has no complete (ph=X) span events")
+	}
+	return len(events), nil
+}

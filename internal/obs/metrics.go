@@ -1,0 +1,428 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the metrics half of the observability layer: a small
+// Prometheus-compatible registry. It supports the three canonical
+// instrument kinds (counter, gauge, histogram) plus scrape-time func
+// metrics for subsystems that already keep their own counters behind their
+// own locks (the serving tier, the cloud client, SDAccel devices) — those
+// are absorbed at exposition time instead of being double-counted.
+//
+// The exposition format is the Prometheus text format, served by Handler
+// (condor-serve's /metricsz) and snapshot-dumpable anywhere via
+// WritePrometheus / TextSnapshot (cosim, experiments, condor-sim -metrics).
+
+// Label is one name="value" pair attached to a metric child.
+type Label struct{ Name, Value string }
+
+// L is shorthand for building a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Metric type strings, as emitted on the # TYPE line.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Sample is one scrape-time observation returned by a func metric.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// HistSnapshot is a scrape-time histogram returned by a histogram func
+// metric: cumulative bucket counts in ascending upper-bound order (the
+// +Inf bucket is implicit and equals Count).
+type HistSnapshot struct {
+	Labels []Label
+	Bounds []float64 // ascending upper bounds
+	Cumul  []uint64  // cumulative counts, len == len(Bounds)
+	Sum    float64
+	Count  uint64
+}
+
+// Registry holds metric families and renders them in registration order.
+// All methods are safe for concurrent use; instrument updates (Counter.Add,
+// Gauge.Set, Histogram.Observe) are lock-free atomics.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+type family struct {
+	name, help, typ string
+
+	mu       sync.Mutex
+	children map[string]*child
+	order    []string
+
+	// Scrape-time producers (func metrics); nil for instrument families.
+	sampleFn func() []Sample
+	histFn   func() []HistSnapshot
+}
+
+// child is one labelled instrument of a family.
+type child struct {
+	labels  string // rendered {k="v",...} or ""
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// familyFor returns (creating if needed) the family, panicking on a name
+// reused with a different type or help — a programming bug, like fifo.New
+// with a non-positive depth.
+func (r *Registry) familyFor(name, typ, help string) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, children: make(map[string]*child)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.typ != typ || f.help != help {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (%q), was %s (%q)", name, typ, help, f.typ, f.help))
+	}
+	return f
+}
+
+// childFor returns (creating via mk if needed) the family child for the
+// label set.
+func (f *family) childFor(labels []Label, mk func() *child) *child {
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.sampleFn != nil || f.histFn != nil {
+		panic(fmt.Sprintf("obs: metric %q is a func metric; instruments cannot be added", f.name))
+	}
+	c, ok := f.children[key]
+	if !ok {
+		c = mk()
+		c.labels = key
+		f.children[key] = c
+		f.order = append(f.order, key)
+	}
+	return c
+}
+
+// Counter is a monotonically increasing instrument.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n must be non-negative).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter registers (or fetches) a counter child with the given labels.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.familyFor(name, TypeCounter, help)
+	c := f.childFor(labels, func() *child { return &child{counter: &Counter{}} })
+	return c.counter
+}
+
+// Gauge is an instrument that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Gauge registers (or fetches) a gauge child with the given labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	f := r.familyFor(name, TypeGauge, help)
+	c := f.childFor(labels, func() *child { return &child{gauge: &Gauge{}} })
+	return c.gauge
+}
+
+// Histogram is a fixed-bucket instrument. Observations are lock-free.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // per-bound (non-cumulative) counts
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// snapshot returns cumulative bucket counts, the sum and the count.
+func (h *Histogram) snapshot() HistSnapshot {
+	s := HistSnapshot{Bounds: h.bounds, Cumul: make([]uint64, len(h.bounds))}
+	var run uint64
+	for i := range h.buckets {
+		run += h.buckets[i].Load()
+		s.Cumul[i] = run
+	}
+	s.Count = h.count.Load()
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	return s
+}
+
+// Histogram registers (or fetches) a histogram child with ascending bucket
+// upper bounds (the +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending: %v", name, bounds))
+		}
+	}
+	f := r.familyFor(name, TypeHistogram, help)
+	c := f.childFor(labels, func() *child {
+		return &child{hist: &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds))}}
+	})
+	return c.hist
+}
+
+// Func registers a scrape-time metric family: fn is invoked on every
+// exposition and its samples are rendered under the family's name. Use for
+// subsystems that already keep their own synchronised counters.
+func (r *Registry) Func(name, typ, help string, fn func() []Sample) {
+	if typ != TypeCounter && typ != TypeGauge {
+		panic(fmt.Sprintf("obs: func metric %q must be counter or gauge, got %q", name, typ))
+	}
+	f := r.familyFor(name, typ, help)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.children) > 0 || f.histFn != nil || f.sampleFn != nil {
+		panic(fmt.Sprintf("obs: metric %q already registered", name))
+	}
+	f.sampleFn = fn
+}
+
+// HistogramFunc registers a scrape-time histogram family (for histograms a
+// subsystem accumulates under its own lock, like the serving tier's
+// batch-size histogram).
+func (r *Registry) HistogramFunc(name, help string, fn func() []HistSnapshot) {
+	f := r.familyFor(name, TypeHistogram, help)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.children) > 0 || f.histFn != nil || f.sampleFn != nil {
+		panic(fmt.Sprintf("obs: metric %q already registered", name))
+	}
+	f.histFn = fn
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// TextSnapshot returns the exposition as a string (the snapshot-dump form
+// used by cosim, experiments and condor-sim -metrics).
+func (r *Registry) TextSnapshot() string {
+	var b strings.Builder
+	r.WritePrometheus(&b) //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}
+
+// Handler serves the exposition over HTTP (condor-serve's /metricsz).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck // client went away
+	})
+}
+
+func (f *family) write(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+
+	f.mu.Lock()
+	sampleFn, histFn := f.sampleFn, f.histFn
+	keys := append([]string(nil), f.order...)
+	children := make([]*child, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.Unlock()
+
+	switch {
+	case sampleFn != nil:
+		for _, s := range sampleFn() {
+			writeSample(b, f.name, renderLabels(s.Labels), s.Value)
+		}
+	case histFn != nil:
+		for _, h := range histFn() {
+			writeHist(b, f.name, renderLabels(h.Labels), h)
+		}
+	default:
+		for _, c := range children {
+			switch {
+			case c.counter != nil:
+				writeSample(b, f.name, c.labels, float64(c.counter.Value()))
+			case c.gauge != nil:
+				writeSample(b, f.name, c.labels, c.gauge.Value())
+			case c.hist != nil:
+				writeHist(b, f.name, c.labels, c.hist.snapshot())
+			}
+		}
+	}
+}
+
+// writeHist renders one histogram child: _bucket series with cumulative le
+// labels, then _sum and _count. base is the pre-rendered label set.
+func writeHist(b *strings.Builder, name, base string, h HistSnapshot) {
+	for i, bound := range h.Bounds {
+		writeSample(b, name+"_bucket", mergeLe(base, formatFloat(bound)), float64(h.Cumul[i]))
+	}
+	writeSample(b, name+"_bucket", mergeLe(base, "+Inf"), float64(h.Count))
+	writeSample(b, name+"_sum", base, h.Sum)
+	writeSample(b, name+"_count", base, float64(h.Count))
+}
+
+// mergeLe appends the le label to an already-rendered label set.
+func mergeLe(base, le string) string {
+	leLabel := `le="` + le + `"`
+	if base == "" {
+		return "{" + leLabel + "}"
+	}
+	return base[:len(base)-1] + "," + leLabel + "}"
+}
+
+func writeSample(b *strings.Builder, name, labels string, v float64) {
+	b.WriteString(name)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// renderLabels renders a label set as {k="v",...}, escaping values.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if !validLabelName(l.Name) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l.Name))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(h string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" || name == "le" {
+		return false // le is reserved for histogram buckets
+	}
+	for i, c := range name {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

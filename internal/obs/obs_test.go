@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- tracing ---
+
+func TestTraceSpansAndSummary(t *testing.T) {
+	tr := NewTrace()
+	pe := tr.Track("pe0")
+	var cyc int64
+	for img := 0; img < 3; img++ {
+		id := pe.Begin("conv1", cyc)
+		cyc += 100
+		pe.End(id, cyc)
+		id = pe.Begin("pool1", cyc)
+		cyc += 40
+		pe.AddWords(id, 16)
+		pe.End(id, cyc)
+	}
+	if got := tr.TrackCycles("pe0"); got != 420 {
+		t.Fatalf("TrackCycles = %d, want 420", got)
+	}
+	sum := tr.Summary()
+	if len(sum) != 2 {
+		t.Fatalf("summary has %d rows, want 2: %+v", len(sum), sum)
+	}
+	if sum[0].Name != "conv1" || sum[0].Count != 3 || sum[0].Cycles != 300 {
+		t.Errorf("conv1 rollup wrong: %+v", sum[0])
+	}
+	if sum[1].Name != "pool1" || sum[1].Cycles != 120 || sum[1].Words != 48 {
+		t.Errorf("pool1 rollup wrong: %+v", sum[1])
+	}
+}
+
+func TestTraceConcurrentTracks(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := tr.Track("worker")
+			for i := 0; i < 100; i++ {
+				id := tk.Begin("step", int64(i))
+				tk.End(id, int64(i+1))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.TrackCycles("worker"); got != 800 {
+		t.Fatalf("TrackCycles = %d, want 800", got)
+	}
+	if n := len(tr.Tracks()); n != 8 {
+		t.Fatalf("track count %d, want 8", n)
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	tk := tr.Track("pe0")
+	id := tk.Begin("conv1", 0)
+	time.Sleep(time.Millisecond)
+	tk.End(id, 250)
+	fd := tr.Track("feeder")
+	id = fd.Begin("feed", 0)
+	fd.AddWords(id, 256)
+	fd.End(id, 0)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace does not validate: %v\n%s", err, buf.String())
+	}
+	// 2 thread_name metadata events + 2 spans.
+	if n != 4 {
+		t.Fatalf("validated %d events, want 4", n)
+	}
+	for _, want := range []string{`"ph": "X"`, `"name": "conv1"`, `"cycles": 250`, `"words": 256`, `"thread_name"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("trace JSON missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not JSON":       "nope",
+		"empty array":    "[]",
+		"empty object":   `{"traceEvents":[]}`,
+		"no phase":       `[{"name":"x","pid":1,"tid":0}]`,
+		"no name":        `[{"ph":"X","pid":1,"tid":0,"ts":0,"dur":1}]`,
+		"missing ts/dur": `[{"name":"x","ph":"X","pid":1,"tid":0}]`,
+		"no span events": `[{"name":"thread_name","ph":"M","pid":1,"tid":0}]`,
+		"negative dur":   `[{"name":"x","ph":"X","pid":1,"tid":0,"ts":0,"dur":-5}]`,
+	}
+	for what, data := range cases {
+		if _, err := ValidateChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s: validated but should not have", what)
+		}
+	}
+	// The bare array form is accepted.
+	ok := `[{"name":"x","ph":"X","pid":1,"tid":0,"ts":0,"dur":5}]`
+	if n, err := ValidateChromeTrace([]byte(ok)); err != nil || n != 1 {
+		t.Errorf("bare array form: n=%d err=%v", n, err)
+	}
+}
+
+// --- metrics ---
+
+// TestExpositionGolden pins the exact Prometheus text format: ordering,
+// label rendering, histogram bucket/sum/count series and escaping.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("condor_test_ops_total", "Operations.", L("kind", "push"))
+	c.Add(41)
+	c.Inc()
+	reg.Counter("condor_test_ops_total", "Operations.", L("kind", "pop")).Add(7)
+	g := reg.Gauge("condor_test_depth", "Queue depth.")
+	g.Set(3)
+	g.Add(0.5)
+	h := reg.Histogram("condor_test_batch", "Batch sizes.", []float64{1, 2, 4})
+	for _, v := range []float64{1, 2, 2, 3, 9} {
+		h.Observe(v)
+	}
+	reg.Func("condor_test_util", TypeGauge, "Utilization with \"quotes\" and \\slashes.", func() []Sample {
+		return []Sample{{Labels: []Label{L("backend", `fpga"0\`)}, Value: 0.75}}
+	})
+
+	want := `# HELP condor_test_ops_total Operations.
+# TYPE condor_test_ops_total counter
+condor_test_ops_total{kind="push"} 42
+condor_test_ops_total{kind="pop"} 7
+# HELP condor_test_depth Queue depth.
+# TYPE condor_test_depth gauge
+condor_test_depth 3.5
+# HELP condor_test_batch Batch sizes.
+# TYPE condor_test_batch histogram
+condor_test_batch_bucket{le="1"} 1
+condor_test_batch_bucket{le="2"} 3
+condor_test_batch_bucket{le="4"} 4
+condor_test_batch_bucket{le="+Inf"} 5
+condor_test_batch_sum 17
+condor_test_batch_count 5
+# HELP condor_test_util Utilization with "quotes" and \\slashes.
+# TYPE condor_test_util gauge
+condor_test_util{backend="fpga\"0\\"} 0.75
+`
+	if got := reg.TextSnapshot(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHistogramFunc(t *testing.T) {
+	reg := NewRegistry()
+	reg.HistogramFunc("condor_test_sizes", "Sizes.", func() []HistSnapshot {
+		return []HistSnapshot{{
+			Labels: []Label{L("pool", "a")},
+			Bounds: []float64{1, 8},
+			Cumul:  []uint64{2, 5},
+			Sum:    23,
+			Count:  6,
+		}}
+	})
+	got := reg.TextSnapshot()
+	for _, want := range []string{
+		`condor_test_sizes_bucket{pool="a",le="1"} 2`,
+		`condor_test_sizes_bucket{pool="a",le="8"} 5`,
+		`condor_test_sizes_bucket{pool="a",le="+Inf"} 6`,
+		`condor_test_sizes_sum{pool="a"} 23`,
+		`condor_test_sizes_count{pool="a"} 6`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRegistryConcurrency hammers every instrument kind from many
+// goroutines while a scraper renders concurrently, under -race in CI.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	var workers sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			c := reg.Counter("condor_conc_ops_total", "ops")
+			ga := reg.Gauge("condor_conc_depth", "depth", L("worker", string(rune('a'+g))))
+			h := reg.Histogram("condor_conc_lat", "lat", []float64{1, 10, 100})
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				ga.Set(float64(i))
+				h.Observe(float64(i % 120))
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.TextSnapshot()
+			}
+		}
+	}()
+	workers.Wait()
+	close(stop)
+	<-scraped
+
+	if got := reg.Counter("condor_conc_ops_total", "ops").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	snap := reg.TextSnapshot()
+	if !strings.Contains(snap, "condor_conc_lat_count 8000") {
+		t.Errorf("histogram count missing from exposition:\n%s", snap)
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	mustPanic := func(what string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", what)
+			}
+		}()
+		fn()
+	}
+	reg := NewRegistry()
+	reg.Counter("condor_a_total", "a")
+	mustPanic("type conflict", func() { reg.Gauge("condor_a_total", "a") })
+	mustPanic("help conflict", func() { reg.Counter("condor_a_total", "b") })
+	mustPanic("bad name", func() { reg.Counter("0bad", "x") })
+	mustPanic("bad label", func() { reg.Counter("condor_b_total", "b", L("le", "1")) })
+	mustPanic("descending buckets", func() { reg.Histogram("condor_h", "h", []float64{2, 1}) })
+	reg.Func("condor_f", TypeGauge, "f", func() []Sample { return nil })
+	mustPanic("func re-registration", func() { reg.Func("condor_f", TypeGauge, "f", func() []Sample { return nil }) })
+	mustPanic("instrument on func family", func() { reg.Gauge("condor_f", "f") })
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("condor_http_total", "hits").Add(3)
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metricsz", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "condor_http_total 3") {
+		t.Errorf("body missing metric:\n%s", rec.Body.String())
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-sensitive tests (the disabled-tracer overhead gate) skip under it.
+const raceEnabled = true

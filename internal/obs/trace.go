@@ -1,0 +1,174 @@
+// Package obs is the observability layer of the Condor backend: per-run
+// span tracing of the dataflow fabric (exportable as Chrome trace-event
+// JSON for chrome://tracing and Perfetto) and a Prometheus-style metrics
+// registry that absorbs the counters every other subsystem already keeps —
+// FIFO burst traffic, DDR bytes, serving-tier queue/batch/backend state,
+// cloud-client retries and SDAccel device activity.
+//
+// Both halves are designed around the same constraint: the fabric's hot
+// path must not slow down when nobody is watching. Tracing hooks sit behind
+// the Tracer interface and a nil check — a disabled tracer costs one
+// compare-and-branch per hook site — and span appends go to per-goroutine
+// Tracks, so the enabled path takes no locks either.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer is the hook the instrumented subsystems call to obtain span
+// buffers. Holders keep a Tracer field that is nil when tracing is off and
+// guard every hook site with a nil check, which is the whole disabled-path
+// cost. *Trace is the standard implementation.
+type Tracer interface {
+	// Track returns a span buffer owned by the calling goroutine. Each
+	// concurrently-running element (feeder, PE, collector) must claim its
+	// own track: appends to a Track are lock-free precisely because a track
+	// has a single writer.
+	Track(name string) *Track
+}
+
+// Span is one begin/end interval on a track: a layer's pass over one image,
+// a feeder push, a collector pop. Wall-clock timestamps come from the host
+// simulator; Cycles carries the modeled device cycles the interval accounts
+// for (zero for elements outside the cycle model, such as the datamover
+// feeder). Words counts the FIFO words the interval moved, when meaningful.
+type Span struct {
+	Name       string
+	Start      time.Time
+	End        time.Time
+	StartCycle int64
+	EndCycle   int64
+	Words      int64
+}
+
+// Cycles returns the modeled cycles the span accounts for.
+func (s *Span) Cycles() int64 { return s.EndCycle - s.StartCycle }
+
+// Track is a lock-free per-goroutine span buffer: exactly one goroutine
+// appends to it (the fabric element it belongs to), so Begin/End are plain
+// slice appends with no synchronisation. The owning Trace collects every
+// track after the run has completed.
+type Track struct {
+	name  string
+	spans []Span
+}
+
+// Name returns the track's identifier (the fabric element that owns it).
+func (t *Track) Name() string { return t.name }
+
+// Spans returns the recorded spans. Callers must not read a track while its
+// owning goroutine is still running.
+func (t *Track) Spans() []Span { return t.spans }
+
+// Begin opens a span and returns its handle for End. startCycle is the
+// element's modeled cycle counter at entry.
+func (t *Track) Begin(name string, startCycle int64) int {
+	t.spans = append(t.spans, Span{Name: name, Start: time.Now(), StartCycle: startCycle})
+	return len(t.spans) - 1
+}
+
+// End closes the span opened by Begin. endCycle is the element's modeled
+// cycle counter at exit, so Cycles() is the interval's share of the model.
+func (t *Track) End(id int, endCycle int64) {
+	sp := &t.spans[id]
+	sp.End = time.Now()
+	sp.EndCycle = endCycle
+}
+
+// AddWords accounts FIFO words moved during the span.
+func (t *Track) AddWords(id int, words int64) {
+	t.spans[id].Words += words
+}
+
+// Trace owns the tracks of one (or more) fabric runs. Track creation takes
+// the trace lock once per goroutine; everything after that is lock-free.
+type Trace struct {
+	epoch time.Time
+
+	mu     sync.Mutex
+	tracks []*Track
+}
+
+// NewTrace starts an empty trace; the epoch anchors exported timestamps.
+func NewTrace() *Trace { return &Trace{epoch: time.Now()} }
+
+// Track creates a new span buffer for the calling goroutine. Tracks are
+// intentionally not deduplicated by name: two runs (or two goroutines)
+// asking for the same name get distinct buffers, each with a single writer.
+func (tr *Trace) Track(name string) *Track {
+	t := &Track{name: name}
+	tr.mu.Lock()
+	tr.tracks = append(tr.tracks, t)
+	tr.mu.Unlock()
+	return t
+}
+
+// Tracks snapshots the track list. Only call after the traced run returned:
+// tracks still owned by live goroutines must not be read.
+func (tr *Trace) Tracks() []*Track {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]*Track(nil), tr.tracks...)
+}
+
+// SpanTotal aggregates every span with the same name on one track: the
+// per-layer rollup behind `condor-bench -layers`.
+type SpanTotal struct {
+	Track  string
+	Name   string
+	Count  int64
+	Cycles int64
+	Wall   time.Duration
+	Words  int64
+}
+
+// Summary aggregates spans by (track, span name), preserving first-seen
+// order within a track and track creation order overall.
+func (tr *Trace) Summary() []SpanTotal {
+	var out []SpanTotal
+	index := make(map[[2]string]int)
+	for _, t := range tr.Tracks() {
+		for i := range t.spans {
+			sp := &t.spans[i]
+			key := [2]string{t.name, sp.Name}
+			j, ok := index[key]
+			if !ok {
+				j = len(out)
+				index[key] = j
+				out = append(out, SpanTotal{Track: t.name, Name: sp.Name})
+			}
+			out[j].Count++
+			out[j].Cycles += sp.Cycles()
+			out[j].Wall += sp.End.Sub(sp.Start)
+			out[j].Words += sp.Words
+		}
+	}
+	return out
+}
+
+// TrackCycles sums the modeled cycles of every span on tracks with the
+// given name — the reconciliation quantity tests compare against the
+// fabric's own RunStats cycle counters.
+func (tr *Trace) TrackCycles(name string) int64 {
+	var total int64
+	for _, t := range tr.Tracks() {
+		if t.name != name {
+			continue
+		}
+		for i := range t.spans {
+			total += t.spans[i].Cycles()
+		}
+	}
+	return total
+}
+
+// sortedTracks returns tracks ordered by name then creation order, giving
+// exports a stable thread layout.
+func (tr *Trace) sortedTracks() []*Track {
+	ts := tr.Tracks()
+	sort.SliceStable(ts, func(i, j int) bool { return ts[i].name < ts[j].name })
+	return ts
+}

@@ -14,6 +14,7 @@ import (
 	"condor/internal/board"
 	"condor/internal/condorir"
 	"condor/internal/dataflow"
+	"condor/internal/obs"
 	"condor/internal/perf"
 	"condor/internal/tensor"
 )
@@ -30,6 +31,68 @@ type Device struct {
 	xclbin  *bitstream.Xclbin
 	weights *condorir.WeightSet
 	acc     *dataflow.Accelerator
+	tracer  obs.Tracer
+
+	// Cumulative execution accounting. Guarded by mu: kernel closures run
+	// under the device lock in Finish, matching how a card's management
+	// stack counts completed kernel dispatches.
+	kernels  int64
+	images   int64
+	kernelMs float64
+}
+
+// DeviceCounters is a snapshot of a device's cumulative execution figures.
+type DeviceCounters struct {
+	Kernels  int64   // kernel dispatches executed
+	Images   int64   // images inferred
+	KernelMs float64 // modeled device-busy milliseconds
+}
+
+// Counters snapshots the device's execution accounting.
+func (d *Device) Counters() DeviceCounters {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DeviceCounters{Kernels: d.kernels, Images: d.images, KernelMs: d.kernelMs}
+}
+
+// SetTracer attaches a span tracer to the device's fabric: subsequent kernel
+// executions record feeder/PE/collector spans into it. The tracer survives
+// weight reloads; pass nil to detach.
+func (d *Device) SetTracer(t obs.Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tracer = t
+	if d.acc != nil {
+		d.acc.SetTracer(t)
+	}
+}
+
+// RegisterMetrics exposes the execution counters of the given devices
+// through reg under the condor_sdaccel_* families, labelled by device id and
+// read at scrape time. Register each family once per registry: pass every
+// device in one call.
+func RegisterMetrics(reg *obs.Registry, devices ...*Device) {
+	perDevice := func(fn func(DeviceCounters) float64) func() []obs.Sample {
+		return func() []obs.Sample {
+			out := make([]obs.Sample, len(devices))
+			for i, d := range devices {
+				out[i] = obs.Sample{
+					Labels: []obs.Label{obs.L("device", d.ID)},
+					Value:  fn(d.Counters()),
+				}
+			}
+			return out
+		}
+	}
+	reg.Func("condor_sdaccel_kernels_total", obs.TypeCounter,
+		"Kernel dispatches executed per device.",
+		perDevice(func(c DeviceCounters) float64 { return float64(c.Kernels) }))
+	reg.Func("condor_sdaccel_images_total", obs.TypeCounter,
+		"Images inferred per device.",
+		perDevice(func(c DeviceCounters) float64 { return float64(c.Images) }))
+	reg.Func("condor_sdaccel_kernel_ms_total", obs.TypeCounter,
+		"Modeled device-busy milliseconds per device.",
+		perDevice(func(c DeviceCounters) float64 { return c.KernelMs }))
 }
 
 // NewDevice creates a device backed by the catalogued board.
@@ -111,6 +174,9 @@ func (d *Device) LoadWeights(ws *condorir.WeightSet) error {
 	acc, err := dataflow.Instantiate(d.xclbin.Spec, ws)
 	if err != nil {
 		return err
+	}
+	if d.tracer != nil {
+		acc.SetTracer(d.tracer)
 	}
 	d.weights = ws
 	d.acc = acc
@@ -205,10 +271,14 @@ func (c *Context) EnqueueKernel(in, out *Buffer, batch int) {
 		}
 		// Device time from the pipeline model at the achieved clock.
 		cycles := perf.SimulateBatch(perf.Stages(spec), batch)
-		c.info.KernelMs += perf.CyclesToMs(cycles, dev.xclbin.Meta.AchievedMHz)
+		ms := perf.CyclesToMs(cycles, dev.xclbin.Meta.AchievedMHz)
+		c.info.KernelMs += ms
 		c.info.Batches++
 		c.info.Images += batch
 		c.info.LastStats = stats
+		dev.kernels++
+		dev.images += int64(batch)
+		dev.kernelMs += ms
 		return nil
 	})
 }

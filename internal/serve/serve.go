@@ -315,7 +315,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) QueueDepth() int { return len(s.queue) }
 
 // Stats snapshots the serving counters, batch histogram, per-backend
-// utilization and latency quantiles.
+// utilization and latency quantiles. The snapshot is taken under the
+// admission lock so a poll during shutdown observes a queue depth
+// consistent with the closed/draining state instead of racing the batcher
+// retiring the final requests.
 func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.stats.snapshot(len(s.queue), s.cfg.QueueDepth, s.sched.snapshot())
 }

@@ -77,7 +77,7 @@ func mixedPool(t *testing.T, endpoint string, nLocal, slots int) []serve.Backend
 	}
 	dep, err := f.DeployCloud(cloudBuild, CloudConfig{
 		Endpoint: endpoint, License: aws.LicenseFromAMI(),
-		Bucket: fmt.Sprintf("condor-serve-test-%d", time.Now().UnixNano()),
+		Bucket:       fmt.Sprintf("condor-serve-test-%d", time.Now().UnixNano()),
 		InstanceType: "f1.4xlarge", Slots: slots,
 	})
 	if err != nil {
