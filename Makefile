@@ -34,7 +34,7 @@ race-serve:
 smoke-serve:
 	$(GO) build -o bin/ ./cmd/awsmock ./cmd/condor-serve
 	./bin/awsmock -addr 127.0.0.1:8780 -afi-delay 100ms -fail-rate 0.05 & echo $$! > .awsmock.pid
-	./bin/condor-serve -addr 127.0.0.1:8781 -model tc1 -local 1 \
+	./bin/condor-serve -addr 127.0.0.1:8781 -model tc1 -local 1 -cus 2 \
 		-endpoint http://127.0.0.1:8780 -instance-type f1.4xlarge -slots 2 & echo $$! > .serve.pid
 	for i in $$(seq 1 50); do curl -fs http://127.0.0.1:8781/healthz >/dev/null 2>&1 && break; sleep 0.2; done
 	./bin/condor-serve -probe http://127.0.0.1:8781
@@ -44,15 +44,18 @@ smoke-serve:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# bench-fabric runs the streaming-datapath microbenchmarks and writes the
-# machine-readable results CI uploads as an artifact.
+# bench-fabric runs the streaming-datapath microbenchmarks (including the
+# compute-unit replication legs) and writes the machine-readable results CI
+# uploads as an artifact.
 bench-fabric:
-	$(GO) run ./cmd/condor-bench -json BENCH_fabric.json
+	$(GO) run ./cmd/condor-bench -json BENCH_fabric.json -cus 1,2
 
 # bench-check is the throughput-regression gate: regenerate the fabric
 # microbenchmarks and diff them against the committed baseline, failing on a
 # >25% drop. Refresh the baseline with
-# `go run ./cmd/condor-bench -json BENCH_baseline.json` on a quiet machine.
+# `go run ./cmd/condor-bench -json BENCH_baseline.json -cus 1,2` on a quiet
+# machine (the -cus legs must match the baseline's rows, or the gate errors
+# on the missing benchmark).
 bench-check: bench-fabric
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_fabric.json -max-regression 0.25
 

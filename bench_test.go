@@ -18,6 +18,7 @@ import (
 	"condor/internal/aws"
 	"condor/internal/baseline"
 	"condor/internal/condorir"
+	"condor/internal/dataflow"
 	"condor/internal/models"
 	"condor/internal/perf"
 	"condor/internal/quant"
@@ -301,7 +302,10 @@ func BenchmarkAblationQuantization(b *testing.B) {
 }
 
 // BenchmarkFabricThroughput measures the raw functional-simulator
-// throughput (host-side), useful for tracking simulator regressions.
+// throughput (host-side), useful for tracking simulator regressions. The
+// cus=N sub-benchmarks run a 16-image batch on a replicated compute-unit
+// pool and report img/s — the replication speedup appears on hosts with
+// enough cores; on a single-core host all legs coincide.
 func BenchmarkFabricThroughput(b *testing.B) {
 	ir, ws, err := models.TC1()
 	if err != nil {
@@ -318,6 +322,21 @@ func BenchmarkFabricThroughput(b *testing.B) {
 		if _, _, err := dep.Run(imgs); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.StopTimer()
+
+	batch := models.USPSImages(16, 5)
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("cus=%d", n), func(b *testing.B) {
+			pool := dataflow.NewCUPool(dep, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := pool.Run(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "img/s")
+		})
 	}
 }
 

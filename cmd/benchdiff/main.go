@@ -120,8 +120,16 @@ func main() {
 		fmt.Printf("%-40s %14.1f %14.1f %8.1f%%%s\n", v.Name, v.Baseline, v.Current, 100*v.Delta, mark)
 	}
 	if regressions > 0 {
-		fail(fmt.Errorf("%d of %d benchmarks regressed more than %.0f%% vs %s",
-			regressions, len(verdicts), 100**maxRegression, *baselinePath))
+		// Name each offender with its delta so the CI failure line is
+		// actionable without digging through the job log for the table.
+		detail := ""
+		for _, v := range verdicts {
+			if v.Regressed {
+				detail += fmt.Sprintf("\n  %s: %.1f -> %.1f img/s (%.1f%%)", v.Name, v.Baseline, v.Current, 100*v.Delta)
+			}
+		}
+		fail(fmt.Errorf("%d of %d benchmarks regressed more than %.0f%% vs %s%s",
+			regressions, len(verdicts), 100**maxRegression, *baselinePath, detail))
 	}
 	fmt.Printf("ok: %d benchmarks within %.0f%% of baseline\n", len(verdicts), 100**maxRegression)
 }

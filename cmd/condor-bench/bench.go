@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"condor"
+	"condor/internal/dataflow"
 	"condor/internal/models"
 	"condor/internal/tensor"
 )
@@ -21,9 +22,9 @@ type benchResult struct {
 	ImgPerS float64 `json:"img_per_s"`
 }
 
-// timeIt runs fn (one image of work per call) until it has both a minimum
-// iteration count and a minimum elapsed time, then reports the mean.
-func timeIt(name string, fn func() error) (benchResult, error) {
+// timeIt runs fn (imagesPerOp images of work per call) until it has both a
+// minimum iteration count and a minimum elapsed time, then reports the mean.
+func timeIt(name string, imagesPerOp int, fn func() error) (benchResult, error) {
 	const (
 		minIters = 3
 		minTime  = 200 * time.Millisecond
@@ -45,14 +46,17 @@ func timeIt(name string, fn func() error) (benchResult, error) {
 		}
 	}
 	nsPerOp := float64(time.Since(start).Nanoseconds()) / float64(iters)
-	return benchResult{Name: name, Iters: iters, NsPerOp: nsPerOp, ImgPerS: 1e9 / nsPerOp}, nil
+	return benchResult{Name: name, Iters: iters, NsPerOp: nsPerOp, ImgPerS: float64(imagesPerOp) * 1e9 / nsPerOp}, nil
 }
 
 // benchJSON runs the fabric-throughput microbenchmarks (the same workloads
 // as BenchmarkFabricThroughput, BenchmarkReferenceEngine and
 // BenchmarkBaselineGEMMEngine) and writes the results as JSON, for CI
-// artifact upload and regression tracking.
-func benchJSON(path string) error {
+// artifact upload and regression tracking. For every entry of cus a
+// batch-16 leg runs on a compute-unit pool of that size
+// (BenchmarkFabricThroughput/cus=N), measuring the replication speedup on
+// hosts with enough cores — on a single-core host the legs coincide.
+func benchJSON(path string, cus []int) error {
 	ir, ws, err := models.TC1()
 	if err != nil {
 		return err
@@ -70,37 +74,50 @@ func benchJSON(path string) error {
 		return err
 	}
 	fabricImgs := models.USPSImages(1, 5)
+	poolImgs := models.USPSImages(16, 5)
 	refImg := models.USPSImages(1, 6)[0]
 	gemmImg := models.USPSImages(1, 3)[0]
 
 	cases := []struct {
-		name string
-		fn   func() error
+		name   string
+		images int
+		fn     func() error
 	}{
-		{"BenchmarkFabricThroughput", func() error {
+		{"BenchmarkFabricThroughput", 1, func() error {
 			_, _, err := dep.Run(fabricImgs)
 			return err
 		}},
-		{"BenchmarkReferenceEngine", func() error {
+		{"BenchmarkReferenceEngine", 1, func() error {
 			_, err := net.Predict(refImg)
 			return err
 		}},
-		{"BenchmarkBaselineGEMMEngine/direct", func() error {
+		{"BenchmarkBaselineGEMMEngine/direct", 1, func() error {
 			_, err := net.Predict(gemmImg)
 			return err
 		}},
-		{"BenchmarkBaselineGEMMEngine/gemm", func() error {
+		{"BenchmarkBaselineGEMMEngine/gemm", 1, func() error {
 			var out *tensor.Tensor
 			out, err := net.GEMMForward(gemmImg)
 			_ = out
 			return err
 		}},
 	}
+	for _, n := range cus {
+		pool := dataflow.NewCUPool(dep, n)
+		cases = append(cases, struct {
+			name   string
+			images int
+			fn     func() error
+		}{fmt.Sprintf("BenchmarkFabricThroughput/cus=%d", n), len(poolImgs), func() error {
+			_, _, err := pool.Run(poolImgs)
+			return err
+		}})
+	}
 
 	var results []benchResult
 	fmt.Println("Fabric microbenchmarks")
 	for _, c := range cases {
-		r, err := timeIt(c.name, c.fn)
+		r, err := timeIt(c.name, c.images, c.fn)
 		if err != nil {
 			return err
 		}

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"condor"
 )
@@ -23,9 +25,16 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment: table1 | table2 | figure5")
 	jsonOut := flag.String("json", "", "run the fabric microbenchmarks and write results to this JSON file (e.g. BENCH_fabric.json)")
+	cusList := flag.String("cus", "1,2", "comma-separated compute-unit counts for the -json batch-throughput legs")
 	layers := flag.String("layers", "", "print a per-layer traced cycle profile of the fabric: tc1 | lenet")
 	layersBatch := flag.Int("layers-batch", 4, "batch size for the -layers profile")
 	flag.Parse()
+
+	cus, err := parseCUs(*cusList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "condor-bench: -cus: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *layers != "" {
 		if err := layerTable(*layers, *layersBatch); err != nil {
@@ -47,17 +56,34 @@ func main() {
 		}
 	}
 	if *jsonOut != "" {
-		if err := benchJSON(*jsonOut); err != nil {
+		if err := benchJSON(*jsonOut, cus); err != nil {
 			fmt.Fprintf(os.Stderr, "condor-bench: bench: %v\n", err)
 			os.Exit(1)
 		}
-		if *only == "" && flag.NFlag() == 1 {
-			return // -json alone runs only the microbenchmarks
+		if *only == "" && *layers == "" {
+			return // -json (with optional -cus) runs only the microbenchmarks
 		}
 	}
 	run("table1", table1)
 	run("table2", table2)
 	run("figure5", figure5)
+}
+
+// parseCUs parses the -cus list ("1,2,4") into positive ints.
+func parseCUs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid compute-unit count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func table1() error {

@@ -51,6 +51,7 @@ func main() {
 		model       = flag.String("model", "tc1", "model to serve: tc1 | lenet")
 		local       = flag.Int("local", 1, "number of local boards to program")
 		localBoard  = flag.String("local-board", "ku115", "board id for local deployments")
+		cus         = flag.Int("cus", 1, "compute units (replicated kernel instances) per local board")
 		endpoint    = flag.String("endpoint", "", "cloud endpoint URL (e.g. awsmock); empty disables the cloud pool")
 		bucket      = flag.String("bucket", "condor-serve", "S3 bucket for cloud deployments")
 		instType    = flag.String("instance-type", "f1.2xlarge", "F1 instance type for the cloud pool")
@@ -72,7 +73,7 @@ func main() {
 		fmt.Println("probe ok")
 		return
 	}
-	if err := run(*addr, *model, *local, *localBoard, *endpoint, *bucket, *instType,
+	if err := run(*addr, *model, *local, *localBoard, *cus, *endpoint, *bucket, *instType,
 		*slots, *maxBatch, *batchWindow, *queueDepth, *reqTimeout, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "condor-serve:", err)
 		os.Exit(1)
@@ -90,7 +91,7 @@ func modelIR(model string) (*condorir.Network, *condorir.WeightSet, error) {
 	}
 }
 
-func run(addr, model string, local int, localBoard, endpoint, bucket, instType string,
+func run(addr, model string, local int, localBoard string, cus int, endpoint, bucket, instType string,
 	slots, maxBatch int, batchWindow time.Duration, queueDepth int, reqTimeout time.Duration, pprofOn bool) error {
 	if local <= 0 && endpoint == "" {
 		return fmt.Errorf("nothing to serve: need -local > 0 and/or -endpoint")
@@ -113,12 +114,21 @@ func run(addr, model string, local int, localBoard, endpoint, bucket, instType s
 			return fmt.Errorf("local build: %w", err)
 		}
 		for i := 0; i < local; i++ {
-			dep, err := f.DeployLocal(build)
+			dep, err := f.DeployLocalCUs(build, cus)
 			if err != nil {
 				return fmt.Errorf("local deployment %d: %w", i, err)
 			}
-			fmt.Printf("backend pool += local board %s (%s)\n", dep.ID(), localBoard)
-			pool = append(pool, dep)
+			if cus > 1 {
+				// Each replicated kernel instance joins the pool as its own
+				// backend, so the scheduler keeps cus batches in flight per card.
+				for _, cb := range dep.CUBackends() {
+					fmt.Printf("backend pool += local board %s (%s)\n", cb.ID(), localBoard)
+					pool = append(pool, cb)
+				}
+			} else {
+				fmt.Printf("backend pool += local board %s (%s)\n", dep.ID(), localBoard)
+				pool = append(pool, dep)
+			}
 		}
 	}
 

@@ -19,6 +19,7 @@ import (
 var (
 	_ serve.Backend = (*LocalDeployment)(nil)
 	_ serve.Backend = (*SlotBackend)(nil)
+	_ serve.Backend = (*CUBackend)(nil)
 )
 
 // LocalDeployment is a build loaded onto an on-premise board through the
@@ -37,12 +38,24 @@ var localDeviceSeq atomic.Uint64
 // and loads the weights (the on-premise path of the backend tier). Each
 // call claims a distinct device id.
 func (f *Framework) DeployLocal(b *Build) (*LocalDeployment, error) {
+	return f.DeployLocalCUs(b, 1)
+}
+
+// DeployLocalCUs deploys like DeployLocal with the device's kernel
+// replicated into cus compute units: the instances share one sealed weight
+// store and execute concurrently, so a single card serves up to cus kernel
+// dispatches at once. Use CUBackends to schedule the units independently in
+// a serving pool.
+func (f *Framework) DeployLocalCUs(b *Build, cus int) (*LocalDeployment, error) {
 	f.logf("backend: programming local board %s", b.Meta.Board)
 	dev, err := sdaccel.NewDevice(fmt.Sprintf("fpga%d", localDeviceSeq.Add(1)-1), b.Meta.Board)
 	if err != nil {
 		return nil, err
 	}
 	if err := dev.LoadXclbin(b.Xclbin); err != nil {
+		return nil, err
+	}
+	if err := dev.SetComputeUnits(cus); err != nil {
 		return nil, err
 	}
 	if err := dev.LoadWeights(b.Weights); err != nil {
@@ -87,6 +100,38 @@ func (d *LocalDeployment) Infer(batch []*tensor.Tensor) ([]*tensor.Tensor, float
 		outs[i] = t
 	}
 	return outs, info.KernelMs, nil
+}
+
+// CUBackend exposes one compute unit of a local deployment as an
+// independently schedulable inference backend — the on-premise counterpart
+// of SlotBackend. The serving scheduler keeps one batch in flight per
+// backend; dispatches from different CU backends land on distinct free
+// kernel instances of the card (the device's acquire path scans for an idle
+// unit), so a replicated device contributes cus-way parallelism to the pool.
+type CUBackend struct {
+	dep *LocalDeployment
+	cu  int
+}
+
+// CUBackends returns one backend per compute unit of the deployment's
+// device. A single-unit device yields one backend equivalent to the
+// deployment itself.
+func (d *LocalDeployment) CUBackends() []*CUBackend {
+	n := d.Device.ComputeUnits()
+	out := make([]*CUBackend, n)
+	for i := range out {
+		out[i] = &CUBackend{dep: d, cu: i}
+	}
+	return out
+}
+
+// ID names the backend after its device and compute unit.
+func (b *CUBackend) ID() string { return fmt.Sprintf("%s/cu%d", b.dep.Device.ID, b.cu) }
+
+// Infer runs one batch on the deployment's device, occupying one free
+// compute unit for the duration of the kernel.
+func (b *CUBackend) Infer(batch []*tensor.Tensor) ([]*tensor.Tensor, float64, error) {
+	return b.dep.Infer(batch)
 }
 
 // CloudConfig describes the AWS environment for an F1 deployment.
@@ -411,6 +456,11 @@ func RegisterDeploymentMetrics(reg *obs.Registry, backends ...serve.Backend) {
 			if x.Device != nil && !seenDev[x.Device] {
 				seenDev[x.Device] = true
 				devs = append(devs, x.Device)
+			}
+		case *CUBackend:
+			if x.dep != nil && x.dep.Device != nil && !seenDev[x.dep.Device] {
+				seenDev[x.dep.Device] = true
+				devs = append(devs, x.dep.Device)
 			}
 		case *CloudDeployment:
 			addClient(x)

@@ -20,6 +20,12 @@ type Accelerator struct {
 	Spec   *Spec
 	dm     *Datamover
 	tracer obs.Tracer
+
+	// trackPrefix namespaces this unit's trace tracks ("cu1/feeder", …).
+	// Empty for a standalone fabric and for unit 0 of a single-unit pool, so
+	// existing track names are unchanged; CUPool assigns per-unit prefixes
+	// when it replicates the fabric.
+	trackPrefix string
 }
 
 // SetTracer attaches a span tracer to the fabric. Every subsequent Run
@@ -68,7 +74,22 @@ func Instantiate(spec *Spec, ws *condorir.WeightSet) (*Accelerator, error) {
 			}
 		}
 	}
+	// Weights are read-only from here on: sealing freezes the store, makes
+	// every subsequent read lock-free, and is what lets Clone replicate the
+	// fabric by reference instead of by copy.
+	a.dm.Seal()
 	return a, nil
+}
+
+// Clone returns an additional compute unit of the same instantiated design:
+// it shares the sealed, immutable weight store with the original (no weight
+// copy, no lock contention) and owns private DDR scratch buffers and
+// private traffic counters, so replica fabrics execute concurrently without
+// touching any shared mutable state. The one-time on-chip configuration
+// load stays accounted on the original unit. The tracer attachment carries
+// over; CUPool assigns per-unit track prefixes.
+func (a *Accelerator) Clone() *Accelerator {
+	return &Accelerator{Spec: a.Spec, dm: a.dm.Clone(), tracer: a.tracer, trackPrefix: a.trackPrefix}
 }
 
 // Datamover exposes the on-board memory interface (used by tests and the
@@ -156,11 +177,11 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 	var feedTrack, sinkTrack *obs.Track
 	peTracks := make([]*obs.Track, len(spec.PEs))
 	if a.tracer != nil && burst {
-		feedTrack = a.tracer.Track("feeder")
+		feedTrack = a.tracer.Track(a.trackPrefix + "feeder")
 		for i, pe := range spec.PEs {
-			peTracks[i] = a.tracer.Track(pe.ID)
+			peTracks[i] = a.tracer.Track(a.trackPrefix + pe.ID)
 		}
-		sinkTrack = a.tracer.Track("collector")
+		sinkTrack = a.tracer.Track(a.trackPrefix + "collector")
 	}
 
 	// Feeder: the datamover streams every image from on-board memory. In

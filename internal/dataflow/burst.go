@@ -2,6 +2,7 @@ package dataflow
 
 import (
 	"fmt"
+	"sync"
 
 	"condor/internal/fifo"
 )
@@ -43,145 +44,241 @@ func padFIFODepth(l *LayerHW) int {
 	return 64
 }
 
-// startRows spawns the filter pipeline for one input map at row granularity.
-// src must deliver exactly paddedH×paddedW words in whole rows. Each active
-// tap FIFO receives exactly OutH×OutW words in row-major output order, one
-// PushSlice per output row, and is closed when the map ends.
-//
-// At row granularity every filter of the chain observes the identical
-// padded row sequence — the inter-filter reuse FIFOs of the word-level
-// pipeline (stencil.go) carry it unchanged from filter to filter — so the
-// whole chain advances as a single goroutine that applies each filter's
-// row/column selection in turn. This collapses the k²+ goroutine handoffs
-// per row into one, which is where the word-level simulator spends its
-// time; the per-filter decomposition and reuse-distance FIFOs remain in
-// the word path and in the resource model, which still charges the
-// analytic c.FIFODepths.
-func (c *FilterChain) startRows(l *LayerHW, src *fifo.FIFO) (*chainRun, error) {
-	if l.PaddedWidth() > c.PaddedW {
-		return nil, fmt.Errorf("dataflow: layer %q padded width %d exceeds chain width %d", l.Name, l.PaddedWidth(), c.PaddedW)
+// stencilRun owns the reusable simulation state of one filter-chain
+// instance: the pad FIFO, the tap FIFOs and the row scratch a channel pass
+// needs. The FIFOs are sized once for the PE's most demanding fused layer
+// and Reset between passes, so streaming a map allocates nothing in steady
+// state — matching the hardware, where one physical chain serves every
+// pass. A stencilRun carries one pass at a time; a PE with In > 1 ports
+// owns one runner per concurrently-active pass.
+type stencilRun struct {
+	pe *PE
+
+	pad  *fifo.FIFO
+	taps []*fifo.FIFO
+	used bool // FIFOs hold a finished stream and need Reset before reuse
+
+	// Scratch, grown on demand and reused across passes. Each slice is
+	// touched by exactly one of the pass's three actors (pad streamer, chain
+	// goroutine, window-reading caller); pass() grows them before spawning
+	// the goroutines, so reuse across passes is ordered by the goroutine
+	// joins.
+	padRow  []fifo.Word   // pad streamer: current padded row (borders stay zero)
+	padZero []fifo.Word   // pad streamer: an all-zero padded row
+	chRow   []fifo.Word   // chain goroutine: current padded row
+	sel     []fifo.Word   // chain goroutine: selected columns of one tap row
+	rows    [][]fifo.Word // caller: current output row of each window slot
+	win     []fifo.Word   // caller: assembled window, reused per position
+
+	// Active-tap selection, cached per layer kernel (fused layers with a
+	// smaller window than the chain activate a subset of the taps).
+	orderK    int
+	order     []int  // chain tap index for window slot (m*k + n)
+	activeIdx []int  // chain tap indices inside the layer's window, pipeline order
+	activeSet []bool // per chain tap index: inside the layer's window
+}
+
+// newStencilRun builds a runner for the PE's filter chain. FIFO depths are
+// the maximum over the PE's fused layers, so one runner serves them all;
+// these FIFOs are internal to the PE and not part of RunStats.Streams, so
+// the extra slack changes no modeled quantity.
+func newStencilRun(pe *PE, id int) *stencilRun {
+	maxPad, maxTap := 1, 1
+	for i := range pe.Layers {
+		l := &pe.Layers[i]
+		if !l.Kind.IsFeatureExtraction() {
+			continue
+		}
+		if d := padFIFODepth(l); d > maxPad {
+			maxPad = d
+		}
+		if d := tapFIFODepthRows(l); d > maxTap {
+			maxTap = d
+		}
 	}
-	run := &chainRun{taps: make([]*fifo.FIFO, len(c.Taps))}
+	r := &stencilRun{pe: pe}
+	r.pad = fifo.New(fmt.Sprintf("%s/pad%d", pe.ID, id), maxPad)
+	r.taps = make([]*fifo.FIFO, len(pe.Chain.Taps))
+	for i, tap := range pe.Chain.Taps {
+		r.taps[i] = fifo.New(fmt.Sprintf("%s/tap%d(%d,%d)", pe.ID, id, tap.M, tap.N), maxTap)
+	}
+	return r
+}
+
+// selectTaps caches the active-tap mapping for the layer's window size.
+func (r *stencilRun) selectTaps(layerK int) error {
+	if r.orderK == layerK {
+		return nil
+	}
+	order, err := r.pe.Chain.activeTaps(layerK)
+	if err != nil {
+		return err
+	}
+	r.order = order
+	r.activeIdx = r.activeIdx[:0]
+	if r.activeSet == nil {
+		r.activeSet = make([]bool, len(r.pe.Chain.Taps))
+	}
+	for ti, tap := range r.pe.Chain.Taps {
+		in := tap.M < layerK && tap.N < layerK
+		r.activeSet[ti] = in
+		if in {
+			r.activeIdx = append(r.activeIdx, ti)
+		}
+	}
+	r.orderK = layerK
+	return nil
+}
+
+// pass streams one input map through the filter chain at row granularity,
+// invoking fn for every window in row-major output order. The window slice
+// passed to fn is reused across calls. Window contents and delivery order
+// are identical to the word-level oracle; only the goroutine and FIFO
+// bookkeeping differ (one chain goroutine, reused FIFOs).
+func (r *stencilRun) pass(l *LayerHW, chmap []float32, fn func(pos int, win []fifo.Word)) error {
+	c := r.pe.Chain
+	if l.PaddedWidth() > c.PaddedW {
+		return fmt.Errorf("dataflow: layer %q padded width %d exceeds chain width %d", l.Name, l.PaddedWidth(), c.PaddedW)
+	}
+	if err := r.selectTaps(l.Kernel); err != nil {
+		return err
+	}
+	if r.used {
+		r.pad.Reset()
+		for _, t := range r.taps {
+			t.Reset()
+		}
+	}
+	r.used = true
+
+	// Taps outside the layer's window (fused chains size the window for the
+	// largest layer) select nothing for this map.
+	active := r.activeIdx
+	for ti := range r.taps {
+		if !r.activeSet[ti] {
+			r.taps[ti].Close()
+		}
+	}
 
 	paddedW := l.PaddedWidth()
 	outH, outW := l.OutShape.Height, l.OutShape.Width
 	stride := l.Stride
+	kk := l.Kernel * l.Kernel
 
-	type activeTap struct {
-		f *fifo.FIFO
-		Tap
+	// Grow every actor's scratch here, before the goroutines spawn, so the
+	// field writes are ordered before the pass and the reuse after it.
+	padRow := growWords(r.padRow, paddedW)
+	r.padRow = padRow
+	clear(padRow) // borders must be zero; the data region is overwritten per row
+	padZero := growWords(r.padZero, paddedW)
+	r.padZero = padZero
+	clear(padZero)
+	chRow := growWords(r.chRow, paddedW)
+	r.chRow = chRow
+	sel := growWords(r.sel, outW)
+	r.sel = sel
+	win := growWords(r.win, kk)
+	r.win = win
+	for len(r.rows) < kk {
+		r.rows = append(r.rows, nil)
 	}
-	var active []activeTap
-	for i, tap := range c.Taps {
-		tapF := fifo.New(fmt.Sprintf("tap(%d,%d)", tap.M, tap.N), tapFIFODepthRows(l))
-		run.taps[i] = tapF
-		if tap.M < l.Kernel && tap.N < l.Kernel {
-			active = append(active, activeTap{tapF, tap})
-		} else {
-			// Taps outside the layer's window (fused chains size the window
-			// for the largest layer) select nothing for this map.
-			tapF.Close()
-		}
+	rows := r.rows[:kk]
+	for i := range rows {
+		rows[i] = growWords(rows[i], outW)
+		r.rows[i] = rows[i]
 	}
 
-	run.wg.Add(1)
+	// Pad streamer: the datamover's zero-padding boundary handling, one
+	// PushSlice per padded row.
+	padErr := make(chan error, 1)
 	go func() {
-		defer run.wg.Done()
+		padErr <- r.streamRows(chmap, l, padRow, padZero)
+	}()
+
+	// Chain goroutine: at row granularity every filter observes the
+	// identical padded row sequence, so the whole chain advances as one
+	// goroutine applying each filter's row/column selection in turn. Padded
+	// row y contributes to tap (M,N) iff it is the M-th row of some valid
+	// output row; within it, the selected columns are N, N+stride, ….
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
 		defer func() {
-			for _, at := range active {
-				at.f.Close()
+			for _, ti := range active {
+				r.taps[ti].Close()
 			}
 		}()
-		row := make([]fifo.Word, paddedW)
-		sel := make([]fifo.Word, outW)
-		// Each filter's inequality set at row granularity: padded row y
-		// contributes to tap (M,N) iff it is the M-th row of some valid
-		// output row; within it, the selected columns are N, N+stride, …
 		for y := 0; ; y++ {
-			n := src.PopInto(row)
+			n := r.pad.PopInto(chRow)
 			if n < paddedW { // 0 = end of map; short = truncated upstream
 				return
 			}
-			for _, at := range active {
-				if y >= at.M && (y-at.M)%stride == 0 && (y-at.M)/stride < outH {
+			for _, ti := range active {
+				tap := c.Taps[ti]
+				if y >= tap.M && (y-tap.M)%stride == 0 && (y-tap.M)/stride < outH {
 					for ox := 0; ox < outW; ox++ {
-						sel[ox] = row[at.N+ox*stride]
+						sel[ox] = chRow[tap.N+ox*stride]
 					}
-					at.f.PushSlice(sel)
+					r.taps[ti].PushSlice(sel)
 				}
 			}
 		}
 	}()
-	return run, nil
-}
 
-// rowWindowReader reads one output row of windows per synchronisation from
-// a row-granularity chain run.
-type rowWindowReader struct {
-	run   *chainRun
-	order []int         // chain tap index for window slot (m*k+n)
-	rows  [][]fifo.Word // per slot, the current output row of tap words
-	win   []fifo.Word   // assembled window, reused across calls
-}
-
-// newRowWindowReader prepares a reader for the layer's k×k window.
-func (c *FilterChain) newRowWindowReader(run *chainRun, l *LayerHW) (*rowWindowReader, error) {
-	order, err := c.activeTaps(l.Kernel)
-	if err != nil {
-		return nil, err
-	}
-	k := l.Kernel
-	r := &rowWindowReader{run: run, order: order, win: make([]fifo.Word, k*k)}
-	r.rows = make([][]fifo.Word, k*k)
-	for i := range r.rows {
-		r.rows[i] = make([]fifo.Word, l.OutShape.Width)
-	}
-	return r, nil
-}
-
-// nextRow pulls one output row worth of words from every active tap;
-// ok=false when the map is exhausted.
-func (r *rowWindowReader) nextRow() bool {
-	for slot, ti := range r.order {
-		if n := r.run.taps[ti].PopInto(r.rows[slot]); n < len(r.rows[slot]) {
-			return false
+	// Window reader: one output row of words per tap per synchronisation.
+	pos := 0
+	var readErr error
+scan:
+	for oy := 0; oy < outH; oy++ {
+		for slot, ti := range r.order {
+			if n := r.taps[ti].PopInto(rows[slot]); n < outW {
+				readErr = fmt.Errorf("filter chain delivered only %d of %d windows", pos, outH*outW)
+				break scan
+			}
+		}
+		for ox := 0; ox < outW; ox++ {
+			for slot := range win {
+				win[slot] = rows[slot][ox]
+			}
+			fn(pos, win)
+			pos++
 		}
 	}
-	return true
-}
-
-// window assembles window ox of the current output row (indexed [m*k+n]).
-// The returned slice is reused across calls.
-func (r *rowWindowReader) window(ox int) []fifo.Word {
-	for slot := range r.win {
-		r.win[slot] = r.rows[slot][ox]
+	wg.Wait()
+	if err := <-padErr; err != nil {
+		return err
 	}
-	return r.win
+	return readErr
 }
 
-// streamPaddedRows pushes one feature map (h×w words of data) into dst as a
-// zero-padded (h+2p)×(w+2p) row-major stream, one PushSlice per padded row,
-// then closes dst. Burst twin of streamPadded.
-func streamPaddedRows(data []float32, h, w, pad int, dst *fifo.FIFO) error {
-	defer dst.Close()
+// streamRows pushes one feature map into the pad FIFO as a zero-padded
+// row-major stream, one PushSlice per padded row, then closes it. Burst
+// twin of streamPadded, reusing the runner's row scratch.
+func (r *stencilRun) streamRows(data []float32, l *LayerHW, row, zero []fifo.Word) error {
+	defer r.pad.Close()
+	h, w, pad := l.InShape.Height, l.InShape.Width, l.Pad
 	if len(data) != h*w {
 		return fmt.Errorf("dataflow: input map has %d words, want %d", len(data), h*w)
 	}
-	paddedW := w + 2*pad
-	var zero []fifo.Word
-	if pad > 0 {
-		zero = make([]fifo.Word, paddedW)
-		for i := 0; i < pad; i++ {
-			dst.PushSlice(zero)
-		}
+	for i := 0; i < pad; i++ {
+		r.pad.PushSlice(zero)
 	}
-	row := make([]fifo.Word, paddedW) // pad borders stay zero
 	for y := 0; y < h; y++ {
 		copy(row[pad:pad+w], data[y*w:(y+1)*w])
-		dst.PushSlice(row)
+		r.pad.PushSlice(row)
 	}
 	for i := 0; i < pad; i++ {
-		dst.PushSlice(zero)
+		r.pad.PushSlice(zero)
 	}
 	return nil
+}
+
+// growWords returns s resized to n words, reallocating only when capacity
+// is short. Contents are unspecified — callers overwrite or clear.
+func growWords(s []fifo.Word, n int) []fifo.Word {
+	if cap(s) < n {
+		return make([]fifo.Word, n)
+	}
+	return s[:n]
 }

@@ -43,46 +43,55 @@ func runEquivalence(t *testing.T, ir *condorir.Network, ws *condorir.WeightSet, 
 	if err != nil {
 		t.Fatalf("word run: %v", err)
 	}
+	assertRunsIdentical(t, "burst", burstOut, burstStats, "word", wordOut, wordStats)
+}
 
-	// Outputs: bit-identical, not approximately equal — the burst path must
+// assertRunsIdentical asserts two runs over the same batch produced
+// bit-identical outputs and identical RunStats, MaxOccupancy excluded.
+// Shared by the burst/word equivalence tests and the port-parallelism /
+// compute-unit sweeps in parallel_test.go.
+func assertRunsIdentical(t *testing.T, aName string, aOut []*tensor.Tensor, aStats *RunStats, bName string, bOut []*tensor.Tensor, bStats *RunStats) {
+	t.Helper()
+
+	// Outputs: bit-identical, not approximately equal — every datapath must
 	// preserve the exact floating-point accumulation order.
-	if len(burstOut) != len(wordOut) {
-		t.Fatalf("output count %d vs %d", len(burstOut), len(wordOut))
+	if len(aOut) != len(bOut) {
+		t.Fatalf("output count %d vs %d", len(aOut), len(bOut))
 	}
-	for i := range burstOut {
-		bd, wd := burstOut[i].Data(), wordOut[i].Data()
-		if len(bd) != len(wd) {
-			t.Fatalf("image %d: output volume %d vs %d", i, len(bd), len(wd))
+	for i := range aOut {
+		ad, bd := aOut[i].Data(), bOut[i].Data()
+		if len(ad) != len(bd) {
+			t.Fatalf("image %d: output volume %d vs %d", i, len(ad), len(bd))
 		}
-		for j := range bd {
-			if math.Float32bits(bd[j]) != math.Float32bits(wd[j]) {
-				t.Fatalf("image %d element %d: burst %v (%#x) != word %v (%#x)",
-					i, j, bd[j], math.Float32bits(bd[j]), wd[j], math.Float32bits(wd[j]))
+		for j := range ad {
+			if math.Float32bits(ad[j]) != math.Float32bits(bd[j]) {
+				t.Fatalf("image %d element %d: %s %v (%#x) != %s %v (%#x)",
+					i, j, aName, ad[j], math.Float32bits(ad[j]), bName, bd[j], math.Float32bits(bd[j]))
 			}
 		}
 	}
 
-	if burstStats.Images != wordStats.Images {
-		t.Errorf("Images: %d vs %d", burstStats.Images, wordStats.Images)
+	if aStats.Images != bStats.Images {
+		t.Errorf("Images: %d vs %d", aStats.Images, bStats.Images)
 	}
-	if len(burstStats.PEs) != len(wordStats.PEs) {
-		t.Fatalf("PE count %d vs %d", len(burstStats.PEs), len(wordStats.PEs))
+	if len(aStats.PEs) != len(bStats.PEs) {
+		t.Fatalf("PE count %d vs %d", len(aStats.PEs), len(bStats.PEs))
 	}
-	for i := range burstStats.PEs {
-		if burstStats.PEs[i] != wordStats.PEs[i] {
-			t.Errorf("PE %d stats differ:\n burst %+v\n word  %+v", i, burstStats.PEs[i], wordStats.PEs[i])
+	for i := range aStats.PEs {
+		if aStats.PEs[i] != bStats.PEs[i] {
+			t.Errorf("PE %d stats differ:\n %s %+v\n %s  %+v", i, aName, aStats.PEs[i], bName, bStats.PEs[i])
 		}
 	}
-	if burstStats.DRAM != wordStats.DRAM {
-		t.Errorf("DRAM traffic differs: burst %+v, word %+v", burstStats.DRAM, wordStats.DRAM)
+	if aStats.DRAM != bStats.DRAM {
+		t.Errorf("DRAM traffic differs: %s %+v, %s %+v", aName, aStats.DRAM, bName, bStats.DRAM)
 	}
-	if len(burstStats.Streams) != len(wordStats.Streams) {
-		t.Fatalf("stream count %d vs %d", len(burstStats.Streams), len(wordStats.Streams))
+	if len(aStats.Streams) != len(bStats.Streams) {
+		t.Fatalf("stream count %d vs %d", len(aStats.Streams), len(bStats.Streams))
 	}
-	for i := range burstStats.Streams {
-		bs, ws := burstStats.Streams[i], wordStats.Streams[i]
-		if bs.Name != ws.Name || bs.Depth != ws.Depth || bs.Pushes != ws.Pushes || bs.Pops != ws.Pops {
-			t.Errorf("stream %d differs (MaxOccupancy excluded):\n burst %+v\n word  %+v", i, bs, ws)
+	for i := range aStats.Streams {
+		as, bs := aStats.Streams[i], bStats.Streams[i]
+		if as.Name != bs.Name || as.Depth != bs.Depth || as.Pushes != bs.Pushes || as.Pops != bs.Pops {
+			t.Errorf("stream %d differs (MaxOccupancy excluded):\n %s %+v\n %s  %+v", i, aName, as, bName, bs)
 		}
 	}
 }

@@ -106,6 +106,13 @@ func maxI64(a, b int64) int64 {
 // in a single PushSlice. Arithmetic order, FIFO traffic totals, MAC counts
 // and modeled cycles are identical to the word-at-a-time oracle in
 // wordpath.go.
+//
+// The PE's modeled port parallelism (Par.In input maps read concurrently,
+// Par.Out output maps computed in parallel) executes for real on the host:
+// runConv/runFC shard the output-channel range into Par.Out bands and
+// runPool runs Par.In channel passes concurrently, on a worker pool bounded
+// by GOMAXPROCS. Banding never changes any per-cell accumulation chain, so
+// results stay bit-identical to the oracle at every parallelism setting.
 type peExec struct {
 	pe    *PE
 	dm    *Datamover
@@ -114,11 +121,32 @@ type peExec struct {
 	stats *PEStats
 	track *obs.Track // nil when tracing is off
 
+	// pool executes port-parallel bands; nil when the PE's parallelism or
+	// the processor budget is 1 (the sequential schedule).
+	pool *workerPool
+	// runners are the filter-chain instances: runner 0 serves sequential
+	// passes, runners 1..Par.In-1 the concurrent passes of a pool layer.
+	runners []*stencilRun
+
+	// layers caches per-layer state resolved once per batch in prepare:
+	// weight/bias slices (hoisted out of the per-image datamover lookup)
+	// and the fused-handoff buffer key (hoisted out of per-image Sprintf).
+	layers []peLayerState
+
 	// Scratch buffers reused across layers and images to avoid the append
 	// churn of the original per-word emit path.
 	inBuf   []float32
 	outBuf  []float32
 	partial []float32
+	winBuf  []float32 // one channel pass's windows, for Out-banded MACs
+}
+
+// peLayerState is the execution state of one fused layer, resolved once per
+// batch instead of once per image.
+type peLayerState struct {
+	w, b        []float32
+	streamWords int64  // weight+bias words re-read from DDR per image (0 when on-chip)
+	fusedKey    string // datamover buffer key for the fused-layer handoff
 }
 
 // growSlice returns s resized to n, reallocating only when capacity is
@@ -130,11 +158,57 @@ func growSlice(s []float32, n int) []float32 {
 	return s[:n]
 }
 
+// prepare resolves the per-layer cached state and sizes the worker pool.
+func (x *peExec) prepare() error {
+	x.layers = make([]peLayerState, len(x.pe.Layers))
+	for li := range x.pe.Layers {
+		l := &x.pe.Layers[li]
+		st := &x.layers[li]
+		if li < len(x.pe.Layers)-1 {
+			st.fusedKey = x.pe.ID + "/fused/" + l.Name
+		}
+		if l.Kind != nn.Conv && l.Kind != nn.FullyConnected {
+			continue
+		}
+		w, b, err := x.dm.WeightsRef(l.Name)
+		if err != nil {
+			return fmt.Errorf("layer %q: %w", l.Name, err)
+		}
+		if len(w) != l.WeightWords() {
+			return fmt.Errorf("layer %q: weight stream has %d words, want %d", l.Name, len(w), l.WeightWords())
+		}
+		st.w, st.b = w, b
+		if !x.pe.WeightsOnChip {
+			st.streamWords = int64(len(w) + len(b))
+		}
+	}
+	width := x.pe.Par.Normalize()
+	par := width.In
+	if width.Out > par {
+		par = width.Out
+	}
+	x.pool = newPEWorkerPool(par)
+	return nil
+}
+
+// runner returns (creating as needed) the i-th filter-chain instance.
+func (x *peExec) runner(i int) *stencilRun {
+	for len(x.runners) <= i {
+		x.runners = append(x.runners, newStencilRun(x.pe, len(x.runners)))
+	}
+	return x.runners[i]
+}
+
 // run processes batch images and closes the output FIFO. On error it drains
 // the input stream so upstream PEs never block forever; the drain completes
 // before run returns, so no goroutine outlives Accelerator.Run.
 func (x *peExec) run(batch int) error {
 	defer x.out.Close()
+	if err := x.prepare(); err != nil {
+		x.in.Drain()
+		return fmt.Errorf("dataflow: %s: %w", x.pe.ID, err)
+	}
+	defer x.pool.close()
 	for img := 0; img < batch; img++ {
 		if err := x.runImage(img); err != nil {
 			x.in.Drain()
@@ -160,6 +234,7 @@ func (x *peExec) runImage(img int) error {
 	cur := x.inBuf
 	for li := range x.pe.Layers {
 		l := &x.pe.Layers[li]
+		st := &x.layers[li]
 		if len(cur) != l.InShape.Volume() {
 			return fmt.Errorf("fused intermediate has %d words, layer expects %d", len(cur), l.InShape.Volume())
 		}
@@ -178,11 +253,11 @@ func (x *peExec) runImage(img int) error {
 		var err error
 		switch l.Kind {
 		case nn.Conv:
-			err = x.runConv(l, cur, out)
+			err = x.runConv(l, st, cur, out)
 		case nn.MaxPool, nn.AvgPool:
 			err = x.runPool(l, cur, out)
 		case nn.FullyConnected:
-			err = x.runFC(l, cur, out)
+			err = x.runFC(l, st, cur, out)
 		default:
 			err = fmt.Errorf("layer %q: unsupported PE kind %v", l.Name, l.Kind)
 		}
@@ -198,9 +273,8 @@ func (x *peExec) runImage(img int) error {
 			// Fused-layer handoff goes through the datamover (the paper's
 			// partial-result exchange): write the intermediate to DDR and
 			// stream it back for the next layer's pass.
-			name := fmt.Sprintf("%s/fused/%s/img%d", x.pe.ID, l.Name, img)
-			x.dm.WriteBuffer(name, out)
-			cur, err = x.dm.ReadBuffer(name)
+			x.dm.WriteBuffer(st.fusedKey, out)
+			cur, err = x.dm.ReadBuffer(st.fusedKey)
 			if err != nil {
 				return err
 			}
@@ -220,148 +294,184 @@ func (x *peExec) runImage(img int) error {
 // accumulating into the partial-sum buffer; after the last input map the
 // bias is added, the folded activation applied, and the output maps are
 // written channel-major into out.
-func (x *peExec) runConv(l *LayerHW, cur, out []float32) error {
+//
+// With Par.Out > 1 the output-channel range of each pass is sharded into
+// bands on the worker pool. Every (fi, pos) cell still accumulates over the
+// input channels in ci-major order with the same fixed-order k²-tap dot
+// product — banding partitions fi, never an accumulation chain — so results
+// are bit-identical to the sequential schedule and to the RunWords oracle.
+func (x *peExec) runConv(l *LayerHW, st *peLayerState, cur, out []float32) error {
 	c, f, k := l.InShape.Channels, l.OutShape.Channels, l.Kernel
 	outHW := l.OutShape.Height * l.OutShape.Width
 	inHW := l.InShape.Height * l.InShape.Width
-	w, b, err := x.dm.Weights(l.Name, x.pe.WeightsOnChip)
-	if err != nil {
-		return err
-	}
-	if len(w) != f*c*k*k {
-		return fmt.Errorf("weight stream has %d words, want %d", len(w), f*c*k*k)
+	w, b := st.w, st.b
+	if st.streamWords > 0 {
+		x.dm.AccountWeightStream(st.streamWords)
 	}
 	x.partial = growSlice(x.partial, f*outHW)
 	partial := x.partial
 	clear(partial)
 	kk := k * k
+	outBands := x.pe.Par.Normalize().Out
+	banded := x.pool != nil && outBands > 1 && f > 1
+	if banded {
+		x.winBuf = growSlice(x.winBuf, outHW*kk)
+	}
 	for ci := 0; ci < c; ci++ {
-		if err := x.stencilRows(l, cur[ci*inHW:(ci+1)*inHW], func(pos int, win []fifo.Word) {
-			for fi := 0; fi < f; fi++ {
-				base := (fi*c + ci) * kk
-				acc := partial[fi*outHW+pos]
-				for t := 0; t < kk; t++ {
-					acc += w[base+t] * win[t]
-				}
-				partial[fi*outHW+pos] = acc
+		chmap := cur[ci*inHW : (ci+1)*inHW]
+		if banded {
+			// Parallel ports: collect the pass's windows, then fan the MAC
+			// work across the output-channel bands.
+			winBuf := x.winBuf
+			if err := x.runner(0).pass(l, chmap, func(pos int, win []fifo.Word) {
+				copy(winBuf[pos*kk:(pos+1)*kk], win)
+			}); err != nil {
+				return err
 			}
-			x.stats.MACs += int64(f * kk)
-		}); err != nil {
-			return err
+			x.pool.bands(f, outBands, func(_, lo, hi int) {
+				for fi := lo; fi < hi; fi++ {
+					base := (fi*c + ci) * kk
+					off := fi * outHW
+					for pos := 0; pos < outHW; pos++ {
+						acc := partial[off+pos]
+						win := winBuf[pos*kk : (pos+1)*kk]
+						for t := 0; t < kk; t++ {
+							acc += w[base+t] * win[t]
+						}
+						partial[off+pos] = acc
+					}
+				}
+			})
+		} else {
+			if err := x.runner(0).pass(l, chmap, func(pos int, win []fifo.Word) {
+				for fi := 0; fi < f; fi++ {
+					base := (fi*c + ci) * kk
+					acc := partial[fi*outHW+pos]
+					for t := 0; t < kk; t++ {
+						acc += w[base+t] * win[t]
+					}
+					partial[fi*outHW+pos] = acc
+				}
+			}); err != nil {
+				return err
+			}
 		}
+		x.stats.WindowsRead += int64(outHW)
+		x.stats.MACs += int64(f) * int64(kk) * int64(outHW)
 		if !x.pe.PartialsOnChip {
 			x.dm.AccountPartialSpill(int64(f * outHW))
 			x.stats.SpilledPartial += int64(f * outHW)
 		}
 	}
-	for fi := 0; fi < f; fi++ {
-		var bias float32
-		if len(b) > 0 {
-			bias = b[fi]
+	// Bias + activation is pointwise per output cell, so output-channel
+	// banding cannot reorder any arithmetic.
+	x.pool.bands(f, outBands, func(_, lo, hi int) {
+		for fi := lo; fi < hi; fi++ {
+			var bias float32
+			if len(b) > 0 {
+				bias = b[fi]
+			}
+			for pos := 0; pos < outHW; pos++ {
+				out[fi*outHW+pos] = applyActivation(l.Activation, partial[fi*outHW+pos]+bias)
+			}
 		}
-		for pos := 0; pos < outHW; pos++ {
-			out[fi*outHW+pos] = applyActivation(l.Activation, partial[fi*outHW+pos]+bias)
-		}
-	}
+	})
 	return nil
 }
 
 // runPool implements the sub-sampling PE: one filter-chain pass per channel,
-// each window replaced by its maximum or average.
+// each window replaced by its maximum or average. Channels are independent
+// maps, so with Par.In > 1 the channel range is sharded into bands that run
+// concurrently, one filter-chain instance per band; within a channel the
+// window order (and thus every float operation) is unchanged.
 func (x *peExec) runPool(l *LayerHW, cur, out []float32) error {
 	k := l.Kernel
 	isMax := l.Kind == nn.MaxPool
 	inv := 1 / float32(k*k)
 	outHW := l.OutShape.Height * l.OutShape.Width
 	inHW := l.InShape.Height * l.InShape.Width
-	for ci := 0; ci < l.InShape.Channels; ci++ {
-		base := ci * outHW
-		if err := x.stencilRows(l, cur[ci*inHW:(ci+1)*inHW], func(pos int, win []fifo.Word) {
-			var v float32
-			if isMax {
-				v = float32(math.Inf(-1))
-				for _, e := range win {
-					if e > v {
-						v = e
-					}
+	c := l.InShape.Channels
+	poolWindow := func(win []fifo.Word) float32 {
+		if isMax {
+			v := float32(math.Inf(-1))
+			for _, e := range win {
+				if e > v {
+					v = e
 				}
-			} else {
-				for _, e := range win {
-					v += e
-				}
-				v *= inv
 			}
-			out[base+pos] = applyActivation(l.Activation, v)
-		}); err != nil {
-			return err
+			return v
 		}
+		var v float32
+		for _, e := range win {
+			v += e
+		}
+		return v * inv
 	}
-	return nil
-}
 
-// stencilRows streams one input map through the PE's filter chain at row
-// granularity, invoking fn for every window in row-major output order.
-func (x *peExec) stencilRows(l *LayerHW, chmap []float32, fn func(pos int, win []fifo.Word)) error {
-	src := fifo.New(x.pe.ID+"/pad", padFIFODepth(l))
-	padErr := make(chan error, 1)
-	go func() {
-		padErr <- streamPaddedRows(chmap, l.InShape.Height, l.InShape.Width, l.Pad, src)
-	}()
-	run, err := x.pe.Chain.startRows(l, src)
-	if err != nil {
-		return err
-	}
-	rr, err := x.pe.Chain.newRowWindowReader(run, l)
-	if err != nil {
-		return err
-	}
-	outH, outW := l.OutShape.Height, l.OutShape.Width
-	pos := 0
-	for oy := 0; oy < outH; oy++ {
-		if !rr.nextRow() {
-			run.wait()
-			if err := <-padErr; err != nil {
+	inBands := x.pe.Par.Normalize().In
+	if x.pool == nil || inBands <= 1 || c <= 1 {
+		for ci := 0; ci < c; ci++ {
+			base := ci * outHW
+			if err := x.runner(0).pass(l, cur[ci*inHW:(ci+1)*inHW], func(pos int, win []fifo.Word) {
+				out[base+pos] = applyActivation(l.Activation, poolWindow(win))
+			}); err != nil {
 				return err
 			}
-			return fmt.Errorf("filter chain delivered only %d of %d windows", pos, outH*outW)
 		}
-		for ox := 0; ox < outW; ox++ {
-			fn(pos, rr.window(ox))
-			pos++
+	} else {
+		// One chain instance per band; instantiate before dispatch so the
+		// bands never mutate shared executor state.
+		x.runner(inBands - 1)
+		errs := make([]error, inBands)
+		x.pool.bands(c, inBands, func(band, lo, hi int) {
+			r := x.runners[band]
+			for ci := lo; ci < hi; ci++ {
+				base := ci * outHW
+				if err := r.pass(l, cur[ci*inHW:(ci+1)*inHW], func(pos int, win []fifo.Word) {
+					out[base+pos] = applyActivation(l.Activation, poolWindow(win))
+				}); err != nil {
+					errs[band] = err
+					return
+				}
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
 		}
-		x.stats.WindowsRead += int64(outW)
 	}
-	run.wait()
-	return <-padErr
+	x.stats.WindowsRead += int64(c) * int64(outHW)
+	return nil
 }
 
 // runFC implements the fully-connected PE as a single-input/single-output
 // 1x1 convolution. The loop nest is output-major over the contiguous weight
 // rows; each neuron's accumulation visits the inputs in the same order as
-// the streaming oracle, so the result is bit-identical.
-func (x *peExec) runFC(l *LayerHW, cur, out []float32) error {
+// the streaming oracle, so the result is bit-identical — and since banding
+// shards whole neurons, Par.Out-parallel execution preserves that exactly.
+func (x *peExec) runFC(l *LayerHW, st *peLayerState, cur, out []float32) error {
 	v := l.InShape.Volume()
 	o := l.OutShape.Channels
-	w, b, err := x.dm.Weights(l.Name, x.pe.WeightsOnChip)
-	if err != nil {
-		return err
-	}
-	if len(w) != o*v {
-		return fmt.Errorf("weight stream has %d words, want %d", len(w), o*v)
+	w, b := st.w, st.b
+	if st.streamWords > 0 {
+		x.dm.AccountWeightStream(st.streamWords)
 	}
 	x.partial = growSlice(x.partial, o)
 	partial := x.partial
 	clear(partial)
 	copy(partial, b)
 	in := cur[:v]
-	for oi := 0; oi < o; oi++ {
-		acc := partial[oi]
-		wrow := w[oi*v : (oi+1)*v]
-		for h, xv := range in {
-			acc += wrow[h] * xv
+	x.pool.bands(o, x.pe.Par.Normalize().Out, func(_, lo, hi int) {
+		for oi := lo; oi < hi; oi++ {
+			acc := partial[oi]
+			wrow := w[oi*v : (oi+1)*v]
+			for h, xv := range in {
+				acc += wrow[h] * xv
+			}
+			partial[oi] = acc
 		}
-		partial[oi] = acc
-	}
+	})
 	x.stats.MACs += int64(o) * int64(v)
 	for i := range partial {
 		partial[i] = applyActivation(l.Activation, partial[i])

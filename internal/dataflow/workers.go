@@ -1,0 +1,97 @@
+package dataflow
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workerPool is the band-execution pool of one peExec: the host stand-in
+// for a PE's parallel ports. The pool owns a fixed set of helper goroutines
+// (at most GOMAXPROCS-1, so a 1-core box gets none and the PE degrades to
+// today's sequential schedule); band dispatch never blocks waiting for a
+// helper — a band that finds the pool busy runs inline on the caller — so
+// the pool cannot deadlock regardless of how many PEs share the processor
+// budget.
+type workerPool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+}
+
+// newPEWorkerPool sizes a pool for a PE's port parallelism: the widest of
+// the two port counts, clamped to the processor budget, minus the caller
+// itself. Returns nil (a valid, sequential pool) when no helper is useful.
+func newPEWorkerPool(par int) *workerPool {
+	if max := runtime.GOMAXPROCS(0); par > max {
+		par = max
+	}
+	return newWorkerPool(par - 1)
+}
+
+// newWorkerPool starts helpers goroutines serving band closures. A pool
+// with no helpers is represented as nil; all methods are nil-safe and run
+// the work inline.
+func newWorkerPool(helpers int) *workerPool {
+	if helpers <= 0 {
+		return nil
+	}
+	p := &workerPool{tasks: make(chan func())}
+	p.wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// close stops the helper goroutines. Safe on a nil pool.
+func (p *workerPool) close() {
+	if p == nil {
+		return
+	}
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// bands splits [0,n) into at most par contiguous bands and runs
+// fn(band, lo, hi) for each, returning after every band has finished. Band 0
+// always runs on the caller; the rest are offered to the helpers and fall
+// back to inline execution when every helper is busy. Bands are disjoint, so
+// fn may write shared state as long as writes stay inside [lo,hi).
+func (p *workerPool) bands(n, par int, fn func(band, lo, hi int)) {
+	if par > n {
+		par = n
+	}
+	if p == nil || par <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	size := (n + par - 1) / par
+	var wg sync.WaitGroup
+	band := 1
+	for lo := size; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		b, lo, hi := band, lo, hi
+		band++
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			fn(b, lo, hi)
+		}
+		select {
+		case p.tasks <- task:
+		default:
+			task()
+		}
+	}
+	fn(0, 0, size)
+	wg.Wait()
+}

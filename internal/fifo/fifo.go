@@ -206,6 +206,26 @@ func (f *FIFO) PopInto(dst []Word) int {
 	return filled
 }
 
+// Reset returns a closed, fully drained FIFO to its ready state so the
+// fabric can stream another map through the same physical FIFO — the way a
+// hardware FIFO is reused across channel passes — instead of instantiating
+// a fresh one per pass. Only a finished stream may be reset: resetting a
+// FIFO that is still open, or that still buffers words, is a design bug and
+// panics. Traffic counters are not cleared; they keep accumulating across
+// the passes the FIFO carries.
+func (f *FIFO) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.closed {
+		panic(fmt.Sprintf("fifo %q: reset of an open FIFO", f.name))
+	}
+	if f.count != 0 {
+		panic(fmt.Sprintf("fifo %q: reset with %d words still buffered", f.name, f.count))
+	}
+	f.closed = false
+	f.head = 0
+}
+
 // Close marks end-of-stream. Subsequent Pops drain remaining words and then
 // report ok=false. Close is idempotent.
 func (f *FIFO) Close() {

@@ -19,10 +19,13 @@ import (
 	"condor/internal/tensor"
 )
 
-// Device models one FPGA card visible to the runtime. A device serialises
-// programming, weight loads and command-queue execution behind one mutex —
-// a physical card runs one kernel at a time — so scheduler goroutines of
-// the serving tier may share a Device without external locking.
+// Device models one FPGA card visible to the runtime. The card carries one
+// or more compute units — replicated kernel instances of the programmed
+// design, the CU replication knob of the packaging flow — and each unit runs
+// one kernel at a time behind its own lock, so a device executes up to
+// ComputeUnits() kernels concurrently. Device state transitions (program,
+// weight load, CU count) stay behind the device mutex; scheduler goroutines
+// of the serving tier may share a Device without external locking.
 type Device struct {
 	ID    string
 	Board *board.Board
@@ -30,15 +33,41 @@ type Device struct {
 	mu      sync.Mutex
 	xclbin  *bitstream.Xclbin
 	weights *condorir.WeightSet
-	acc     *dataflow.Accelerator
 	tracer  obs.Tracer
+	numCUs  int            // requested replication; applied at (re)instantiation
+	cus     []*computeUnit // nil until weights are loaded
+	rr      uint64         // round-robin cursor for the blocking fallback
 
-	// Cumulative execution accounting. Guarded by mu: kernel closures run
-	// under the device lock in Finish, matching how a card's management
-	// stack counts completed kernel dispatches.
+	// archived accumulates the counters of compute units retired by a
+	// reprogram/reload, keeping device totals monotonic across instantiations.
+	archived DeviceCounters
+}
+
+// computeUnit is one kernel instance of the programmed design: a cloned
+// fabric sharing the device's sealed weight store, an execution lock (one
+// kernel at a time per unit, as in hardware) and private dispatch counters.
+type computeUnit struct {
+	mu  sync.Mutex // execution lock: held for the duration of one kernel run
+	acc *dataflow.Accelerator
+
+	// Counters live behind their own lock so metric scrapes read them
+	// mid-kernel instead of stalling behind a running dispatch.
+	cmu      sync.Mutex
 	kernels  int64
 	images   int64
 	kernelMs float64
+}
+
+func (cu *computeUnit) counters() DeviceCounters {
+	cu.cmu.Lock()
+	defer cu.cmu.Unlock()
+	return DeviceCounters{Kernels: cu.kernels, Images: cu.images, KernelMs: cu.kernelMs}
+}
+
+func (c *DeviceCounters) add(o DeviceCounters) {
+	c.Kernels += o.Kernels
+	c.Images += o.Images
+	c.KernelMs += o.KernelMs
 }
 
 // DeviceCounters is a snapshot of a device's cumulative execution figures.
@@ -48,38 +77,100 @@ type DeviceCounters struct {
 	KernelMs float64 // modeled device-busy milliseconds
 }
 
-// Counters snapshots the device's execution accounting.
+// Counters snapshots the device's execution accounting: the sum over its
+// compute units plus anything archived from earlier instantiations.
 func (d *Device) Counters() DeviceCounters {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	return DeviceCounters{Kernels: d.kernels, Images: d.images, KernelMs: d.kernelMs}
+	total := d.archived
+	cus := d.cus
+	d.mu.Unlock()
+	for _, cu := range cus {
+		total.add(cu.counters())
+	}
+	return total
 }
 
-// SetTracer attaches a span tracer to the device's fabric: subsequent kernel
-// executions record feeder/PE/collector spans into it. The tracer survives
-// weight reloads; pass nil to detach.
-func (d *Device) SetTracer(t obs.Tracer) {
+// CUCounters snapshots each live compute unit's accounting, indexed by CU.
+func (d *Device) CUCounters() []DeviceCounters {
+	d.mu.Lock()
+	cus := d.cus
+	d.mu.Unlock()
+	out := make([]DeviceCounters, len(cus))
+	for i, cu := range cus {
+		out[i] = cu.counters()
+	}
+	return out
+}
+
+// SetComputeUnits sets the device's kernel replication factor (minimum 1).
+// When weights are already loaded the fabric pool is rebuilt immediately;
+// otherwise the count is applied at the next LoadWeights. Counters of
+// retired units are archived into the device totals.
+func (d *Device) SetComputeUnits(n int) error {
+	if n < 1 {
+		n = 1
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.numCUs = n
+	if d.weights == nil || d.xclbin == nil {
+		return nil
+	}
+	return d.instantiateLocked()
+}
+
+// ComputeUnits returns the device's configured replication factor.
+func (d *Device) ComputeUnits() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.numCUs < 1 {
+		return 1
+	}
+	return d.numCUs
+}
+
+// SetTracer attaches a span tracer to the device's fabrics: subsequent
+// kernel executions record feeder/PE/collector spans into it (per-CU track
+// prefixes keep replicated units apart). The tracer survives weight reloads;
+// pass nil to detach.
+func (d *Device) SetTracer(t obs.Tracer) {
+	d.mu.Lock()
 	d.tracer = t
-	if d.acc != nil {
-		d.acc.SetTracer(t)
+	cus := d.cus
+	d.mu.Unlock()
+	// Take each unit's execution lock so the tracer swap cannot race a
+	// running kernel.
+	for _, cu := range cus {
+		cu.mu.Lock()
+		cu.acc.SetTracer(t)
+		cu.mu.Unlock()
 	}
 }
 
 // RegisterMetrics exposes the execution counters of the given devices
 // through reg under the condor_sdaccel_* families, labelled by device id and
-// read at scrape time. Register each family once per registry: pass every
-// device in one call.
+// read at scrape time. A device with a replicated fabric reports one sample
+// per compute unit, labelled {device, cu}; a single-unit device keeps the
+// plain per-device label so existing dashboards are unchanged. Register each
+// family once per registry: pass every device in one call.
 func RegisterMetrics(reg *obs.Registry, devices ...*Device) {
 	perDevice := func(fn func(DeviceCounters) float64) func() []obs.Sample {
 		return func() []obs.Sample {
-			out := make([]obs.Sample, len(devices))
-			for i, d := range devices {
-				out[i] = obs.Sample{
+			var out []obs.Sample
+			for _, d := range devices {
+				if cus := d.CUCounters(); len(cus) > 1 {
+					for i, c := range cus {
+						out = append(out, obs.Sample{
+							Labels: []obs.Label{obs.L("device", d.ID), obs.L("cu", fmt.Sprintf("%d", i))},
+							Value:  fn(c),
+						})
+					}
+					continue
+				}
+				out = append(out, obs.Sample{
 					Labels: []obs.Label{obs.L("device", d.ID)},
 					Value:  fn(d.Counters()),
-				}
+				})
 			}
 			return out
 		}
@@ -130,9 +221,18 @@ func (d *Device) program(data []byte) error {
 	}
 	d.mu.Lock()
 	d.xclbin = x
-	d.acc = nil // weights must be (re)loaded for the new image
+	d.retireLocked() // weights must be (re)loaded for the new image
 	d.mu.Unlock()
 	return nil
+}
+
+// retireLocked archives the live compute units' counters into the device
+// totals and drops the units. Caller holds d.mu.
+func (d *Device) retireLocked() {
+	for _, cu := range d.cus {
+		d.archived.add(cu.counters())
+	}
+	d.cus = nil
 }
 
 // Programmed reports whether a kernel image is loaded.
@@ -171,16 +271,61 @@ func (d *Device) LoadWeights(ws *condorir.WeightSet) error {
 	if d.xclbin == nil {
 		return fmt.Errorf("sdaccel: device %s has no image loaded", d.ID)
 	}
-	acc, err := dataflow.Instantiate(d.xclbin.Spec, ws)
+	d.weights = ws
+	return d.instantiateLocked()
+}
+
+// instantiateLocked builds the compute-unit pool for the current image,
+// weights and replication factor: one fabric is instantiated (weights load
+// once into the sealed store) and cloned into the remaining units, which
+// share the store by reference. Caller holds d.mu.
+func (d *Device) instantiateLocked() error {
+	acc, err := dataflow.Instantiate(d.xclbin.Spec, d.weights)
 	if err != nil {
 		return err
 	}
 	if d.tracer != nil {
 		acc.SetTracer(d.tracer)
 	}
-	d.weights = ws
-	d.acc = acc
+	n := d.numCUs
+	if n < 1 {
+		n = 1
+	}
+	pool := dataflow.NewCUPool(acc, n)
+	d.retireLocked()
+	cus := make([]*computeUnit, n)
+	for i := range cus {
+		cus[i] = &computeUnit{acc: pool.CU(i)}
+	}
+	d.cus = cus
 	return nil
+}
+
+// acquireCU returns a compute unit with its execution lock held. A TryLock
+// scan starting at the round-robin cursor grabs an idle unit without
+// blocking; when every unit is busy the caller blocks on the cursor's unit,
+// so waiting dispatches spread across the units instead of piling onto one.
+func (d *Device) acquireCU() (*computeUnit, error) {
+	d.mu.Lock()
+	cus := d.cus
+	var start int
+	if len(cus) > 0 {
+		start = int(d.rr % uint64(len(cus)))
+		d.rr++
+	}
+	d.mu.Unlock()
+	if len(cus) == 0 {
+		return nil, fmt.Errorf("sdaccel: device %s has no weights loaded", d.ID)
+	}
+	for i := 0; i < len(cus); i++ {
+		cu := cus[(start+i)%len(cus)]
+		if cu.mu.TryLock() {
+			return cu, nil
+		}
+	}
+	cu := cus[start]
+	cu.mu.Lock()
+	return cu, nil
 }
 
 // Context is an OpenCL-like command context on one device.
@@ -240,10 +385,14 @@ func (c *Context) EnqueueRead(b *Buffer, dst []float32) {
 func (c *Context) EnqueueKernel(in, out *Buffer, batch int) {
 	c.queue = append(c.queue, func() error {
 		dev := c.dev
-		if dev.acc == nil {
+		dev.mu.Lock()
+		xclbin := dev.xclbin
+		loaded := len(dev.cus) > 0
+		dev.mu.Unlock()
+		if xclbin == nil || !loaded {
 			return fmt.Errorf("sdaccel: device %s has no weights loaded", dev.ID)
 		}
-		spec := dev.xclbin.Spec
+		spec := xclbin.Spec
 		inVol := spec.Input.Volume()
 		outShape := spec.OutputShape()
 		outVol := outShape.Volume()
@@ -262,8 +411,13 @@ func (c *Context) EnqueueKernel(in, out *Buffer, batch int) {
 			copy(img.Data(), in.data[i*inVol:(i+1)*inVol])
 			imgs[i] = img
 		}
-		outs, stats, err := dev.acc.Run(imgs)
+		cu, err := dev.acquireCU()
 		if err != nil {
+			return err
+		}
+		outs, stats, err := cu.acc.Run(imgs)
+		if err != nil {
+			cu.mu.Unlock()
 			return err
 		}
 		for i, o := range outs {
@@ -271,14 +425,17 @@ func (c *Context) EnqueueKernel(in, out *Buffer, batch int) {
 		}
 		// Device time from the pipeline model at the achieved clock.
 		cycles := perf.SimulateBatch(perf.Stages(spec), batch)
-		ms := perf.CyclesToMs(cycles, dev.xclbin.Meta.AchievedMHz)
+		ms := perf.CyclesToMs(cycles, xclbin.Meta.AchievedMHz)
 		c.info.KernelMs += ms
 		c.info.Batches++
 		c.info.Images += batch
 		c.info.LastStats = stats
-		dev.kernels++
-		dev.images += int64(batch)
-		dev.kernelMs += ms
+		cu.cmu.Lock()
+		cu.kernels++
+		cu.images += int64(batch)
+		cu.kernelMs += ms
+		cu.cmu.Unlock()
+		cu.mu.Unlock()
 		return nil
 	})
 }
@@ -292,13 +449,14 @@ type RunInfo struct {
 }
 
 // Finish executes all enqueued commands in order and returns the
-// accumulated run info. The device is held for the whole command sequence,
-// so contexts created by concurrent goroutines (the serving scheduler, the
-// cloud service's per-slot host programs) serialise on the card exactly as
-// one physical device would.
+// accumulated run info. Buffer transfers touch only the context's own
+// buffers; kernel dispatches acquire one of the device's compute units for
+// the duration of the run. The device mutex is NOT held across the command
+// sequence, so contexts created by concurrent goroutines (the serving
+// scheduler, the cloud service's per-slot host programs) execute in parallel
+// up to the device's compute-unit count and serialise per unit beyond it —
+// exactly the concurrency a replicated physical card offers.
 func (c *Context) Finish() (RunInfo, error) {
-	c.dev.mu.Lock()
-	defer c.dev.mu.Unlock()
 	for _, cmd := range c.queue {
 		if err := cmd(); err != nil {
 			c.queue = nil

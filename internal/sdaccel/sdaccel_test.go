@@ -1,12 +1,18 @@
 package sdaccel
 
 import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
 	"testing"
 
 	"condor/internal/bitstream"
 	"condor/internal/condorir"
 	"condor/internal/dataflow"
 	"condor/internal/models"
+	"condor/internal/obs"
 	"condor/internal/tensor"
 )
 
@@ -169,6 +175,120 @@ func TestWeightsMustMatchImage(t *testing.T) {
 	}
 	if err := dev.LoadWeights(condorir.NewWeightSet()); err == nil {
 		t.Fatal("expected weight-mismatch error")
+	}
+}
+
+// A device with SetComputeUnits(n) executes concurrent contexts on distinct
+// kernel instances: outputs stay correct, per-CU counters cover all
+// dispatches, and the metric samples carry {device, cu} labels.
+func TestComputeUnitReplication(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	xclbin, ws := tc1Xclbin(t, "zc706")
+	dev, err := NewDevice("fpga0", "zc706")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LoadXclbin(xclbin); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.SetComputeUnits(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LoadWeights(ws); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.ComputeUnits(); got != 2 {
+		t.Fatalf("ComputeUnits() = %d, want 2", got)
+	}
+
+	ir, ws2, err := models.TC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := ir.BuildNN(ws2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 4
+	const perClient = 2
+	inVol, outVol := 16*16, 10
+	imgs := models.USPSImages(clients, 3)
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			want, err := net.Predict(imgs[g])
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for rep := 0; rep < perClient; rep++ {
+				ctx := CreateContext(dev)
+				in := ctx.CreateBuffer(inVol)
+				out := ctx.CreateBuffer(outVol)
+				ctx.EnqueueWrite(in, imgs[g].Data())
+				ctx.EnqueueKernel(in, out, 1)
+				res := make([]float32, outVol)
+				ctx.EnqueueRead(out, res)
+				if _, err := ctx.Finish(); err != nil {
+					errs[g] = err
+					return
+				}
+				got := tensor.FromSlice(res, outVol, 1, 1)
+				if !tensor.AllClose(got, want, 2e-3) {
+					errs[g] = fmt.Errorf("client %d rep %d: output mismatch", g, rep)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	total := dev.Counters()
+	if total.Kernels != clients*perClient || total.Images != clients*perClient {
+		t.Fatalf("device counters = %+v, want %d kernels/images", total, clients*perClient)
+	}
+	cus := dev.CUCounters()
+	if len(cus) != 2 {
+		t.Fatalf("CUCounters has %d entries, want 2", len(cus))
+	}
+	var sum int64
+	for _, c := range cus {
+		sum += c.Kernels
+	}
+	if sum != total.Kernels {
+		t.Fatalf("per-CU kernels sum %d != device total %d", sum, total.Kernels)
+	}
+
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg, dev)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{`cu="0",device="fpga0"`, `cu="1",device="fpga0"`} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing per-CU label %s:\n%s", want, text)
+		}
+	}
+
+	// Reprogramming retires the units but keeps device totals monotonic.
+	if err := dev.LoadXclbin(xclbin); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Counters(); got != total {
+		t.Fatalf("counters after reprogram = %+v, want %+v", got, total)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -44,9 +45,10 @@ func TestDeployLocalUniqueDeviceIDs(t *testing.T) {
 }
 
 // mixedPool builds the same network for an on-premise board and for the F1,
-// then assembles a heterogeneous serving pool: nLocal local boards plus the
-// programmed slots of one F1 instance behind the given endpoint.
-func mixedPool(t *testing.T, endpoint string, nLocal, slots int) []serve.Backend {
+// then assembles a heterogeneous serving pool: nLocal local boards (each
+// replicated into cus compute units, every unit its own backend when cus > 1)
+// plus the programmed slots of one F1 instance behind the given endpoint.
+func mixedPool(t *testing.T, endpoint string, nLocal, cus, slots int) []serve.Backend {
 	t.Helper()
 	ir, ws, err := models.TC1()
 	if err != nil {
@@ -60,11 +62,17 @@ func mixedPool(t *testing.T, endpoint string, nLocal, slots int) []serve.Backend
 		t.Fatal(err)
 	}
 	for i := 0; i < nLocal; i++ {
-		dep, err := f.DeployLocal(localBuild)
+		dep, err := f.DeployLocalCUs(localBuild, cus)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pool = append(pool, dep)
+		if cus > 1 {
+			for _, cb := range dep.CUBackends() {
+				pool = append(pool, cb)
+			}
+		} else {
+			pool = append(pool, dep)
+		}
 	}
 
 	ir2, ws2, err := models.TC1()
@@ -91,12 +99,27 @@ func mixedPool(t *testing.T, endpoint string, nLocal, slots int) []serve.Backend
 }
 
 // TestServeStressMixedPool is the serving acceptance gate: 64 concurrent
-// clients against a pool of four backends (two local boards and two F1
-// slots of one instance, reached through a cloud endpoint that injects
-// transient faults). Run under -race. Every request must either complete or
-// fail with an explicit backpressure/deadline error, and the stats must
-// show that dynamic batching actually coalesced requests.
+// clients against a pool of four backends (one local board replicated into
+// two compute-unit backends, plus two F1 slots of one instance, reached
+// through a cloud endpoint that injects transient faults). Run under -race.
+// Every request must either complete or fail with an explicit
+// backpressure/deadline error, and the stats must show that dynamic
+// batching actually coalesced requests.
 func TestServeStressMixedPool(t *testing.T) {
+	stressMixedPool(t)
+}
+
+// TestServeStressMixedPoolSingleProc re-runs the acceptance gate at
+// GOMAXPROCS=1: the fabric's worker pools degrade to the sequential
+// schedule and every CU/slot backend still settles every request — the
+// parallel-port machinery must be semantics-free on a single-core host.
+func TestServeStressMixedPoolSingleProc(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	stressMixedPool(t)
+}
+
+func stressMixedPool(t *testing.T) {
 	cloud := aws.NewServer(aws.Options{
 		AFIGenerationDelay: time.Millisecond,
 		TransientErrorRate: 0.05,
@@ -105,7 +128,7 @@ func TestServeStressMixedPool(t *testing.T) {
 	ts := httptest.NewServer(cloud)
 	defer ts.Close()
 
-	pool := mixedPool(t, ts.URL, 2, 2)
+	pool := mixedPool(t, ts.URL, 1, 2, 2)
 	if len(pool) != 4 {
 		t.Fatalf("pool has %d backends, want 4", len(pool))
 	}
@@ -197,7 +220,7 @@ func TestServeMixedPoolSpreadsLoad(t *testing.T) {
 	ts := httptest.NewServer(cloud)
 	defer ts.Close()
 
-	pool := mixedPool(t, ts.URL, 1, 2)
+	pool := mixedPool(t, ts.URL, 1, 1, 2)
 	s, err := serve.New(serve.Config{Backends: pool, MaxBatch: 2, BatchWindow: time.Millisecond, QueueDepth: 128})
 	if err != nil {
 		t.Fatal(err)
