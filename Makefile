@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet condorlint lint test race race-serve smoke-serve bench bench-fabric bench-check profile-fabric ci
+.PHONY: all build vet condorlint staticcheck govulncheck lint test race race-serve smoke-serve bench bench-fabric bench-check profile-fabric ci
 
 all: build lint test
 
@@ -10,12 +10,24 @@ build:
 vet:
 	$(GO) vet ./...
 
-# condorlint runs the repository's custom static analyzers (fifodiscard,
-# shapecompare, copylocks, httptimeout) over the whole tree.
+# condorlint runs the repository's custom static analyzers — fifodiscard,
+# shapecompare, copylocks, httptimeout, plus the v2 concurrency suite
+# (goleak, lockorder, atomiccounter, ctxdeadline) — over the whole tree.
 condorlint:
 	$(GO) run ./cmd/condorlint ./...
 
-lint: vet condorlint
+# staticcheck / govulncheck are third-party tools CI installs at pinned
+# versions; locally they run only if already on PATH (the build itself
+# stays zero-dependency).
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... \
+		|| echo "staticcheck not installed; skipping (CI runs it pinned)"
+
+govulncheck:
+	@command -v govulncheck >/dev/null 2>&1 && govulncheck ./... \
+		|| echo "govulncheck not installed; skipping (CI runs it pinned)"
+
+lint: vet condorlint staticcheck govulncheck
 
 test:
 	$(GO) test ./...

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // benchResult mirrors one row of the condor-bench JSON schema.
@@ -42,22 +43,26 @@ type verdict struct {
 }
 
 // compare checks every baseline benchmark against the current run. A
-// benchmark missing from the current file is an error (a silently dropped
-// benchmark must not pass the gate); benchmarks only in the current file are
-// ignored (new benchmarks need a baseline refresh, not a failure).
-func compare(baseline, current benchFile, maxRegression float64) ([]verdict, error) {
+// benchmark missing from the current file is collected into the missing list
+// — every absence is named, the rest of the comparison still runs, and the
+// caller decides whether the gate fails (a renamed bench leg must not dodge
+// the gate silently). Benchmarks only in the current file are ignored (new
+// benchmarks need a baseline refresh, not a failure).
+func compare(baseline, current benchFile, maxRegression float64) ([]verdict, []string, error) {
 	cur := make(map[string]benchResult, len(current.Benchmarks))
 	for _, b := range current.Benchmarks {
 		cur[b.Name] = b
 	}
 	out := make([]verdict, 0, len(baseline.Benchmarks))
+	var missing []string
 	for _, base := range baseline.Benchmarks {
 		c, ok := cur[base.Name]
 		if !ok {
-			return nil, fmt.Errorf("benchmark %q is in the baseline but missing from the current run", base.Name)
+			missing = append(missing, base.Name)
+			continue
 		}
 		if base.ImgPerS <= 0 {
-			return nil, fmt.Errorf("baseline benchmark %q has non-positive throughput %v", base.Name, base.ImgPerS)
+			return nil, nil, fmt.Errorf("baseline benchmark %q has non-positive throughput %v", base.Name, base.ImgPerS)
 		}
 		delta := c.ImgPerS/base.ImgPerS - 1
 		out = append(out, verdict{
@@ -68,7 +73,7 @@ func compare(baseline, current benchFile, maxRegression float64) ([]verdict, err
 			Regressed: delta < -maxRegression,
 		})
 	}
-	return out, nil
+	return out, missing, nil
 }
 
 func readBenchFile(path string) (benchFile, error) {
@@ -90,6 +95,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline results")
 	currentPath := flag.String("current", "BENCH_fabric.json", "fresh condor-bench -json results")
 	maxRegression := flag.Float64("max-regression", 0.25, "largest tolerated fractional throughput drop")
+	allowMissing := flag.Bool("allow-missing", false, "warn (instead of fail) when a baseline benchmark is absent from the current run")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -104,9 +110,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	verdicts, err := compare(baseline, current, *maxRegression)
+	verdicts, missing, err := compare(baseline, current, *maxRegression)
 	if err != nil {
 		fail(err)
+	}
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: benchmark %q is in the baseline but missing from the current run (renamed or dropped?)\n", name)
 	}
 
 	regressions := 0
@@ -130,6 +139,13 @@ func main() {
 		}
 		fail(fmt.Errorf("%d of %d benchmarks regressed more than %.0f%% vs %s%s",
 			regressions, len(verdicts), 100**maxRegression, *baselinePath, detail))
+	}
+	if len(missing) > 0 && !*allowMissing {
+		// Absent legs fail the gate by default: a renamed benchmark would
+		// otherwise retire its own baseline and dodge the comparison. Pass
+		// -allow-missing while a rename lands, then refresh the baseline.
+		fail(fmt.Errorf("%d baseline benchmark(s) missing from the current run: %s (rename the leg in the baseline or pass -allow-missing)",
+			len(missing), strings.Join(missing, ", ")))
 	}
 	fmt.Printf("ok: %d benchmarks within %.0f%% of baseline\n", len(verdicts), 100**maxRegression)
 }

@@ -343,12 +343,20 @@ func cmdCosim(args []string) error {
 // every diagnostic like a compiler error and fails when any error-severity
 // rule fires. Networks come either from a Condor JSON file (with optional
 // weights for the weight-consistency rules) or from the built-in evaluation
-// models by name.
+// models by name. The configuration flags (-cus, -burst, -tap-depth,
+// -fifo-depth) describe the deployment to prove: the fabric rules
+// CND020–CND022 statically reject a configuration whose worst-case FIFO
+// occupancy exceeds a declared depth or whose replicated compute units
+// overcommit the board.
 func cmdLint(args []string) error {
 	fs := flag.NewFlagSet("lint", flag.ExitOnError)
 	network := fs.String("network", "", "Condor network representation (JSON)")
 	weights := fs.String("weights", "", "Condor weights file (.cndw), optional")
 	model := fs.String("model", "", "built-in model: tc1 | lenet | vgg16 | vgg16-features | alexnet | alexnet-features")
+	cus := fs.Int("cus", 1, "compute units the deployment replicates the kernel into")
+	burst := fs.Int("burst", 0, "DMA burst transaction length in words (0 = host-chunked)")
+	tapDepth := fs.Int("tap-depth", 0, "declared tap FIFO depth in words (0 = auto-sized worst case)")
+	fifoDepth := fs.Int("fifo-depth", 0, "inter-PE stream FIFO depth override in words (0 = default)")
 	quiet := fs.Bool("q", false, "suppress the success line")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -387,7 +395,12 @@ func cmdLint(args []string) error {
 		return fmt.Errorf("provide -network (optionally with -weights) or -model")
 	}
 
-	diags, err := condor.New().Lint(ir, ws)
+	diags, err := condor.New().LintWith(ir, ws, condor.LintOptions{
+		ComputeUnits:     *cus,
+		BurstWords:       *burst,
+		TapFIFODepth:     *tapDepth,
+		InterPEFIFODepth: *fifoDepth,
+	})
 	if err != nil {
 		return err
 	}

@@ -65,6 +65,12 @@ type Input struct {
 	// it manually; Condor automates it).
 	RunDSE bool
 
+	// ComputeUnits is the kernel replication factor the build is verified
+	// for (the CUs a later DeployLocalCUs will request). 0 means 1. The
+	// fabric rules CND020–CND022 prove the configuration deadlock-free and
+	// within the board budget before any packaging work.
+	ComputeUnits int
+
 	// Precision selects the fabric numeric format. The default Float32 is
 	// the paper's configuration; Int16/Int8 enable the fixed-point
 	// quantization of the related work (weights snapped to the fixed-point
@@ -258,9 +264,11 @@ func (f *Framework) BuildAccelerator(in Input) (*Build, error) {
 
 	// Pre-synthesis design verification: the static stand-in for the
 	// elaboration gate of the real HLS/SDAccel flow. Warnings are reported
-	// and the build proceeds; errors abort before any packaging work.
+	// and the build proceeds; errors abort before any packaging work. The
+	// configuration-dependent fabric rules run for the deployment this
+	// build targets (ComputeUnits replicas).
 	f.logf("core: verifying the design against the CND rule catalogue")
-	diags := verify.Lint(spec, ir, ws)
+	diags := verify.LintConfig(spec, ir, ws, verify.FabricConfig{CUs: in.ComputeUnits})
 	for _, d := range diags {
 		if d.Severity == diag.Warning {
 			f.logf("verify: %s", d)
@@ -293,6 +301,26 @@ func (f *Framework) BuildAccelerator(in Input) (*Build, error) {
 	return b, nil
 }
 
+// LintOptions parameterizes the standalone verifier: the execution
+// configuration to prove (compute units, burst size) and hand-built FIFO
+// depth overrides, so a proposed deployment can be checked — and rejected —
+// without touching the network description.
+type LintOptions struct {
+	// ComputeUnits and BurstWords form the FabricConfig the CND020–CND022
+	// rules verify (0 = the defaults: one CU, host-chunked bursts).
+	ComputeUnits int
+	BurstWords   int
+
+	// TapFIFODepth, when positive, declares that depth (in words) for every
+	// filter chain's tap FIFOs instead of the auto-sized analytic worst
+	// case — the knob that makes a FIFO-infeasible design expressible.
+	TapFIFODepth int
+
+	// InterPEFIFODepth, when positive, overrides the depth of the streaming
+	// FIFOs between PEs.
+	InterPEFIFODepth int
+}
+
 // Lint runs the pre-synthesis design verifier standalone: the IR is mapped
 // onto the accelerator template and memory-planned exactly as a build would,
 // then every CND design rule is checked. ws may be nil when no weights are
@@ -300,6 +328,14 @@ func (f *Framework) BuildAccelerator(in Input) (*Build, error) {
 // consistency rules are skipped in that case. The returned diagnostics are
 // sorted errors-first; building stops here, nothing is packaged.
 func (f *Framework) Lint(ir *condorir.Network, ws *condorir.WeightSet) ([]*verify.Diagnostic, error) {
+	return f.LintWith(ir, ws, LintOptions{})
+}
+
+// LintWith is Lint for one concrete deployment configuration: the spec is
+// assembled, the option overrides are applied, and the full rule catalogue —
+// structural, weight, board and the configuration-dependent fabric rules —
+// runs over the result.
+func (f *Framework) LintWith(ir *condorir.Network, ws *condorir.WeightSet, opts LintOptions) ([]*verify.Diagnostic, error) {
 	if err := ir.Validate(); err != nil {
 		return nil, err
 	}
@@ -308,11 +344,22 @@ func (f *Framework) Lint(ir *condorir.Network, ws *condorir.WeightSet) ([]*verif
 	if err != nil {
 		return nil, err
 	}
+	if opts.InterPEFIFODepth > 0 {
+		spec.InterPEFIFODepth = opts.InterPEFIFODepth
+	}
+	if opts.TapFIFODepth > 0 {
+		for _, pe := range spec.PEs {
+			if pe.Chain != nil {
+				pe.Chain.TapFIFODepth = opts.TapFIFODepth
+			}
+		}
+	}
 	if err := hls.PlanMemory(spec); err != nil {
 		return nil, err
 	}
 	f.logf("lint: verifying %d PEs against the CND rule catalogue", len(spec.PEs))
-	return verify.Lint(spec, ir, ws), nil
+	cfg := verify.FabricConfig{CUs: opts.ComputeUnits, BurstWords: opts.BurstWords}
+	return verify.LintConfig(spec, ir, ws, cfg), nil
 }
 
 // PerformanceSummary is the evaluation view of a build: the quantities the

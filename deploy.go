@@ -8,10 +8,12 @@ import (
 
 	"condor/internal/aws"
 	"condor/internal/bitstream"
+	"condor/internal/diag"
 	"condor/internal/obs"
 	"condor/internal/sdaccel"
 	"condor/internal/serve"
 	"condor/internal/tensor"
+	"condor/internal/verify"
 )
 
 // Both deployment kinds (and each programmed F1 slot) satisfy the serving
@@ -47,6 +49,13 @@ func (f *Framework) DeployLocal(b *Build) (*LocalDeployment, error) {
 // dispatches at once. Use CUBackends to schedule the units independently in
 // a serving pool.
 func (f *Framework) DeployLocalCUs(b *Build, cus int) (*LocalDeployment, error) {
+	// The configuration-dependent fabric rules gate the deployment: a CU
+	// count that overcommits the board (CND021) or a FIFO network whose
+	// worst-case occupancy exceeds a declared depth (CND020) must fail here,
+	// before any device is programmed.
+	if err := diag.Err(verify.VerifyFabric(b.Spec, verify.FabricConfig{CUs: cus}, nil)); err != nil {
+		return nil, fmt.Errorf("condor: deployment verification failed: %w", err)
+	}
 	f.logf("backend: programming local board %s", b.Meta.Board)
 	dev, err := sdaccel.NewDevice(fmt.Sprintf("fpga%d", localDeviceSeq.Add(1)-1), b.Meta.Board)
 	if err != nil {

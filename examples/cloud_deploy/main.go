@@ -28,6 +28,7 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := aws.NewServer(aws.Options{AFIGenerationDelay: 300 * time.Millisecond})
+	//condorlint:ignore goleak — demo endpoint lives for the process lifetime
 	go http.Serve(ln, srv) //nolint:errcheck
 	endpoint := "http://" + ln.Addr().String()
 	fmt.Println("simulated AWS endpoint at", endpoint)

@@ -263,5 +263,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 
 // All returns the repository's analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{FIFODiscard, ShapeCompare, CopyLocks, HTTPTimeout}
+	return []*Analyzer{
+		FIFODiscard, ShapeCompare, CopyLocks, HTTPTimeout,
+		GoLeak, LockOrder, AtomicCounter, CtxDeadline,
+	}
 }

@@ -34,10 +34,11 @@ func wantFindings(t *testing.T, path string) map[int]string {
 	return want
 }
 
-// TestAnalyzersOnFixture checks every analyzer against the broken fixture:
-// each marked line fires exactly its analyzer, and nothing else fires.
-func TestAnalyzersOnFixture(t *testing.T) {
-	dir := filepath.Join("testdata", "src", "broken")
+// testFixture checks every analyzer against one fixture package: each marked
+// line fires exactly its analyzer, and nothing else fires.
+func testFixture(t *testing.T, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
 	pkgs, err := Load(dir, ".")
 	if err != nil {
 		t.Fatal(err)
@@ -47,7 +48,7 @@ func TestAnalyzersOnFixture(t *testing.T) {
 	}
 	diags := Run(pkgs, All())
 
-	want := wantFindings(t, filepath.Join(dir, "broken.go"))
+	want := wantFindings(t, filepath.Join(dir, name+".go"))
 	got := map[int]string{}
 	for _, d := range diags {
 		if prev, dup := got[d.Pos.Line]; dup {
@@ -66,6 +67,13 @@ func TestAnalyzersOnFixture(t *testing.T) {
 		}
 	}
 }
+
+// TestAnalyzersOnFixture covers the original invariants suite.
+func TestAnalyzersOnFixture(t *testing.T) { testFixture(t, "broken") }
+
+// TestConcurrencyAnalyzersOnFixture covers the concurrency suite: goroutine
+// leaks, lock-order cycles, mixed atomic access, and dropped deadlines.
+func TestConcurrencyAnalyzersOnFixture(t *testing.T) { testFixture(t, "concurrency") }
 
 // TestIgnoreComment checks the //condorlint:ignore suppression: the fixture
 // contains a bare Pop() on an ignore-commented line that must not be

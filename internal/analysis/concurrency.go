@@ -1,0 +1,696 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// This file holds the whole-program concurrency analyzers: goroutine-leak
+// detection, lock-order cycle detection, mixed atomic/plain field access, and
+// dropped context deadlines. Like the rest of the suite they are syntactic —
+// scoped by import heuristics, tuned to the repository's concurrency idioms
+// (WaitGroup-joined fabric goroutines, named mutexes per subsystem,
+// atomic.Int64 counters, context-threaded request paths).
+
+// GoLeak reports goroutine launches whose lifetime is unobservable: no
+// WaitGroup accounting in the launching function and no completion signal
+// (channel send or close) in the goroutine body. Such a goroutine cannot be
+// joined, so an early error return in the launcher leaks it mid-batch — the
+// exact failure mode of a burst feeder abandoned after a datamover error.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "report goroutines with no join evidence (WaitGroup Add/Done, channel send, or close)",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				hasAdd := callsMethodNamed(fn.Body, "Add")
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					g, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					if lit, isLit := g.Call.Fun.(*ast.FuncLit); isLit {
+						if hasAdd && callsMethodNamed(lit.Body, "Done") {
+							return true
+						}
+						if signalsCompletion(lit.Body) {
+							return true
+						}
+					} else if hasAdd {
+						// go x.loop() after wg.Add(n): the named callee owns
+						// the Done; pairing is the launcher's contract.
+						return true
+					}
+					p.Reportf(g.Pos(), "goroutine has no join evidence: pair it with WaitGroup Add/Done or signal completion on a channel")
+					return true
+				})
+			}
+		}
+	},
+}
+
+// callsMethodNamed reports whether body contains any method call x.name(...).
+func callsMethodNamed(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == name {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// signalsCompletion reports whether a goroutine body makes its termination
+// observable: a channel send, a close(ch), or closing a stream (x.Close()).
+func signalsCompletion(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				found = true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// lockEdge is one observed acquisition order: `to` was locked (directly or
+// through a callee) while `from` was held.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+// LockOrder builds the package's static lock-acquisition graph over named
+// mutexes and reports every acquisition that participates in a cycle. Lock
+// keys are "RecvType.field" for receiver-based mutexes (so every method of a
+// type shares the key) and "ident.field" otherwise. The analysis is
+// interprocedural within the package: calling a function that (transitively)
+// locks M while holding L records the edge L -> M at the call site. defer
+// Unlock holds the lock to function end; goroutine and closure bodies are
+// walked as fresh stacks.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "report mutex acquisition orders that close a cycle (potential deadlock)",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(p *Pass) {
+	type funcNode struct {
+		decl               *ast.FuncDecl
+		recvName, recvType string
+	}
+	var fns []funcNode
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			n := funcNode{decl: fn}
+			if fn.Recv != nil && len(fn.Recv.List) > 0 {
+				if names := fn.Recv.List[0].Names; len(names) > 0 {
+					n.recvName = names[0].Name
+				}
+				n.recvType = recvTypeName(fn.Recv.List[0].Type)
+			}
+			fns = append(fns, n)
+		}
+	}
+
+	// Per-function summaries keyed by bare name (same-named functions merge,
+	// a deliberate over-approximation): the lock keys a function acquires
+	// anywhere in its body, and the bare names it calls.
+	acq := map[string]map[string]bool{}
+	calls := map[string]map[string]bool{}
+	for _, n := range fns {
+		name := n.decl.Name.Name
+		if acq[name] == nil {
+			acq[name] = map[string]bool{}
+		}
+		if calls[name] == nil {
+			calls[name] = map[string]bool{}
+		}
+		ast.Inspect(n.decl.Body, func(nd ast.Node) bool {
+			call, ok := nd.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				switch fun.Sel.Name {
+				case "Lock", "RLock":
+					if k := lockKeyOf(fun.X, n.recvName, n.recvType); k != "" {
+						acq[name][k] = true
+					}
+				case "Unlock", "RUnlock":
+				default:
+					// Only same-receiver method calls (d.helper()) propagate:
+					// a call through another object's method resolves by bare
+					// name only, which merges unrelated types' summaries and
+					// manufactures edges no execution can take.
+					if id, ok := fun.X.(*ast.Ident); ok && id.Name == n.recvName {
+						calls[name][fun.Sel.Name] = true
+					}
+				}
+			case *ast.Ident:
+				if !goBuiltins[fun.Name] {
+					calls[name][fun.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	// Transitive closure: a function acquires everything its callees acquire.
+	for changed := true; changed; {
+		changed = false
+		for name, cs := range calls {
+			for c := range cs {
+				for k := range acq[c] {
+					if !acq[name][k] {
+						acq[name][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	var edges []lockEdge
+	for _, n := range fns {
+		walkLocks(n.decl.Body, n.recvName, n.recvType, acq, func(e lockEdge) {
+			edges = append(edges, e)
+		})
+	}
+
+	adj := map[string]map[string]bool{}
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	reported := map[token.Pos]bool{}
+	for _, e := range edges {
+		if reported[e.pos] || !lockReaches(adj, e.to, e.from) {
+			continue
+		}
+		reported[e.pos] = true
+		if e.from == e.to {
+			p.Reportf(e.pos, "%s acquired while already held: self-deadlock", e.to)
+		} else {
+			p.Reportf(e.pos, "acquiring %s while holding %s closes a lock-order cycle: a thread taking them in the opposite order deadlocks", e.to, e.from)
+		}
+	}
+}
+
+// lockReaches reports whether `to` is reachable from `from` in the
+// acquisition graph (trivially true when from == to).
+func lockReaches(adj map[string]map[string]bool, from, to string) bool {
+	seen := map[string]bool{}
+	stack := []string{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for m := range adj[n] {
+			stack = append(stack, m)
+		}
+	}
+	return false
+}
+
+// recvTypeName unwraps a receiver type expression to its base type name.
+func recvTypeName(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+// lockKeyOf names the mutex in an X.Lock() receiver chain, or "" when the
+// mutex is not statically nameable (indexed, computed, ...).
+func lockKeyOf(e ast.Expr, recvName, recvType string) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Name == recvName && recvType != "" {
+			return recvType
+		}
+		return e.Name
+	case *ast.SelectorExpr:
+		base := lockKeyOf(e.X, recvName, recvType)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return lockKeyOf(e.X, recvName, recvType)
+	}
+	return ""
+}
+
+// lockWalker threads a held-lock set through one function body in source
+// order, recording acquisition edges.
+type lockWalker struct {
+	recvName, recvType string
+	acq                map[string]map[string]bool
+	held               []string
+	edge               func(lockEdge)
+	lits               []*ast.FuncLit
+}
+
+// walkLocks analyzes one body (and, recursively with fresh stacks, every
+// function literal it spawns or defines).
+func walkLocks(body *ast.BlockStmt, recvName, recvType string, acq map[string]map[string]bool, edge func(lockEdge)) {
+	w := &lockWalker{recvName: recvName, recvType: recvType, acq: acq, edge: edge}
+	w.stmt(body)
+	for _, lit := range w.lits {
+		walkLocks(lit.Body, recvName, recvType, acq, edge)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			w.stmt(t)
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond)
+		w.stmt(s.Body)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		w.stmt(s.Body)
+		if s.Post != nil {
+			w.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.stmt(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		w.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.stmt(s.Body)
+	case *ast.SelectStmt:
+		w.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e)
+		}
+		for _, t := range s.Body {
+			w.stmt(t)
+		}
+	case *ast.CommClause:
+		if s.Comm != nil {
+			w.stmt(s.Comm)
+		}
+		for _, t := range s.Body {
+			w.stmt(t)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end — the exact
+		// semantics the held-set models by not releasing it here.
+		if sel, ok := s.Call.Fun.(*ast.SelectorExpr); ok &&
+			(sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock") {
+			return
+		}
+		w.expr(s.Call)
+	case *ast.GoStmt:
+		// The goroutine runs on its own stack: its body starts with nothing
+		// held. Its arguments are evaluated here.
+		for _, a := range s.Call.Args {
+			w.expr(a)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.lits = append(w.lits, lit)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	}
+}
+
+func (w *lockWalker) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			w.expr(a)
+		}
+		switch fun := e.Fun.(type) {
+		case *ast.SelectorExpr:
+			switch fun.Sel.Name {
+			case "Lock", "RLock":
+				if k := lockKeyOf(fun.X, w.recvName, w.recvType); k != "" {
+					for _, h := range w.held {
+						w.edge(lockEdge{from: h, to: k, pos: e.Pos()})
+					}
+					w.held = append(w.held, k)
+				}
+			case "Unlock", "RUnlock":
+				if k := lockKeyOf(fun.X, w.recvName, w.recvType); k != "" {
+					w.release(k)
+				}
+			default:
+				w.expr(fun.X)
+				if id, ok := fun.X.(*ast.Ident); ok && id.Name == w.recvName {
+					w.callEdges(fun.Sel.Name, e.Pos())
+				}
+			}
+		case *ast.Ident:
+			if !goBuiltins[fun.Name] {
+				w.callEdges(fun.Name, e.Pos())
+			}
+		case *ast.FuncLit:
+			w.lits = append(w.lits, fun)
+		default:
+			w.expr(e.Fun)
+		}
+	case *ast.FuncLit:
+		w.lits = append(w.lits, e)
+	case *ast.BinaryExpr:
+		w.expr(e.X)
+		w.expr(e.Y)
+	case *ast.UnaryExpr:
+		w.expr(e.X)
+	case *ast.ParenExpr:
+		w.expr(e.X)
+	case *ast.SelectorExpr:
+		w.expr(e.X)
+	case *ast.StarExpr:
+		w.expr(e.X)
+	case *ast.IndexExpr:
+		w.expr(e.X)
+		w.expr(e.Index)
+	case *ast.SliceExpr:
+		w.expr(e.X)
+		w.expr(e.Low)
+		w.expr(e.High)
+		w.expr(e.Max)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			w.expr(elt)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Value)
+	}
+}
+
+// goBuiltins are the predeclared functions a bare-ident call can resolve to;
+// they never acquire package locks and must not be confused with same-named
+// methods (the delete builtin vs an objectStore.delete method, say).
+var goBuiltins = map[string]bool{
+	"append": true, "cap": true, "clear": true, "close": true, "complex": true,
+	"copy": true, "delete": true, "imag": true, "len": true, "make": true,
+	"max": true, "min": true, "new": true, "panic": true, "print": true,
+	"println": true, "real": true, "recover": true,
+}
+
+// callEdges records held -> acquired edges for a call to a package-local
+// function, using its transitive acquisition summary.
+func (w *lockWalker) callEdges(callee string, pos token.Pos) {
+	if len(w.held) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(w.acq[callee]))
+	for k := range w.acq[callee] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, h := range w.held {
+			w.edge(lockEdge{from: h, to: k, pos: pos})
+		}
+	}
+}
+
+// release drops the most recent acquisition of key from the held set.
+func (w *lockWalker) release(key string) {
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i] == key {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// AtomicCounter reports plain accesses to fields and package variables that
+// are elsewhere accessed through sync/atomic. Mixing the two forms on one
+// word is a data race the race detector only catches when the interleaving
+// happens; statically, any counter that is ever touched atomically must be
+// touched atomically everywhere. The analyzer learns the atomic set from
+// &x.f arguments to sync/atomic calls and from fields/variables declared
+// with an atomic.X type, then flags increments, stores, and comparison reads
+// of those names.
+var AtomicCounter = &Analyzer{
+	Name: "atomiccounter",
+	Doc:  "report plain reads/writes of counters that are accessed via sync/atomic elsewhere",
+	Run: func(p *Pass) {
+		fields := map[string]bool{} // struct field names accessed atomically
+		vars := map[string]bool{}   // package-level atomic.X variable names
+		for _, f := range p.Files {
+			atomicName := ImporterName(f, "sync/atomic")
+			if atomicName == "" {
+				continue
+			}
+			// Package-level atomic.X variables only: function-local names are
+			// scoped to their function, and same-named locals elsewhere in
+			// the package are unrelated words.
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || vs.Type == nil || !isAtomicType(vs.Type, atomicName) {
+						continue
+					}
+					for _, nm := range vs.Names {
+						vars[nm.Name] = true
+					}
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if !isAtomicPkgFun(n.Fun, atomicName) {
+						return true
+					}
+					for _, a := range n.Args {
+						u, ok := a.(*ast.UnaryExpr)
+						if !ok || u.Op != token.AND {
+							continue
+						}
+						if fs, ok := u.X.(*ast.SelectorExpr); ok {
+							fields[fs.Sel.Name] = true
+						}
+					}
+				case *ast.StructType:
+					for _, fld := range n.Fields.List {
+						if !isAtomicType(fld.Type, atomicName) {
+							continue
+						}
+						for _, nm := range fld.Names {
+							fields[nm.Name] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		if len(fields) == 0 && len(vars) == 0 {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.IncDecStmt:
+					if name, ok := atomicTarget(n.X, fields, vars); ok {
+						p.Reportf(n.Pos(), "non-atomic %s of %s, which is accessed atomically elsewhere: use sync/atomic for every access", n.Tok, name)
+					}
+				case *ast.AssignStmt:
+					if n.Tok == token.DEFINE {
+						return true
+					}
+					for _, lhs := range n.Lhs {
+						if name, ok := atomicTarget(lhs, fields, vars); ok {
+							p.Reportf(lhs.Pos(), "non-atomic store to %s, which is accessed atomically elsewhere: use sync/atomic for every access", name)
+						}
+					}
+				case *ast.BinaryExpr:
+					for _, e := range []ast.Expr{n.X, n.Y} {
+						if name, ok := atomicTarget(e, fields, vars); ok {
+							p.Reportf(e.Pos(), "non-atomic read of %s, which is written atomically elsewhere: use sync/atomic for every access", name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// isAtomicPkgFun matches atomic.Fn for the local sync/atomic import name.
+func isAtomicPkgFun(fun ast.Expr, atomicName string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == atomicName
+}
+
+// isAtomicType matches the atomic.X value types (atomic.Int64, ...).
+func isAtomicType(t ast.Expr, atomicName string) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == atomicName && lockBearers["atomic"][sel.Sel.Name]
+}
+
+// atomicTarget reports whether e names a member of the atomic set, returning
+// a display name.
+func atomicTarget(e ast.Expr, fields, vars map[string]bool) (string, bool) {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if fields[e.Sel.Name] {
+			if id, ok := e.X.(*ast.Ident); ok {
+				return id.Name + "." + e.Sel.Name, true
+			}
+			return e.Sel.Name, true
+		}
+	case *ast.Ident:
+		if vars[e.Name] {
+			return e.Name, true
+		}
+	}
+	return "", false
+}
+
+// CtxDeadline reports request-path code that drops an inbound deadline: a
+// function that accepts a context.Context but then manufactures a fresh
+// root context, sleeps uninterruptibly, or builds an http.Request without
+// the context. All three sever the cancellation chain the serving path
+// depends on to bound tail latency.
+var CtxDeadline = &Analyzer{
+	Name: "ctxdeadline",
+	Doc:  "report context-accepting functions that drop the inbound deadline",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ctxName := ImporterName(f, "context")
+			if ctxName == "" {
+				continue
+			}
+			timeName := ImporterName(f, "time")
+			httpName := ImporterName(f, "net/http")
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !hasCtxParam(fn, ctxName) {
+					continue
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					switch {
+					case isPkgCall(call, ctxName, "Background"):
+						p.Reportf(call.Pos(), "context.Background() discards the caller's deadline: derive from the inbound ctx")
+					case isPkgCall(call, ctxName, "TODO"):
+						p.Reportf(call.Pos(), "context.TODO() discards the caller's deadline: derive from the inbound ctx")
+					case timeName != "" && isPkgCall(call, timeName, "Sleep"):
+						p.Reportf(call.Pos(), "time.Sleep ignores ctx cancellation: use a timer and select on ctx.Done()")
+					case httpName != "" && isPkgCall(call, httpName, "NewRequest"):
+						p.Reportf(call.Pos(), "http.NewRequest drops ctx: use http.NewRequestWithContext")
+					}
+					return true
+				})
+			}
+		}
+	},
+}
+
+// hasCtxParam reports whether fn takes a context.Context parameter.
+func hasCtxParam(fn *ast.FuncDecl, ctxName string) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			continue
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == ctxName {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+// Package concurrency is a deliberately defective fixture for the
+// condorlint concurrency analyzers (goleak, lockorder, atomiccounter,
+// ctxdeadline). It only needs to parse, not compile; each marked line must
+// be reported by exactly the analyzer named in the trailing comment.
+package concurrency
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ---- goleak ----
+
+var done = make(chan struct{})
+var results = make(chan int)
+
+func work() {}
+
+func leaksLiteral() {
+	go func() { work() }() // want: goleak
+}
+
+func leaksNamed() {
+	go work() // want: goleak
+}
+
+func joinedByWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func joinedByNamedCall(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go work() // ok: Add in the launcher, the callee owns the Done
+}
+
+func signalsOnChannel() {
+	go func() { results <- 1 }() // ok: completion observable on the channel
+}
+
+func signalsByClose() {
+	go func() { close(done) }() // ok: close is the downstream join signal
+}
+
+// ---- lockorder ----
+
+type res struct {
+	mu sync.Mutex
+	n  int
+}
+
+var a, b, c, d res
+
+func abOrder() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want: lockorder
+	defer b.mu.Unlock()
+	a.n++
+}
+
+func baOrder() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want: lockorder
+	defer a.mu.Unlock()
+	b.n++
+}
+
+func lockC() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func cThenD() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock() // want: lockorder
+	defer d.mu.Unlock()
+}
+
+func dThenC() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lockC() // want: lockorder
+}
+
+func acyclicNesting() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c.mu.Lock() // ok: a -> c participates in no cycle
+	defer c.mu.Unlock()
+}
+
+func sequentialNotNested() {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.mu.Lock() // ok: a was released before b was taken
+	b.n++
+	b.mu.Unlock()
+}
+
+// ---- atomiccounter ----
+
+type counter struct {
+	hits  int64
+	flips atomic.Bool
+}
+
+func (x *counter) bump() {
+	atomic.AddInt64(&x.hits, 1) // ok: the atomic access defines the discipline
+}
+
+func (x *counter) races() {
+	x.hits++ // want: atomiccounter
+}
+
+func (x *counter) stores(v int64) {
+	x.hits = v // want: atomiccounter
+}
+
+func (x *counter) reads() bool {
+	return x.hits > 0 // want: atomiccounter
+}
+
+func (x *counter) overwrite(o *counter) {
+	x.flips = o.flips // want: atomiccounter
+}
+
+func (x *counter) loads() int64 {
+	return atomic.LoadInt64(&x.hits) // ok
+}
+
+// ---- ctxdeadline ----
+
+func fetch(ctx context.Context, url string) error {
+	sub := context.Background() // want: ctxdeadline
+	_ = sub
+	time.Sleep(10 * time.Millisecond)            // want: ctxdeadline
+	req, err := http.NewRequest("GET", url, nil) // want: ctxdeadline
+	if err != nil {
+		return err
+	}
+	_ = req
+	_ = ctx
+	return nil
+}
+
+func fetchWithDeadline(ctx context.Context, url string) error {
+	sub, cancel := context.WithTimeout(ctx, time.Second) // ok: derives from inbound
+	defer cancel()
+	req, err := http.NewRequestWithContext(sub, "GET", url, nil) // ok
+	if err != nil {
+		return err
+	}
+	_ = req
+	return nil
+}
+
+func offline(url string) {
+	time.Sleep(time.Millisecond) // ok: no inbound deadline to honor
+	_ = context.TODO()           // ok: this function is not on a request path
+	_ = url
+}

@@ -35,6 +35,11 @@ type afiService struct {
 	images   map[string][]byte     // agfi id -> xclbin payload (the "ingested" design)
 	next     int
 
+	// workers joins the asynchronous generation goroutines: without it a
+	// server torn down with AFIs still pending leaks workers that mutate
+	// records nobody owns anymore. Quiesce waits on it.
+	workers sync.WaitGroup
+
 	// generationDelay is how long an AFI stays pending before the pipeline
 	// validates it (the real service takes ~an hour; tests use milliseconds).
 	generationDelay time.Duration
@@ -74,12 +79,14 @@ func (a *afiService) create(inputBucket, inputKey, logsBucket, name, description
 	snap := snapshot(rec) // copy under the lock: the worker mutates rec
 	a.mu.Unlock()
 
+	a.workers.Add(1)
 	go a.generate(snap.FpgaImageID, inputBucket, inputKey, logsBucket)
 	return snap, nil
 }
 
 // generate is the asynchronous AFI pipeline worker.
 func (a *afiService) generate(afiID, bucket, key, logsBucket string) {
+	defer a.workers.Done()
 	time.Sleep(a.generationDelay)
 	data, err := a.store.get(bucket, key)
 	var manifest *bitstream.AFIManifest

@@ -542,3 +542,32 @@ func TestConcurrentSlotInference(t *testing.T) {
 		}
 	}
 }
+
+// TestQuiesceJoinsGeneration: Quiesce blocks until the asynchronous AFI
+// pipeline has drained, so a describe immediately afterwards sees a terminal
+// state without polling WaitForAFI.
+func TestQuiesceJoinsGeneration(t *testing.T) {
+	srv := NewServer(Options{AFIGenerationDelay: 5 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, LicenseFromAMI())
+	tarball, _, _ := buildTC1Tarball(t)
+	if err := c.CreateBucket("q-bucket"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutObject("q-bucket", "d.tar", tarball); err != nil {
+		t.Fatal(err)
+	}
+	afi, err := c.CreateFpgaImage("q", "q-bucket", "d.tar", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Quiesce()
+	recs, err := c.DescribeFpgaImages(afi.FpgaImageID)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("describe after quiesce: %v %v", recs, err)
+	}
+	if recs[0].State != AFIAvailable {
+		t.Fatalf("state after quiesce = %s, want %s", recs[0].State, AFIAvailable)
+	}
+}

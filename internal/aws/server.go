@@ -47,6 +47,14 @@ type Server struct {
 	failRNG  *rand.Rand
 }
 
+// Quiesce blocks until every in-flight AFI generation worker has finished.
+// Call it before discarding a server so background workers are not left
+// mutating records after the owner moved on; tests use it to join the
+// asynchronous pipeline deterministically.
+func (s *Server) Quiesce() {
+	s.afi.workers.Wait()
+}
+
 // NewServer builds a cloud endpoint.
 func NewServer(opts Options) *Server {
 	if opts.AFIGenerationDelay == 0 {

@@ -16,17 +16,24 @@ import (
 // traffic. The word-granularity implementation is retained in wordpath.go
 // and stencil.go as the equivalence oracle.
 
-// tapFIFODepthRows sizes the tap FIFOs of the row-granularity chain. The
-// consumer retires whole output rows (outW words per tap) in slot order,
-// blocking on the bottom window row (m = k-1); for the single chain
-// goroutine to reach the padded row that feeds it, the top window row's tap
-// (m = 0) must absorb every intervening output row it selects —
-// ⌈(k-1)/stride⌉+1 rows — without blocking. One extra row of slack keeps
-// producer and consumer decoupled. This is a simulation margin only — the
-// resource model charges the analytic minimum, as with tapFIFODepth.
+// TapWorstCaseWords is the analytic worst-case occupancy of a tap FIFO on
+// the row-granularity datapath: the window reader retires whole output rows
+// (outW words per tap) in slot order, blocking on the bottom window row
+// (m = k-1), so the top window row's tap (m = 0) must absorb every
+// intervening output row it selects — ⌈(k-1)/stride⌉+1 rows of outW words —
+// without blocking the single chain goroutine. Any tap FIFO shallower than
+// this deadlocks the burst schedule; verify rule CND020 proves declared
+// depths against this bound statically.
+func TapWorstCaseWords(l *LayerHW) int {
+	return ((l.Kernel-1)/l.Stride + 1) * l.OutShape.Width
+}
+
+// tapFIFODepthRows sizes the tap FIFOs of the row-granularity chain: the
+// analytic worst case plus one extra row of slack to keep producer and
+// consumer decoupled. This is a simulation margin only — the resource model
+// charges the analytic minimum, as with tapFIFODepth.
 func tapFIFODepthRows(l *LayerHW) int {
-	rows := (l.Kernel-1)/l.Stride + 2
-	d := rows * l.OutShape.Width
+	d := TapWorstCaseWords(l) + l.OutShape.Width
 	if m := 2 * l.Kernel * l.Kernel; m > d {
 		d = m
 	}
@@ -81,7 +88,9 @@ type stencilRun struct {
 // newStencilRun builds a runner for the PE's filter chain. FIFO depths are
 // the maximum over the PE's fused layers, so one runner serves them all;
 // these FIFOs are internal to the PE and not part of RunStats.Streams, so
-// the extra slack changes no modeled quantity.
+// the extra slack changes no modeled quantity. A chain that declares an
+// explicit TapFIFODepth gets exactly that depth — verify rule CND020 is the
+// gate that keeps infeasible declarations from reaching this constructor.
 func newStencilRun(pe *PE, id int) *stencilRun {
 	maxPad, maxTap := 1, 1
 	for i := range pe.Layers {
@@ -95,6 +104,9 @@ func newStencilRun(pe *PE, id int) *stencilRun {
 		if d := tapFIFODepthRows(l); d > maxTap {
 			maxTap = d
 		}
+	}
+	if pe.Chain.TapFIFODepth > 0 {
+		maxTap = pe.Chain.TapFIFODepth
 	}
 	r := &stencilRun{pe: pe}
 	r.pad = fifo.New(fmt.Sprintf("%s/pad%d", pe.ID, id), maxPad)

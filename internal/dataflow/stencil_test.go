@@ -216,7 +216,15 @@ func TestStencilProperty(t *testing.T) {
 			idx++
 			return v, true
 		}
-		go streamPadded(read, h, w, p, src) //nolint:errcheck
+		// Join the streamer on every exit path: an early return would
+		// otherwise leave it blocked in Push forever, and the leaked
+		// goroutines accumulate across quick-check iterations.
+		streamErr := make(chan error, 1)
+		go func() { streamErr <- streamPadded(read, h, w, p, src) }()
+		defer func() {
+			src.Drain()
+			<-streamErr
+		}()
 		run, err := chain.start(l, src)
 		if err != nil {
 			return false

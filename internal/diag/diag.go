@@ -38,6 +38,9 @@ const (
 	RuleEmptyStructure = "CND017" // the spec needs PEs and every PE needs layers
 	RuleStageOrder     = "CND018" // features extraction must precede classification
 	RuleIRCoverage     = "CND019" // the spec must cover the IR's compute layers in order
+	RuleFIFOOccupancy  = "CND020" // worst-case FIFO-network edge occupancy must fit the declared depth
+	RuleCUResource     = "CND021" // replicated-CU resource totals must fit the board budget
+	RuleFabricConfig   = "CND022" // the (parallelism, CUs, burst) execution configuration must be sane
 )
 
 // Severity classifies a diagnostic.

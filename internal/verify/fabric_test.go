@@ -1,0 +1,193 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"condor/internal/dataflow"
+	"condor/internal/diag"
+)
+
+// maxTapWorstCase returns the analytic tap-FIFO occupancy bound of the PE's
+// most demanding fused layer — the depth the CND020 rule proves against.
+func maxTapWorstCase(pe *dataflow.PE) int {
+	worst := 0
+	for i := range pe.Layers {
+		l := &pe.Layers[i]
+		if !l.Kind.IsFeatureExtraction() {
+			continue
+		}
+		if w := dataflow.TapWorstCaseWords(l); w > worst {
+			worst = w
+		}
+	}
+	return worst
+}
+
+// TestFabricCleanDefault: the default deployment of a clean model (one CU,
+// host-chunked bursts, auto-sized FIFOs) proves deadlock-free and within
+// budget.
+func TestFabricCleanDefault(t *testing.T) {
+	spec, _, _ := freshTC1(t)
+	if ds := VerifyFabric(spec, FabricConfig{}, nil); len(ds) != 0 {
+		t.Fatalf("clean default configuration produced diagnostics: %v", ds)
+	}
+}
+
+// TestFabricEdgesGraph pins the shape of the static FIFO network graph: one
+// stream FIFO per PE boundary (including both datamover edges) and, per
+// features PE, one tap FIFO per window access per input port.
+func TestFabricEdgesGraph(t *testing.T) {
+	spec, _, _ := freshTC1(t)
+	edges := FabricEdges(spec, FabricConfig{})
+	streams, taps := 0, 0
+	for _, e := range edges {
+		if strings.HasPrefix(e.Name, "stream") {
+			streams++
+			if e.Depth != spec.InterPEFIFODepth {
+				t.Errorf("stream edge %s declares depth %d, spec says %d", e.Name, e.Depth, spec.InterPEFIFODepth)
+			}
+		} else {
+			taps++
+		}
+	}
+	if want := len(spec.PEs) + 1; streams != want {
+		t.Errorf("graph has %d stream edges, want %d", streams, want)
+	}
+	wantTaps := 0
+	for _, pe := range spec.PEs {
+		if pe.Chain != nil {
+			wantTaps += pe.Par.In * len(pe.Chain.Taps)
+		}
+	}
+	if taps != wantTaps {
+		t.Errorf("graph has %d tap edges, want %d", taps, wantTaps)
+	}
+	if edges[0].From != "datamover" || edges[len(spec.PEs)].To != "datamover" {
+		t.Errorf("stream chain must start and end at the datamover: %+v", edges[0])
+	}
+}
+
+// TestFabricTapDepthInfeasible: a hand-built configuration whose declared
+// tap FIFO depth is below the worst-case occupancy is rejected with a
+// CND020 error naming the edge; declaring exactly the bound passes.
+func TestFabricTapDepthInfeasible(t *testing.T) {
+	spec, _, _ := freshTC1(t)
+	pe := featurePE(t, spec)
+	bound := maxTapWorstCase(pe)
+	if bound < 2 {
+		t.Fatalf("degenerate worst case %d", bound)
+	}
+
+	pe.Chain.TapFIFODepth = bound - 1
+	ds := VerifyFabric(spec, FabricConfig{}, nil)
+	if !rules(ds)[diag.RuleFIFOOccupancy] {
+		t.Fatalf("underdeclared tap depth %d (bound %d) not caught: %v", bound-1, bound, ds)
+	}
+	if err := diag.Err(ds); err == nil {
+		t.Fatal("CND020 must be error severity")
+	} else if !strings.Contains(err.Error(), pe.ID+"/tap") {
+		t.Errorf("diagnostic does not name the tap edge: %v", err)
+	}
+
+	pe.Chain.TapFIFODepth = bound
+	if ds := VerifyFabric(spec, FabricConfig{}, nil); diag.HasErrors(ds) {
+		t.Fatalf("declared depth equal to the bound must pass: %v", ds)
+	}
+}
+
+// TestFabricBurstExceedsStreamDepth: a DMA burst longer than the stream
+// FIFOs can never complete its transaction — CND020 names the stream edge.
+// A burst of exactly the FIFO depth passes.
+func TestFabricBurstExceedsStreamDepth(t *testing.T) {
+	spec, _, _ := freshTC1(t)
+
+	ds := VerifyFabric(spec, FabricConfig{BurstWords: spec.InterPEFIFODepth + 1}, nil)
+	if !rules(ds)[diag.RuleFIFOOccupancy] {
+		t.Fatalf("oversized burst not caught: %v", ds)
+	}
+	if err := diag.Err(ds); err == nil || !strings.Contains(err.Error(), "stream0") {
+		t.Errorf("diagnostic does not name the stream edge: %v", err)
+	}
+	// Every stream edge violates the bound, so every one is named.
+	n := 0
+	for _, d := range ds {
+		if d.Rule == diag.RuleFIFOOccupancy {
+			n++
+		}
+	}
+	if want := len(spec.PEs) + 1; n != want {
+		t.Errorf("%d stream edges flagged, want %d", n, want)
+	}
+
+	if ds := VerifyFabric(spec, FabricConfig{BurstWords: spec.InterPEFIFODepth}, nil); diag.HasErrors(ds) {
+		t.Fatalf("burst equal to the FIFO depth must pass: %v", ds)
+	}
+}
+
+// TestFabricCUOvercommit: replicating the kernel past the board budget is
+// rejected with CND021; the single-CU configuration of a clean model fits.
+func TestFabricCUOvercommit(t *testing.T) {
+	spec, _, _ := freshTC1(t)
+
+	ds := VerifyFabric(spec, FabricConfig{CUs: 1 << 20}, nil)
+	if !rules(ds)[diag.RuleCUResource] {
+		t.Fatalf("overcommitted CU replication not caught: %v", ds)
+	}
+	if err := diag.Err(ds); err == nil || !strings.Contains(err.Error(), "compute units exceed") {
+		t.Errorf("CND021 must be an error naming the replication: %v", err)
+	}
+
+	if ds := VerifyFabric(spec, FabricConfig{CUs: 1}, nil); diag.HasErrors(ds) {
+		t.Fatalf("single CU must fit: %v", ds)
+	}
+}
+
+// TestFabricConfigSanity: negative knobs are CND022 errors and stop the
+// pass before the capacity/resource rules run on a nonsensical config.
+func TestFabricConfigSanity(t *testing.T) {
+	spec, _, _ := freshTC1(t)
+	ds := VerifyFabric(spec, FabricConfig{CUs: -1, BurstWords: -8}, nil)
+	r := rules(ds)
+	if !r[diag.RuleFabricConfig] {
+		t.Fatalf("negative configuration not caught: %v", ds)
+	}
+	if r[diag.RuleFIFOOccupancy] || r[diag.RuleCUResource] {
+		t.Errorf("capacity/resource rules ran on an unexecutable config: %v", ds)
+	}
+	if n := len(ds); n != 2 {
+		t.Errorf("want 2 CND022 diagnostics, got %d: %v", n, ds)
+	}
+}
+
+// TestLintConfigMergesCatalogues: LintConfig reports both a structural
+// violation and a fabric violation in one sorted batch.
+func TestLintConfigMergesCatalogues(t *testing.T) {
+	spec, ir, ws := freshTC1(t)
+	pe := featurePE(t, spec)
+	pe.Chain.TapFIFODepth = 1      // CND020
+	pe.Layers[0].OutShape.Height++ // CND001/CND002 downstream
+	ds := LintConfig(spec, ir, ws, FabricConfig{})
+	r := rules(ds)
+	if !r[diag.RuleFIFOOccupancy] {
+		t.Errorf("fabric rule missing from LintConfig batch: %v", ds)
+	}
+	if !r[diag.RuleShapeGeometry] && !r[diag.RuleShapeChain] {
+		t.Errorf("structural rules missing from LintConfig batch: %v", ds)
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1].Severity < ds[i].Severity {
+			t.Fatalf("batch not sorted errors-first: %v", ds)
+		}
+	}
+}
+
+// TestFabricEmptySpec: a nil or empty spec is a CND017 error, not a panic.
+func TestFabricEmptySpec(t *testing.T) {
+	for _, spec := range []*dataflow.Spec{nil, {}} {
+		ds := VerifyFabric(spec, FabricConfig{}, nil)
+		if !rules(ds)[diag.RuleEmptyStructure] {
+			t.Fatalf("empty spec not rejected: %v", ds)
+		}
+	}
+}

@@ -48,6 +48,16 @@
 //	CND018 stage-order       features extraction precedes classification.
 //	CND019 ir-coverage       the spec must map the IR's compute layers in
 //	                         order and start from the IR's input shape.
+//	CND020 fifo-occupancy    every edge of the static FIFO network graph must
+//	                         hold its worst-case occupancy under the verified
+//	                         configuration (deadlock freedom by conservative
+//	                         capacity bound over an acyclic schedule;
+//	                         fabric.go).
+//	CND021 cu-resource       the kernel replicated into the configured
+//	                         compute units must fit the board's
+//	                         shell-excluded budget (fabric.go).
+//	CND022 fabric-config     the (CUs, burst) execution configuration must be
+//	                         executable at all (fabric.go).
 package verify
 
 import (
