@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet condorlint staticcheck govulncheck lint test race race-serve smoke-serve bench bench-fabric bench-check profile-fabric ci
+.PHONY: all build vet condorlint staticcheck govulncheck lint test race race-serve race-fleet smoke-serve smoke-fleet bench bench-fabric bench-check profile-fabric ci
 
 all: build lint test
 
@@ -41,17 +41,41 @@ race-serve:
 	$(GO) test -race ./internal/serve/...
 	$(GO) test -race -run 'TestServe|TestDeployLocalUnique' .
 
+# race-fleet focuses the race detector on the fleet tier, including the
+# saturation-shedding and node-kill stress tests.
+race-fleet:
+	$(GO) test -race ./internal/fleet/... ./internal/loadgen/...
+
 # smoke-serve boots awsmock and condor-serve, then probes one inference
-# round over HTTP (the same step CI runs).
+# round over HTTP (the same step CI runs). The wait polls /readyz: /healthz
+# answers 200 while the pool is still warming (listen-early).
 smoke-serve:
 	$(GO) build -o bin/ ./cmd/awsmock ./cmd/condor-serve
 	./bin/awsmock -addr 127.0.0.1:8780 -afi-delay 100ms -fail-rate 0.05 & echo $$! > .awsmock.pid
 	./bin/condor-serve -addr 127.0.0.1:8781 -model tc1 -local 1 -cus 2 \
 		-endpoint http://127.0.0.1:8780 -instance-type f1.4xlarge -slots 2 & echo $$! > .serve.pid
-	for i in $$(seq 1 50); do curl -fs http://127.0.0.1:8781/healthz >/dev/null 2>&1 && break; sleep 0.2; done
+	for i in $$(seq 1 50); do curl -fs http://127.0.0.1:8781/readyz >/dev/null 2>&1 && break; sleep 0.2; done
 	./bin/condor-serve -probe http://127.0.0.1:8781
-	curl -fs http://127.0.0.1:8781/healthz >/dev/null
+	curl -fs http://127.0.0.1:8781/readyz >/dev/null
 	kill $$(cat .serve.pid .awsmock.pid); rm -f .serve.pid .awsmock.pid
+
+# smoke-fleet boots a router plus two self-registering condor-serve nodes
+# and drives them with the open-loop generator (the CI loadgen-smoke job).
+# condor-loadgen exits non-zero if any request falls outside the five
+# outcome classes — the zero-silent-drop gate.
+smoke-fleet:
+	$(GO) build -o bin/ ./cmd/condor-fleet ./cmd/condor-serve ./cmd/condor-loadgen
+	./bin/condor-fleet -addr 127.0.0.1:8790 -probe-interval 200ms & echo $$! > .fleet.pid
+	./bin/condor-serve -addr 127.0.0.1:8781 -model tc1 -local 1 -cus 2 \
+		-fleet http://127.0.0.1:8790 & echo $$! > .node1.pid
+	./bin/condor-serve -addr 127.0.0.1:8782 -model tc1 -local 1 -cus 2 \
+		-fleet http://127.0.0.1:8790 & echo $$! > .node2.pid
+	for i in $$(seq 1 50); do curl -fs http://127.0.0.1:8790/readyz >/dev/null 2>&1 && break; sleep 0.2; done
+	./bin/condor-loadgen -target http://127.0.0.1:8790 -rate 100 -duration 3s \
+		-deadline-ms 500 -high-frac 0.5 -json loadgen.json
+	grep -q '^  "errors": 0' loadgen.json
+	curl -fs http://127.0.0.1:8790/metricsz | grep -q '^condor_fleet_requests_total'
+	kill $$(cat .node1.pid .node2.pid .fleet.pid); rm -f .node1.pid .node2.pid .fleet.pid
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,12 +1,21 @@
-// Command benchdiff is the CI bench-regression gate: it compares two
-// `condor-bench -json` result files and fails when any benchmark's
-// throughput dropped by more than the allowed fraction against the
-// committed baseline.
+// Command benchdiff is the CI bench-regression gate: it compares two result
+// files and fails when any metric moved in its bad direction by more than
+// the allowed fraction against the committed baseline. It understands two
+// shapes, detected from the JSON itself:
+//
+//   - condor-bench output ({"benchmarks": [...]}): per-benchmark img/s
+//     throughput, where lower is a regression;
+//   - condor-loadgen output ("kind": "condor-loadgen" or
+//     "condor-loadgen-sweep"): goodput and latency quantiles per offered
+//     load, where goodput falling or latency/shed/errors rising regresses.
 //
 // Usage:
 //
 //	condor-bench -json BENCH_fabric.json
 //	benchdiff -baseline BENCH_baseline.json -current BENCH_fabric.json -max-regression 0.25
+//
+//	condor-loadgen -rates 100,200 -json sweep.json
+//	benchdiff -baseline sweep_baseline.json -current sweep.json
 //
 // The gate is deliberately loose (default 25%): shared CI runners are noisy,
 // and the gate exists to catch algorithmic regressions — an accidental
@@ -17,8 +26,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
+
+	"condor/internal/loadgen"
 )
 
 // benchResult mirrors one row of the condor-bench JSON schema.
@@ -29,84 +41,149 @@ type benchResult struct {
 	ImgPerS float64 `json:"img_per_s"`
 }
 
-type benchFile struct {
-	Benchmarks []benchResult `json:"benchmarks"`
+// metricRow is the common currency both file shapes reduce to: one named
+// figure plus the direction in which it gets worse.
+type metricRow struct {
+	Name        string
+	Value       float64
+	Unit        string
+	LowerBetter bool // latency, sheds, errors; false for throughput
 }
 
-// verdict is the comparison outcome for one baseline benchmark.
+type resultFile struct {
+	Rows []metricRow
+}
+
+// verdict is the comparison outcome for one baseline metric.
 type verdict struct {
-	Name      string
-	Baseline  float64 // img/s
-	Current   float64 // img/s
-	Delta     float64 // fractional throughput change; negative is slower
-	Regressed bool
+	Name        string
+	Unit        string
+	Baseline    float64
+	Current     float64
+	Delta       float64 // fractional change; sign interpreted via LowerBetter
+	LowerBetter bool
+	Regressed   bool
 }
 
-// compare checks every baseline benchmark against the current run. A
-// benchmark missing from the current file is collected into the missing list
-// — every absence is named, the rest of the comparison still runs, and the
-// caller decides whether the gate fails (a renamed bench leg must not dodge
-// the gate silently). Benchmarks only in the current file are ignored (new
-// benchmarks need a baseline refresh, not a failure).
-func compare(baseline, current benchFile, maxRegression float64) ([]verdict, []string, error) {
-	cur := make(map[string]benchResult, len(current.Benchmarks))
-	for _, b := range current.Benchmarks {
-		cur[b.Name] = b
+// compare checks every baseline metric against the current run. A metric
+// missing from the current file is collected into the missing list — every
+// absence is named, the rest of the comparison still runs, and the caller
+// decides whether the gate fails (a renamed bench leg must not dodge the
+// gate silently). Metrics only in the current file are ignored (new
+// metrics need a baseline refresh, not a failure).
+func compare(baseline, current resultFile, maxRegression float64) ([]verdict, []string, error) {
+	cur := make(map[string]metricRow, len(current.Rows))
+	for _, r := range current.Rows {
+		cur[r.Name] = r
 	}
-	out := make([]verdict, 0, len(baseline.Benchmarks))
+	out := make([]verdict, 0, len(baseline.Rows))
 	var missing []string
-	for _, base := range baseline.Benchmarks {
+	for _, base := range baseline.Rows {
 		c, ok := cur[base.Name]
 		if !ok {
 			missing = append(missing, base.Name)
 			continue
 		}
-		if base.ImgPerS <= 0 {
-			return nil, nil, fmt.Errorf("baseline benchmark %q has non-positive throughput %v", base.Name, base.ImgPerS)
+		v := verdict{
+			Name: base.Name, Unit: base.Unit,
+			Baseline: base.Value, Current: c.Value, LowerBetter: base.LowerBetter,
 		}
-		delta := c.ImgPerS/base.ImgPerS - 1
-		out = append(out, verdict{
-			Name:      base.Name,
-			Baseline:  base.ImgPerS,
-			Current:   c.ImgPerS,
-			Delta:     delta,
-			Regressed: delta < -maxRegression,
-		})
+		switch {
+		case base.Value > 0:
+			v.Delta = c.Value/base.Value - 1
+			if base.LowerBetter {
+				v.Regressed = v.Delta > maxRegression
+			} else {
+				v.Regressed = v.Delta < -maxRegression
+			}
+		case base.LowerBetter:
+			// A zero baseline for sheds/errors/latency means "was clean":
+			// staying at zero is fine, any appearance is a regression.
+			if c.Value > 0 {
+				v.Delta = math.Inf(1)
+				v.Regressed = true
+			}
+		default:
+			return nil, nil, fmt.Errorf("baseline metric %q has non-positive value %v", base.Name, base.Value)
+		}
+		out = append(out, v)
 	}
 	return out, missing, nil
 }
 
-func readBenchFile(path string) (benchFile, error) {
+// loadgenRows flattens one loadgen report into gate metrics, namespaced by
+// the offered load so sweep points don't collide.
+func loadgenRows(rep *loadgen.Report) []metricRow {
+	prefix := fmt.Sprintf("loadgen@%grps/", rep.OfferedRPS)
+	return []metricRow{
+		{Name: prefix + "goodput_rps", Value: rep.GoodputRPS, Unit: "req/s"},
+		{Name: prefix + "p50_ms", Value: rep.Latency.P50, Unit: "ms", LowerBetter: true},
+		{Name: prefix + "p95_ms", Value: rep.Latency.P95, Unit: "ms", LowerBetter: true},
+		{Name: prefix + "p99_ms", Value: rep.Latency.P99, Unit: "ms", LowerBetter: true},
+		{Name: prefix + "deadline_miss", Value: float64(rep.DeadlineMiss), Unit: "req", LowerBetter: true},
+		{Name: prefix + "shed", Value: float64(rep.Shed), Unit: "req", LowerBetter: true},
+		{Name: prefix + "errors", Value: float64(rep.Errors), Unit: "req", LowerBetter: true},
+	}
+}
+
+// readResults loads either file shape, sniffing the kind tag.
+func readResults(path string) (resultFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return benchFile{}, err
+		return resultFile{}, err
 	}
-	var f benchFile
-	if err := json.Unmarshal(data, &f); err != nil {
-		return benchFile{}, fmt.Errorf("%s: %w", path, err)
+	var probe struct {
+		Kind       string        `json:"kind"`
+		Benchmarks []benchResult `json:"benchmarks"`
 	}
-	if len(f.Benchmarks) == 0 {
-		return benchFile{}, fmt.Errorf("%s: no benchmarks", path)
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return resultFile{}, fmt.Errorf("%s: %w", path, err)
+	}
+	var f resultFile
+	switch probe.Kind {
+	case loadgen.ReportKind:
+		var rep loadgen.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return resultFile{}, fmt.Errorf("%s: %w", path, err)
+		}
+		f.Rows = loadgenRows(&rep)
+	case loadgen.SweepKind:
+		var sweep loadgen.Sweep
+		if err := json.Unmarshal(data, &sweep); err != nil {
+			return resultFile{}, fmt.Errorf("%s: %w", path, err)
+		}
+		for _, rep := range sweep.Runs {
+			f.Rows = append(f.Rows, loadgenRows(rep)...)
+		}
+	case "":
+		for _, b := range probe.Benchmarks {
+			f.Rows = append(f.Rows, metricRow{Name: b.Name, Value: b.ImgPerS, Unit: "img/s"})
+		}
+	default:
+		return resultFile{}, fmt.Errorf("%s: unknown result kind %q", path, probe.Kind)
+	}
+	if len(f.Rows) == 0 {
+		return resultFile{}, fmt.Errorf("%s: no metrics", path)
 	}
 	return f, nil
 }
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline results")
-	currentPath := flag.String("current", "BENCH_fabric.json", "fresh condor-bench -json results")
-	maxRegression := flag.Float64("max-regression", 0.25, "largest tolerated fractional throughput drop")
-	allowMissing := flag.Bool("allow-missing", false, "warn (instead of fail) when a baseline benchmark is absent from the current run")
+	currentPath := flag.String("current", "BENCH_fabric.json", "fresh condor-bench -json or condor-loadgen -json results")
+	maxRegression := flag.Float64("max-regression", 0.25, "largest tolerated fractional move in a metric's bad direction")
+	allowMissing := flag.Bool("allow-missing", false, "warn (instead of fail) when a baseline metric is absent from the current run")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
-	baseline, err := readBenchFile(*baselinePath)
+	baseline, err := readResults(*baselinePath)
 	if err != nil {
 		fail(err)
 	}
-	current, err := readBenchFile(*currentPath)
+	current, err := readResults(*currentPath)
 	if err != nil {
 		fail(err)
 	}
@@ -115,18 +192,18 @@ func main() {
 		fail(err)
 	}
 	for _, name := range missing {
-		fmt.Fprintf(os.Stderr, "benchdiff: warning: benchmark %q is in the baseline but missing from the current run (renamed or dropped?)\n", name)
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: metric %q is in the baseline but missing from the current run (renamed or dropped?)\n", name)
 	}
 
 	regressions := 0
-	fmt.Printf("%-40s %14s %14s %9s\n", "benchmark", "baseline img/s", "current img/s", "delta")
+	fmt.Printf("%-40s %8s %14s %14s %9s\n", "metric", "unit", "baseline", "current", "delta")
 	for _, v := range verdicts {
 		mark := ""
 		if v.Regressed {
 			mark = "  << REGRESSION"
 			regressions++
 		}
-		fmt.Printf("%-40s %14.1f %14.1f %8.1f%%%s\n", v.Name, v.Baseline, v.Current, 100*v.Delta, mark)
+		fmt.Printf("%-40s %8s %14.2f %14.2f %8.1f%%%s\n", v.Name, v.Unit, v.Baseline, v.Current, 100*v.Delta, mark)
 	}
 	if regressions > 0 {
 		// Name each offender with its delta so the CI failure line is
@@ -134,18 +211,18 @@ func main() {
 		detail := ""
 		for _, v := range verdicts {
 			if v.Regressed {
-				detail += fmt.Sprintf("\n  %s: %.1f -> %.1f img/s (%.1f%%)", v.Name, v.Baseline, v.Current, 100*v.Delta)
+				detail += fmt.Sprintf("\n  %s: %.2f -> %.2f %s (%.1f%%)", v.Name, v.Baseline, v.Current, v.Unit, 100*v.Delta)
 			}
 		}
-		fail(fmt.Errorf("%d of %d benchmarks regressed more than %.0f%% vs %s%s",
+		fail(fmt.Errorf("%d of %d metrics regressed more than %.0f%% vs %s%s",
 			regressions, len(verdicts), 100**maxRegression, *baselinePath, detail))
 	}
 	if len(missing) > 0 && !*allowMissing {
 		// Absent legs fail the gate by default: a renamed benchmark would
 		// otherwise retire its own baseline and dodge the comparison. Pass
 		// -allow-missing while a rename lands, then refresh the baseline.
-		fail(fmt.Errorf("%d baseline benchmark(s) missing from the current run: %s (rename the leg in the baseline or pass -allow-missing)",
+		fail(fmt.Errorf("%d baseline metric(s) missing from the current run: %s (rename the leg in the baseline or pass -allow-missing)",
 			len(missing), strings.Join(missing, ", ")))
 	}
-	fmt.Printf("ok: %d benchmarks within %.0f%% of baseline\n", len(verdicts), 100**maxRegression)
+	fmt.Printf("ok: %d metrics within %.0f%% of baseline\n", len(verdicts), 100**maxRegression)
 }

@@ -1,10 +1,22 @@
 package main
 
 import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"condor/internal/loadgen"
 )
 
-func file(results ...benchResult) benchFile { return benchFile{Benchmarks: results} }
+func file(results ...benchResult) resultFile {
+	var f resultFile
+	for _, b := range results {
+		f.Rows = append(f.Rows, metricRow{Name: b.Name, Value: b.ImgPerS, Unit: "img/s"})
+	}
+	return f
+}
 
 func TestCompareAtBaseline(t *testing.T) {
 	base := file(
@@ -98,5 +110,127 @@ func TestCompareMissingBenchmark(t *testing.T) {
 	}
 	if verdicts[0].Regressed {
 		t.Errorf("surviving benchmark wrongly regressed: %+v", verdicts[0])
+	}
+}
+
+func TestCompareLowerBetterDirections(t *testing.T) {
+	rows := func(p99, goodput, shed float64) resultFile {
+		return resultFile{Rows: []metricRow{
+			{Name: "p99_ms", Value: p99, Unit: "ms", LowerBetter: true},
+			{Name: "goodput_rps", Value: goodput, Unit: "req/s"},
+			{Name: "shed", Value: shed, Unit: "req", LowerBetter: true},
+		}}
+	}
+	base := rows(10, 100, 0)
+
+	// Latency improving and goodput rising never regress; shed stays clean.
+	verdicts, _, err := compare(base, rows(5, 200, 0), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verdicts {
+		if v.Regressed {
+			t.Errorf("%s: improvement flagged as regression (%+v)", v.Name, v)
+		}
+	}
+
+	// Latency rising 50% regresses; goodput and shed hold.
+	verdicts, _, err = compare(base, rows(15, 100, 0), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verdicts {
+		if got, want := v.Regressed, v.Name == "p99_ms"; got != want {
+			t.Errorf("%s: Regressed = %v, want %v", v.Name, got, want)
+		}
+	}
+
+	// Sheds appearing against a clean baseline regress, whatever the count.
+	verdicts, _, err = compare(base, rows(10, 100, 3), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verdicts {
+		if v.Name == "shed" {
+			if !v.Regressed || !math.IsInf(v.Delta, 1) {
+				t.Errorf("shed 0 -> 3 not flagged: %+v", v)
+			}
+		} else if v.Regressed {
+			t.Errorf("%s: wrongly regressed (%+v)", v.Name, v)
+		}
+	}
+}
+
+func writeJSON(t *testing.T, name string, doc any) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadResultsShapes(t *testing.T) {
+	benchPath := writeJSON(t, "bench.json", map[string]any{
+		"benchmarks": []benchResult{{Name: "fabric/tc1/b8", ImgPerS: 123}},
+	})
+	got, err := readResults(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 1 || got.Rows[0].Name != "fabric/tc1/b8" || got.Rows[0].LowerBetter {
+		t.Fatalf("bench rows = %+v", got.Rows)
+	}
+
+	rep := &loadgen.Report{
+		Kind: loadgen.ReportKind, OfferedRPS: 200, GoodputRPS: 180,
+		Shed: 7, Latency: loadgen.Quantiles{P50: 3, P95: 8, P99: 12},
+	}
+	single, err := readResults(writeJSON(t, "run.json", rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]metricRow{}
+	for _, r := range single.Rows {
+		byName[r.Name] = r
+	}
+	if g := byName["loadgen@200rps/goodput_rps"]; g.Value != 180 || g.LowerBetter {
+		t.Errorf("goodput row = %+v", g)
+	}
+	if p := byName["loadgen@200rps/p99_ms"]; p.Value != 12 || !p.LowerBetter {
+		t.Errorf("p99 row = %+v", p)
+	}
+	if s := byName["loadgen@200rps/shed"]; s.Value != 7 || !s.LowerBetter {
+		t.Errorf("shed row = %+v", s)
+	}
+
+	sweep := loadgen.Sweep{Kind: loadgen.SweepKind, Runs: []*loadgen.Report{
+		rep,
+		{Kind: loadgen.ReportKind, OfferedRPS: 400, GoodputRPS: 300},
+	}}
+	multi, err := readResults(writeJSON(t, "sweep.json", sweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Rows) != 2*len(single.Rows) {
+		t.Fatalf("sweep rows = %d, want %d", len(multi.Rows), 2*len(single.Rows))
+	}
+	names := map[string]bool{}
+	for _, r := range multi.Rows {
+		names[r.Name] = true
+	}
+	if !names["loadgen@200rps/goodput_rps"] || !names["loadgen@400rps/goodput_rps"] {
+		t.Errorf("sweep points not namespaced by offered load: %v", names)
+	}
+
+	if _, err := readResults(writeJSON(t, "odd.json", map[string]any{"kind": "mystery"})); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := readResults(writeJSON(t, "empty.json", map[string]any{})); err == nil {
+		t.Error("empty file accepted")
 	}
 }

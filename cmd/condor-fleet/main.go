@@ -1,0 +1,191 @@
+// Command condor-fleet is the multi-node front door of the Condor serving
+// tier: it consistent-hashes inference requests by model across a
+// health-checked membership of condor-serve nodes, breaks circuits per
+// node, retries across the replica set, and sheds low-priority load before
+// it causes deadline misses. With -autoscale it also runs the control loop
+// that scales simulated F1 capacity (through an awsmock-style endpoint)
+// against scraped queue depth, utilization and latency.
+//
+// Boot a router and let two nodes register themselves:
+//
+//	condor-fleet -addr 127.0.0.1:8790 &
+//	condor-serve -addr 127.0.0.1:8781 -fleet http://127.0.0.1:8790 &
+//	condor-serve -addr 127.0.0.1:8782 -fleet http://127.0.0.1:8790 &
+//	condor-loadgen -target http://127.0.0.1:8790 -rate 100
+//
+// Or register a pre-started fleet at boot with -nodes:
+//
+//	condor-fleet -addr 127.0.0.1:8790 \
+//	    -nodes http://127.0.0.1:8781,http://127.0.0.1:8782
+//
+// Endpoints:
+//
+//	POST /infer       forwarded inference (X-Condor-Priority, -Deadline-Ms,
+//	                  -Model, -Request-ID honoured; X-Condor-Node on replies)
+//	POST /register    {"url":"http://node"} joins the fleet
+//	POST /deregister  {"url":"http://node"} leaves the fleet
+//	GET  /nodes       membership snapshot
+//	GET  /healthz     router liveness + fleet input shape
+//	GET  /readyz      200 once ≥1 node is routable
+//	GET  /statsz      admission, retry, per-node and autoscaler counters
+//	GET  /metricsz    the same figures in Prometheus text form
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"condor/internal/aws"
+	"condor/internal/fleet"
+	"condor/internal/obs"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8790", "HTTP listen address")
+		nodes       = flag.String("nodes", "", "comma-separated node URLs to register at boot")
+		model       = flag.String("model", "default", "default consistent-hash key for unlabelled requests")
+		replicas    = flag.Int("replicas", 3, "replica-set size per model key")
+		maxInflight = flag.Int("max-inflight", 256, "router-wide inflight bound (429 beyond it)")
+		lowFrac     = flag.Float64("low-frac", 0.5, "share of inflight budget low-priority traffic may use")
+		retries     = flag.Int("retries", 2, "failover attempts beyond the first replica")
+		fwdTimeout  = flag.Duration("forward-timeout", 10*time.Second, "per-attempt forwarding bound")
+		probeEvery  = flag.Duration("probe-interval", 500*time.Millisecond, "/readyz probe period")
+
+		autoscale   = flag.Bool("autoscale", false, "run the capacity control loop")
+		scaleTarget = flag.String("autoscale-endpoint", "", "cloud endpoint (awsmock) the autoscaler launches F1 instances against")
+		instType    = flag.String("instance-type", "f1.2xlarge", "F1 instance type the autoscaler launches")
+		minSlots    = flag.Int("min-slots", 0, "autoscaler floor (slots)")
+		maxSlots    = flag.Int("max-slots", 8, "autoscaler ceiling (slots)")
+		sloMs       = flag.Float64("slo-ms", 0, "p99 latency SLO driving scale-up (0 disables the latency term)")
+		scaleEvery  = flag.Duration("scale-interval", time.Second, "control-loop period")
+		spinUp      = flag.Duration("spin-up", 30*time.Second, "modeled F1 launch → ready latency")
+	)
+	flag.Parse()
+
+	if err := run(routerOptions{
+		addr: *addr, nodes: *nodes, model: *model,
+		replicas: *replicas, maxInflight: *maxInflight, lowFrac: *lowFrac,
+		retries: *retries, fwdTimeout: *fwdTimeout, probeEvery: *probeEvery,
+		autoscale: *autoscale, scaleEndpoint: *scaleTarget, instType: *instType,
+		minSlots: *minSlots, maxSlots: *maxSlots, sloMs: *sloMs,
+		scaleEvery: *scaleEvery, spinUp: *spinUp,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "condor-fleet:", err)
+		os.Exit(1)
+	}
+}
+
+type routerOptions struct {
+	addr, nodes, model string
+	replicas           int
+	maxInflight        int
+	lowFrac            float64
+	retries            int
+	fwdTimeout         time.Duration
+	probeEvery         time.Duration
+
+	autoscale     bool
+	scaleEndpoint string
+	instType      string
+	minSlots      int
+	maxSlots      int
+	sloMs         float64
+	scaleEvery    time.Duration
+	spinUp        time.Duration
+}
+
+func run(o routerOptions) error {
+	logf := func(format string, a ...any) { fmt.Printf("[fleet] "+format+"\n", a...) }
+	rt := fleet.NewRouter(fleet.RouterConfig{
+		Model:               o.model,
+		ReplicationFactor:   o.replicas,
+		MaxInflight:         o.maxInflight,
+		LowPriorityFraction: o.lowFrac,
+		Retries:             o.retries,
+		ForwardTimeout:      o.fwdTimeout,
+		Membership: fleet.MembershipConfig{
+			ProbeInterval: o.probeEvery,
+			Logf:          logf,
+		},
+		Logf: logf,
+	})
+
+	if o.autoscale {
+		if o.scaleEndpoint == "" {
+			return fmt.Errorf("-autoscale requires -autoscale-endpoint (e.g. a running awsmock)")
+		}
+		model, err := aws.NewFleetModel(aws.FleetModelConfig{
+			InstanceType: o.instType,
+			SpinUp:       o.spinUp,
+			Logf:         logf,
+		}, aws.NewClient(o.scaleEndpoint, aws.LicenseFromAMI()))
+		if err != nil {
+			return err
+		}
+		scraper := fleet.NewMetricsScraper(rt.Membership())
+		rt.AttachAutoscaler(fleet.NewAutoscaler(fleet.AutoscalerConfig{
+			Interval:    o.scaleEvery,
+			MinSlots:    o.minSlots,
+			MaxSlots:    o.maxSlots,
+			SLOTargetMs: o.sloMs,
+			Logf:        logf,
+		}, scraper.Scrape, model))
+		logf("autoscaler on: %s against %s, %d..%d slots, spin-up %v",
+			o.instType, o.scaleEndpoint, o.minSlots, o.maxSlots, o.spinUp)
+	}
+
+	rt.Start()
+	defer rt.Close()
+
+	for _, url := range strings.Split(o.nodes, ",") {
+		url = strings.TrimSpace(url)
+		if url == "" {
+			continue
+		}
+		if _, err := rt.Membership().Register(url); err != nil {
+			return fmt.Errorf("register %s: %w", url, err)
+		}
+		logf("registered boot node %s", url)
+	}
+
+	reg := obs.NewRegistry()
+	fleet.RegisterMetrics(reg, rt)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", rt.Handler())
+	mux.Handle("/metricsz", reg.Handler())
+	httpSrv := &http.Server{
+		Addr:              o.addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logf("routing on http://%s (model %q, replicas %d, max inflight %d)",
+		o.addr, o.model, o.replicas, o.maxInflight)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		logf("%v: shutting down", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	st := rt.Stats()
+	logf("done: high %+v low %+v retries %d", st.Classes["high"], st.Classes["low"], st.Retries)
+	return nil
+}

@@ -13,10 +13,19 @@
 // Endpoints:
 //
 //	POST /infer   {"image":[...]}  single NCHW image, row-major float32
-//	GET  /healthz                  readiness + accepted input shape
+//	GET  /healthz                  liveness + accepted input shape
+//	GET  /readyz                   readiness: 503 while the pool is still
+//	                               warming and again once draining begins
 //	GET  /statsz                   queue depth, batch histogram, utilization
 //	GET  /metricsz                 the same figures in Prometheus text form,
 //	                               plus per-device and cloud-client counters
+//
+// The listener comes up before the backend pool builds, answering /healthz
+// (liveness) immediately while /readyz stays 503 — a fleet router admits the
+// node only once the pool is warm. With -fleet the node registers itself
+// with a condor-fleet router when ready and deregisters on drain:
+//
+//	condor-serve -addr 127.0.0.1:8781 -fleet http://127.0.0.1:8790
 //
 // The probe mode drives one round against a running server and exits
 // non-zero on failure (the CI smoke test):
@@ -30,10 +39,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -61,6 +72,9 @@ func main() {
 		queueDepth  = flag.Int("queue", 64, "admission queue bound (backpressure beyond it)")
 		reqTimeout  = flag.Duration("request-timeout", 2*time.Second, "per-request serving deadline")
 		probe       = flag.String("probe", "", "probe a running condor-serve at this URL and exit")
+		fleetURL    = flag.String("fleet", "", "condor-fleet router to register with once ready (empty disables)")
+		advertise   = flag.String("advertise", "", "URL the router reaches this node at (default http://<addr>)")
+		traceReq    = flag.String("trace-requests", "", "write a Chrome trace of per-request spans here on shutdown")
 		pprofOn     = flag.Bool("pprof", false, "expose Go profiling under /debug/pprof (opt-in; do not enable on untrusted networks)")
 	)
 	flag.Parse()
@@ -73,11 +87,40 @@ func main() {
 		fmt.Println("probe ok")
 		return
 	}
-	if err := run(*addr, *model, *local, *localBoard, *cus, *endpoint, *bucket, *instType,
-		*slots, *maxBatch, *batchWindow, *queueDepth, *reqTimeout, *pprofOn); err != nil {
+	opts := serveOptions{
+		addr: *addr, model: *model,
+		local: *local, localBoard: *localBoard, cus: *cus,
+		endpoint: *endpoint, bucket: *bucket, instType: *instType, slots: *slots,
+		maxBatch: *maxBatch, batchWindow: *batchWindow, queueDepth: *queueDepth,
+		reqTimeout: *reqTimeout,
+		fleetURL:   *fleetURL, advertise: *advertise, tracePath: *traceReq,
+		pprofOn: *pprofOn,
+	}
+	if opts.advertise == "" {
+		opts.advertise = "http://" + opts.addr
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "condor-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// serveOptions carries the resolved flag set into run.
+type serveOptions struct {
+	addr, model         string
+	local               int
+	localBoard          string
+	cus                 int
+	endpoint, bucket    string
+	instType            string
+	slots               int
+	maxBatch            int
+	batchWindow         time.Duration
+	queueDepth          int
+	reqTimeout          time.Duration
+	fleetURL, advertise string
+	tracePath           string
+	pprofOn             bool
 }
 
 func modelIR(model string) (*condorir.Network, *condorir.WeightSet, error) {
@@ -91,11 +134,62 @@ func modelIR(model string) (*condorir.Network, *condorir.WeightSet, error) {
 	}
 }
 
-func run(addr, model string, local int, localBoard string, cus int, endpoint, bucket, instType string,
-	slots, maxBatch int, batchWindow time.Duration, queueDepth int, reqTimeout time.Duration, pprofOn bool) error {
-	if local <= 0 && endpoint == "" {
+// swapHandler atomically replaces its delegate, so the listener can come up
+// with a warming handler and swap in the real mux once the pool is built.
+type swapHandler struct{ h atomic.Value }
+
+func (s *swapHandler) set(h http.Handler) { s.h.Store(h) }
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// warmingHandler answers while the backend pool is still building: liveness
+// succeeds (the process is up), readiness refuses (no capacity yet) — the
+// split a fleet router needs to avoid routing to a cold node.
+func warmingHandler(input serve.InputShape) http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(v) //nolint:errcheck
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, serve.HealthResponse{Status: "warming", Input: input})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Error string `json:"error"`
+		}{"warming: backend pool is still building"})
+	})
+	return mux
+}
+
+func run(o serveOptions) error {
+	if o.local <= 0 && o.endpoint == "" {
 		return fmt.Errorf("nothing to serve: need -local > 0 and/or -endpoint")
 	}
+	// The input geometry is known from the catalogue before any backend
+	// exists; the warming handler advertises it so probes can pre-build
+	// request bodies.
+	ir, _, err := modelIR(o.model)
+	if err != nil {
+		return err
+	}
+	input := serve.InputShape{Channels: ir.Input.Channels, Height: ir.Input.Height, Width: ir.Input.Width}
+
+	// Listen before building the pool: liveness is immediate, readiness
+	// arrives with the swap below.
+	swap := &swapHandler{}
+	swap.set(warmingHandler(input))
+	httpSrv := &http.Server{
+		Addr:              o.addr,
+		Handler:           swap,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("listening on http://%s (warming: pool build in progress)\n", o.addr)
+
 	f := &condor.Framework{Logf: func(format string, a ...any) {
 		fmt.Printf("[condor] "+format+"\n", a...)
 	}}
@@ -104,29 +198,29 @@ func run(addr, model string, local int, localBoard string, cus int, endpoint, bu
 
 	// Local boards: one build for the on-premise board, one deployment per
 	// device.
-	if local > 0 {
-		ir, ws, err := modelIR(model)
+	if o.local > 0 {
+		ir, ws, err := modelIR(o.model)
 		if err != nil {
 			return err
 		}
-		build, err := f.BuildAccelerator(condor.Input{IR: ir, Weights: ws, Board: localBoard})
+		build, err := f.BuildAccelerator(condor.Input{IR: ir, Weights: ws, Board: o.localBoard})
 		if err != nil {
 			return fmt.Errorf("local build: %w", err)
 		}
-		for i := 0; i < local; i++ {
-			dep, err := f.DeployLocalCUs(build, cus)
+		for i := 0; i < o.local; i++ {
+			dep, err := f.DeployLocalCUs(build, o.cus)
 			if err != nil {
 				return fmt.Errorf("local deployment %d: %w", i, err)
 			}
-			if cus > 1 {
+			if o.cus > 1 {
 				// Each replicated kernel instance joins the pool as its own
 				// backend, so the scheduler keeps cus batches in flight per card.
 				for _, cb := range dep.CUBackends() {
-					fmt.Printf("backend pool += local board %s (%s)\n", cb.ID(), localBoard)
+					fmt.Printf("backend pool += local board %s (%s)\n", cb.ID(), o.localBoard)
 					pool = append(pool, cb)
 				}
 			} else {
-				fmt.Printf("backend pool += local board %s (%s)\n", dep.ID(), localBoard)
+				fmt.Printf("backend pool += local board %s (%s)\n", dep.ID(), o.localBoard)
 				pool = append(pool, dep)
 			}
 		}
@@ -134,8 +228,8 @@ func run(addr, model string, local int, localBoard string, cus int, endpoint, bu
 
 	// Cloud slots: a separate F1 build goes through S3 → AFI → instance,
 	// then every programmed slot joins the pool as its own backend.
-	if endpoint != "" {
-		ir, ws, err := modelIR(model)
+	if o.endpoint != "" {
+		ir, ws, err := modelIR(o.model)
 		if err != nil {
 			return err
 		}
@@ -144,8 +238,8 @@ func run(addr, model string, local int, localBoard string, cus int, endpoint, bu
 			return fmt.Errorf("cloud build: %w", err)
 		}
 		dep, err := f.DeployCloud(build, condor.CloudConfig{
-			Endpoint: endpoint, License: aws.LicenseFromAMI(),
-			Bucket: bucket, InstanceType: instType, Slots: slots,
+			Endpoint: o.endpoint, License: aws.LicenseFromAMI(),
+			Bucket: o.bucket, InstanceType: o.instType, Slots: o.slots,
 		})
 		if err != nil {
 			return fmt.Errorf("cloud deployment: %w", err)
@@ -159,21 +253,13 @@ func run(addr, model string, local int, localBoard string, cus int, endpoint, bu
 
 	srv, err := serve.New(serve.Config{
 		Backends:    pool,
-		MaxBatch:    maxBatch,
-		BatchWindow: batchWindow,
-		QueueDepth:  queueDepth,
+		MaxBatch:    o.maxBatch,
+		BatchWindow: o.batchWindow,
+		QueueDepth:  o.queueDepth,
 	})
 	if err != nil {
 		return err
 	}
-
-	// Every pool member serves the same network, so the HTTP tier validates
-	// requests against the model's input geometry.
-	ir, _, err := modelIR(model)
-	if err != nil {
-		return err
-	}
-	input := serve.InputShape{Channels: ir.Input.Channels, Height: ir.Input.Height, Width: ir.Input.Width}
 
 	// Prometheus exposition: the serving pipeline's figures plus the
 	// per-device execution counters and cloud-client retry accounting of
@@ -182,10 +268,17 @@ func run(addr, model string, local int, localBoard string, cus int, endpoint, bu
 	serve.RegisterMetrics(reg, srv)
 	condor.RegisterDeploymentMetrics(reg, pool...)
 
+	var handlerOpts []serve.HandlerOption
+	var trace *obs.Trace
+	if o.tracePath != "" {
+		trace = obs.NewTrace()
+		handlerOpts = append(handlerOpts, serve.WithRequestTracer(trace))
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle("/", serve.NewHandler(srv, input, reqTimeout))
+	mux.Handle("/", serve.NewHandler(srv, input, o.reqTimeout, handlerOpts...))
 	mux.Handle("/metricsz", reg.Handler())
-	if pprofOn {
+	if o.pprofOn {
 		// The profiling endpoints are registered explicitly (the server does
 		// not use http.DefaultServeMux, so the net/http/pprof side-effect
 		// import alone would expose nothing).
@@ -194,18 +287,21 @@ func run(addr, model string, local int, localBoard string, cus int, endpoint, bu
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		fmt.Printf("pprof enabled on http://%s/debug/pprof/\n", addr)
+		fmt.Printf("pprof enabled on http://%s/debug/pprof/\n", o.addr)
 	}
-	var handler http.Handler = mux
-	httpSrv := &http.Server{
-		Addr:              addr,
-		Handler:           handler,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
+	swap.set(mux)
 	fmt.Printf("serving %s on http://%s with %d backends (max batch %d, window %v, queue %d)\n",
-		model, addr, len(pool), maxBatch, batchWindow, queueDepth)
+		o.model, o.addr, len(pool), o.maxBatch, o.batchWindow, o.queueDepth)
+
+	// Fleet membership: announce readiness to the router, and make the
+	// departure explicit before draining so the ring stops routing here
+	// without waiting for probe eviction.
+	if o.fleetURL != "" {
+		if err := fleetRegistration(o.fleetURL, "/register", o.advertise); err != nil {
+			return fmt.Errorf("fleet registration: %w", err)
+		}
+		fmt.Printf("registered with fleet router %s as %s\n", o.fleetURL, o.advertise)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -214,6 +310,13 @@ func run(addr, model string, local int, localBoard string, cus int, endpoint, bu
 		return err
 	case s := <-sig:
 		fmt.Printf("\n%v: draining in-flight requests\n", s)
+	}
+	if o.fleetURL != "" {
+		if err := fleetRegistration(o.fleetURL, "/deregister", o.advertise); err != nil {
+			fmt.Printf("fleet deregistration failed (continuing drain): %v\n", err)
+		} else {
+			fmt.Printf("deregistered from fleet router %s\n", o.fleetURL)
+		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -226,7 +329,47 @@ func run(addr, model string, local int, localBoard string, cus int, endpoint, bu
 	st := srv.Stats()
 	fmt.Printf("drained: %d completed, %d rejected, %d expired, %d failed across %d batches\n",
 		st.Completed, st.Rejected, st.Expired, st.Failed, st.Batches)
+	if trace != nil {
+		if err := writeTrace(trace, o.tracePath); err != nil {
+			return fmt.Errorf("write request trace: %w", err)
+		}
+		fmt.Printf("request trace written to %s\n", o.tracePath)
+	}
 	return nil
+}
+
+// fleetRegistration POSTs this node's advertised URL to the router.
+func fleetRegistration(router, path, advertise string) error {
+	body, err := json.Marshal(struct {
+		URL string `json:"url"`
+	}{advertise})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Post(router+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s returned %s: %s", router+path, resp.Status, msg)
+	}
+	return nil
+}
+
+// writeTrace exports the per-request spans as a Chrome trace file.
+func writeTrace(trace *obs.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runProbe exercises a running server once: health, one inference, stats.

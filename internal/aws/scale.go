@@ -1,0 +1,252 @@
+package aws
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// On-demand hourly prices for F1 instance types (us-east-1 list prices).
+// The fleet model bills against these so autoscaling decisions carry a
+// visible dollar figure, the way the paper's cloud-integration story prices
+// FPGA capacity.
+var f1HourlyCostUSD = map[string]float64{
+	"f1.2xlarge":  1.65,
+	"f1.4xlarge":  3.30,
+	"f1.16xlarge": 13.20,
+}
+
+// SlotsForInstanceType returns how many FPGA slots an F1 instance type
+// carries, false for unknown types.
+func SlotsForInstanceType(instanceType string) (int, bool) {
+	n, ok := f1SlotCounts[instanceType]
+	return n, ok
+}
+
+// HourlyCostForInstanceType returns the modeled on-demand price, false for
+// unknown types.
+func HourlyCostForInstanceType(instanceType string) (float64, bool) {
+	c, ok := f1HourlyCostUSD[instanceType]
+	return c, ok
+}
+
+// Launcher is the slice of Client the fleet model drives; *Client satisfies
+// it against a live (or mock) endpoint, tests substitute a fake.
+type Launcher interface {
+	RunInstance(instanceType string) (*Instance, error)
+	TerminateInstance(id string) error
+}
+
+// FleetModelConfig sizes the simulated F1 fleet.
+type FleetModelConfig struct {
+	// InstanceType is what scale-ups launch (default f1.2xlarge).
+	InstanceType string
+	// SpinUp models the launch → usable delay of a real F1 instance: a
+	// freshly launched instance counts as pending capacity until it elapses
+	// (default 30s; F1 boot + AFI load is minutes in production, tests and
+	// demos shrink it).
+	SpinUp time.Duration
+	// Now is the clock (default time.Now); injectable so tests advance
+	// spin-up and billing without sleeping.
+	Now func() time.Time
+	// Logf receives launch/terminate decisions; nil discards them.
+	Logf func(format string, a ...any)
+}
+
+func (c *FleetModelConfig) applyDefaults() {
+	if c.InstanceType == "" {
+		c.InstanceType = "f1.2xlarge"
+	}
+	if c.SpinUp <= 0 {
+		c.SpinUp = 30 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// fleetInstance is one launched instance in the model.
+type fleetInstance struct {
+	id      string
+	slots   int
+	readyAt time.Time
+}
+
+// FleetInstanceInfo is the JSON snapshot of one modeled instance.
+type FleetInstanceInfo struct {
+	ID      string    `json:"id"`
+	Slots   int       `json:"slots"`
+	Ready   bool      `json:"ready"`
+	ReadyAt time.Time `json:"ready_at"`
+}
+
+// FleetModel is the autoscaler's ScaleTarget: it turns a desired slot count
+// into RunInstance/TerminateInstance calls against the cloud endpoint while
+// modeling what the API cannot express — spin-up latency (new capacity is
+// pending, not ready, until SpinUp elapses) and accumulated per-hour cost.
+// Scale-downs prefer instances that are still pending, so a flapping
+// autoscaler cancels capacity it never paid spin-up for before touching
+// warm instances.
+type FleetModel struct {
+	cfg      FleetModelConfig
+	launcher Launcher
+
+	mu          sync.Mutex
+	desired     int
+	instances   []*fleetInstance
+	costUSD     float64
+	lastAccrual time.Time
+	launches    int
+	terminates  int
+}
+
+// NewFleetModel wires the model to a launcher.
+func NewFleetModel(cfg FleetModelConfig, launcher Launcher) (*FleetModel, error) {
+	cfg.applyDefaults()
+	if _, ok := f1SlotCounts[cfg.InstanceType]; !ok {
+		return nil, fmt.Errorf("aws: %q is not an F1 instance type", cfg.InstanceType)
+	}
+	return &FleetModel{
+		cfg:         cfg,
+		launcher:    launcher,
+		lastAccrual: cfg.Now(),
+	}, nil
+}
+
+// accrue bills every launched instance from the last accrual to now. Billing
+// starts at launch, not readiness — spin-up time costs money, which is
+// exactly why the autoscaler's hysteresis matters. Called with f.mu held.
+func (f *FleetModel) accrue() {
+	now := f.cfg.Now()
+	hours := now.Sub(f.lastAccrual).Hours()
+	if hours > 0 {
+		rate := f1HourlyCostUSD[f.cfg.InstanceType]
+		perInstance := rate * hours
+		f.costUSD += perInstance * float64(len(f.instances))
+	}
+	f.lastAccrual = now
+}
+
+// SetDesiredSlots launches or terminates instances until the fleet covers n
+// slots. Partial progress is kept on launcher errors.
+func (f *FleetModel) SetDesiredSlots(n int) error {
+	if n < 0 {
+		n = 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.accrue()
+	f.desired = n
+
+	perInstance := f1SlotCounts[f.cfg.InstanceType]
+	total := 0
+	for _, inst := range f.instances {
+		total += inst.slots
+	}
+
+	for total < n {
+		inst, err := f.launcher.RunInstance(f.cfg.InstanceType)
+		if err != nil {
+			return fmt.Errorf("aws: fleet scale-up: %w", err)
+		}
+		f.instances = append(f.instances, &fleetInstance{
+			id:      inst.InstanceID,
+			slots:   inst.Slots,
+			readyAt: f.cfg.Now().Add(f.cfg.SpinUp),
+		})
+		f.launches++
+		total += inst.Slots
+		f.cfg.Logf("aws: fleet launched %s (%s, %d slot(s), ready in %v)",
+			inst.InstanceID, f.cfg.InstanceType, inst.Slots, f.cfg.SpinUp)
+	}
+
+	// Terminate youngest-first (pending before warm): sorting by readyAt
+	// descending puts never-ready capacity at the front of the chopping
+	// block.
+	sort.SliceStable(f.instances, func(i, j int) bool {
+		return f.instances[i].readyAt.After(f.instances[j].readyAt)
+	})
+	for len(f.instances) > 0 && total-perInstance >= n {
+		victim := f.instances[0]
+		if err := f.launcher.TerminateInstance(victim.id); err != nil {
+			return fmt.Errorf("aws: fleet scale-down: %w", err)
+		}
+		f.instances = f.instances[1:]
+		f.terminates++
+		total -= victim.slots
+		f.cfg.Logf("aws: fleet terminated %s (%d slot(s) remain)", victim.id, total)
+	}
+	return nil
+}
+
+// ReadySlots is the usable capacity: slots whose spin-up has elapsed.
+func (f *FleetModel) ReadySlots() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.cfg.Now()
+	total := 0
+	for _, inst := range f.instances {
+		if !inst.readyAt.After(now) {
+			total += inst.slots
+		}
+	}
+	return total
+}
+
+// PendingSlots is launched capacity still inside its spin-up window.
+func (f *FleetModel) PendingSlots() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.cfg.Now()
+	total := 0
+	for _, inst := range f.instances {
+		if inst.readyAt.After(now) {
+			total += inst.slots
+		}
+	}
+	return total
+}
+
+// CostUSD is the accumulated modeled spend across the fleet's lifetime,
+// including already-terminated instances.
+func (f *FleetModel) CostUSD() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.accrue()
+	return f.costUSD
+}
+
+// Launches and Terminates report lifetime API call counts.
+func (f *FleetModel) Launches() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.launches
+}
+
+func (f *FleetModel) Terminates() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.terminates
+}
+
+// Instances snapshots the live fleet, sorted by instance id.
+func (f *FleetModel) Instances() []FleetInstanceInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.cfg.Now()
+	out := make([]FleetInstanceInfo, len(f.instances))
+	for i, inst := range f.instances {
+		out[i] = FleetInstanceInfo{
+			ID:      inst.id,
+			Slots:   inst.slots,
+			Ready:   !inst.readyAt.After(now),
+			ReadyAt: inst.readyAt,
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,204 @@
+package aws
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeLauncher counts instance API calls without a cloud endpoint.
+type fakeLauncher struct {
+	next       int
+	running    map[string]bool
+	launches   int
+	terminates int
+	failNext   error
+}
+
+func newFakeLauncher() *fakeLauncher {
+	return &fakeLauncher{running: map[string]bool{}}
+}
+
+func (l *fakeLauncher) RunInstance(instanceType string) (*Instance, error) {
+	if l.failNext != nil {
+		err := l.failNext
+		l.failNext = nil
+		return nil, err
+	}
+	slots, ok := f1SlotCounts[instanceType]
+	if !ok {
+		return nil, fmt.Errorf("bad type %q", instanceType)
+	}
+	l.next++
+	l.launches++
+	id := fmt.Sprintf("i-%05d", l.next)
+	l.running[id] = true
+	return &Instance{InstanceID: id, InstanceType: instanceType, State: "running", Slots: slots}, nil
+}
+
+func (l *fakeLauncher) TerminateInstance(id string) error {
+	if !l.running[id] {
+		return fmt.Errorf("unknown instance %s", id)
+	}
+	delete(l.running, id)
+	l.terminates++
+	return nil
+}
+
+func newTestFleetModel(t *testing.T, instanceType string, spinUp time.Duration) (*FleetModel, *fakeLauncher, *time.Time) {
+	t.Helper()
+	launcher := newFakeLauncher()
+	clock := time.Unix(1700000000, 0)
+	fm, err := NewFleetModel(FleetModelConfig{
+		InstanceType: instanceType,
+		SpinUp:       spinUp,
+		Now:          func() time.Time { return clock },
+	}, launcher)
+	if err != nil {
+		t.Fatalf("NewFleetModel: %v", err)
+	}
+	return fm, launcher, &clock
+}
+
+func TestFleetModelSpinUpLatency(t *testing.T) {
+	fm, launcher, clock := newTestFleetModel(t, "f1.2xlarge", 30*time.Second)
+
+	if err := fm.SetDesiredSlots(3); err != nil {
+		t.Fatal(err)
+	}
+	if launcher.launches != 3 {
+		t.Fatalf("launches = %d, want 3", launcher.launches)
+	}
+	// Fresh capacity is pending, not ready: the spin-up window models the
+	// F1 boot + AFI load delay.
+	if r, p := fm.ReadySlots(), fm.PendingSlots(); r != 0 || p != 3 {
+		t.Fatalf("ready/pending right after launch = %d/%d, want 0/3", r, p)
+	}
+	*clock = clock.Add(30 * time.Second)
+	if r, p := fm.ReadySlots(), fm.PendingSlots(); r != 3 || p != 0 {
+		t.Fatalf("ready/pending after spin-up = %d/%d, want 3/0", r, p)
+	}
+	// Holding the desired count is idempotent.
+	if err := fm.SetDesiredSlots(3); err != nil {
+		t.Fatal(err)
+	}
+	if launcher.launches != 3 || launcher.terminates != 0 {
+		t.Fatalf("idempotent hold changed the fleet: %d launches %d terminates",
+			launcher.launches, launcher.terminates)
+	}
+}
+
+func TestFleetModelScaleDownPrefersPending(t *testing.T) {
+	fm, launcher, clock := newTestFleetModel(t, "f1.2xlarge", 30*time.Second)
+
+	if err := fm.SetDesiredSlots(2); err != nil {
+		t.Fatal(err)
+	}
+	*clock = clock.Add(time.Minute) // both warm
+	if err := fm.SetDesiredSlots(3); err != nil {
+		t.Fatal(err)
+	}
+	if r, p := fm.ReadySlots(), fm.PendingSlots(); r != 2 || p != 1 {
+		t.Fatalf("ready/pending = %d/%d, want 2/1", r, p)
+	}
+
+	// Scaling back down must cancel the pending instance, keeping the warm
+	// capacity the fleet already waited for.
+	if err := fm.SetDesiredSlots(2); err != nil {
+		t.Fatal(err)
+	}
+	if r, p := fm.ReadySlots(), fm.PendingSlots(); r != 2 || p != 0 {
+		t.Fatalf("ready/pending after scale-down = %d/%d, want 2/0", r, p)
+	}
+	if launcher.terminates != 1 {
+		t.Fatalf("terminates = %d, want 1", launcher.terminates)
+	}
+
+	if err := fm.SetDesiredSlots(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(launcher.running) != 0 {
+		t.Fatalf("%d instances still running after scale to zero", len(launcher.running))
+	}
+}
+
+func TestFleetModelSlotGranularity(t *testing.T) {
+	// f1.4xlarge carries 2 slots: 3 desired slots need 2 instances, and the
+	// fleet must not shed an instance while that would undershoot.
+	fm, launcher, _ := newTestFleetModel(t, "f1.4xlarge", time.Second)
+	if err := fm.SetDesiredSlots(3); err != nil {
+		t.Fatal(err)
+	}
+	if launcher.launches != 2 {
+		t.Fatalf("launches = %d, want 2 (2 slots each)", launcher.launches)
+	}
+	if err := fm.SetDesiredSlots(3); err != nil {
+		t.Fatal(err)
+	}
+	if launcher.terminates != 0 {
+		t.Fatal("holding 3 slots on 2-slot instances shed capacity")
+	}
+	if err := fm.SetDesiredSlots(2); err != nil {
+		t.Fatal(err)
+	}
+	if launcher.terminates != 1 {
+		t.Fatalf("terminates = %d, want 1 after dropping to 2 slots", launcher.terminates)
+	}
+}
+
+func TestFleetModelCostAccrual(t *testing.T) {
+	fm, _, clock := newTestFleetModel(t, "f1.2xlarge", time.Second)
+	if err := fm.SetDesiredSlots(2); err != nil {
+		t.Fatal(err)
+	}
+	*clock = clock.Add(time.Hour)
+	// Two f1.2xlarge at $1.65/h for one hour.
+	if got := fm.CostUSD(); math.Abs(got-3.30) > 1e-9 {
+		t.Fatalf("cost after 1h = %v, want 3.30", got)
+	}
+	// Terminated capacity stops billing but keeps its accumulated spend.
+	if err := fm.SetDesiredSlots(0); err != nil {
+		t.Fatal(err)
+	}
+	*clock = clock.Add(time.Hour)
+	if got := fm.CostUSD(); math.Abs(got-3.30) > 1e-9 {
+		t.Fatalf("cost after scale-to-zero = %v, want 3.30 (no further accrual)", got)
+	}
+}
+
+func TestFleetModelLauncherErrorKeepsPartialProgress(t *testing.T) {
+	fm, launcher, _ := newTestFleetModel(t, "f1.2xlarge", time.Second)
+	if err := fm.SetDesiredSlots(1); err != nil {
+		t.Fatal(err)
+	}
+	launcher.failNext = fmt.Errorf("InsufficientInstanceCapacity")
+	if err := fm.SetDesiredSlots(3); err == nil {
+		t.Fatal("expected launcher error to surface")
+	}
+	// The first instance is retained; a later retry tops the fleet up.
+	if len(launcher.running) != 1 {
+		t.Fatalf("running = %d after failed scale-up, want 1", len(launcher.running))
+	}
+	if err := fm.SetDesiredSlots(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(launcher.running) != 3 {
+		t.Fatalf("running = %d after retry, want 3", len(launcher.running))
+	}
+}
+
+func TestSlotAndCostTables(t *testing.T) {
+	if n, ok := SlotsForInstanceType("f1.16xlarge"); !ok || n != 8 {
+		t.Errorf("SlotsForInstanceType(f1.16xlarge) = %d,%v", n, ok)
+	}
+	if _, ok := SlotsForInstanceType("m5.large"); ok {
+		t.Error("m5.large accepted as F1 type")
+	}
+	if c, ok := HourlyCostForInstanceType("f1.2xlarge"); !ok || c != 1.65 {
+		t.Errorf("HourlyCostForInstanceType(f1.2xlarge) = %v,%v", c, ok)
+	}
+	if _, err := NewFleetModel(FleetModelConfig{InstanceType: "m5.large"}, newFakeLauncher()); err == nil {
+		t.Error("NewFleetModel accepted a non-F1 type")
+	}
+}

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeTarget records SetDesiredSlots calls.
+type fakeTarget struct {
+	desired int
+	calls   []int
+	cost    float64
+}
+
+func (f *fakeTarget) SetDesiredSlots(n int) error {
+	f.desired = n
+	f.calls = append(f.calls, n)
+	return nil
+}
+func (f *fakeTarget) ReadySlots() int   { return f.desired }
+func (f *fakeTarget) PendingSlots() int { return 0 }
+func (f *fakeTarget) CostUSD() float64  { return f.cost }
+
+func pressureScrape(p *float64) func() []NodeMetrics {
+	return func() []NodeMetrics {
+		return []NodeMetrics{{URL: "http://n", QueueDepth: *p * 100, QueueCapacity: 100}}
+	}
+}
+
+func TestAutoscalerScalesUpImmediately(t *testing.T) {
+	target := &fakeTarget{}
+	pressure := 0.9
+	a := NewAutoscaler(AutoscalerConfig{MinSlots: 1, MaxSlots: 4}, pressureScrape(&pressure), target)
+
+	a.Step()
+	if target.desired != 2 {
+		t.Fatalf("desired after one hot step = %d, want 2", target.desired)
+	}
+	// Still hot: keeps stepping up to the clamp, never past it.
+	for i := 0; i < 10; i++ {
+		a.Step()
+	}
+	if target.desired != 4 {
+		t.Fatalf("desired after sustained pressure = %d, want clamp 4", target.desired)
+	}
+	st := a.Stats()
+	if st.ScaleUps != 3 {
+		t.Errorf("scale-ups = %d, want 3 (1→2→3→4)", st.ScaleUps)
+	}
+	if st.Pressure != 0.9 {
+		t.Errorf("pressure = %v, want 0.9", st.Pressure)
+	}
+	if len(st.Events) == 0 || st.Events[0].Dir != "up" {
+		t.Errorf("events = %+v, want leading up event", st.Events)
+	}
+}
+
+func TestAutoscalerScaleDownNeedsHysteresis(t *testing.T) {
+	target := &fakeTarget{}
+	pressure := 0.9
+	a := NewAutoscaler(AutoscalerConfig{
+		MinSlots: 1, MaxSlots: 4, ScaleDownAfter: 3,
+	}, pressureScrape(&pressure), target)
+	a.Step() // desired 2
+	a.Step() // desired 3
+
+	pressure = 0.05
+	a.Step()
+	a.Step()
+	if target.desired != 3 {
+		t.Fatalf("scaled down after only 2 calm intervals (desired %d)", target.desired)
+	}
+	a.Step()
+	if target.desired != 2 {
+		t.Fatalf("desired after 3 calm intervals = %d, want 2", target.desired)
+	}
+
+	// A pressure blip inside the band resets the calm streak.
+	a.Step()
+	a.Step()
+	pressure = 0.5
+	a.Step() // in-band: resets calm
+	pressure = 0.05
+	a.Step()
+	if target.desired != 2 {
+		t.Fatalf("calm streak survived an in-band blip (desired %d)", target.desired)
+	}
+
+	// Never below MinSlots.
+	for i := 0; i < 20; i++ {
+		a.Step()
+	}
+	if target.desired != 1 {
+		t.Fatalf("desired floor = %d, want MinSlots 1", target.desired)
+	}
+}
+
+func TestFleetPressureTakesWorstSignal(t *testing.T) {
+	nodes := []NodeMetrics{
+		{URL: "a", QueueDepth: 10, QueueCapacity: 100, Utilization: 0.2, TotalP99Ms: 40},
+		{URL: "b", QueueDepth: 5, QueueCapacity: 100, Utilization: 0.6, TotalP99Ms: 90},
+	}
+	if got := fleetPressure(nodes, 0); got != 0.6 {
+		t.Errorf("pressure without SLO = %v, want 0.6 (b's utilization)", got)
+	}
+	// With a 100ms SLO, b's 90ms p99 dominates.
+	if got := fleetPressure(nodes, 100); got != 0.9 {
+		t.Errorf("pressure with SLO = %v, want 0.9 (b's p99/SLO)", got)
+	}
+	if got := fleetPressure(nil, 100); got != 0 {
+		t.Errorf("pressure of empty fleet = %v, want 0", got)
+	}
+}
+
+func TestParseNodeMetrics(t *testing.T) {
+	page := `# HELP condor_serve_queue_depth Requests waiting.
+# TYPE condor_serve_queue_depth gauge
+condor_serve_queue_depth 12
+condor_serve_queue_capacity 64
+condor_serve_backend_utilization{backend="cpu:0"} 0.25
+condor_serve_backend_utilization{backend="fpga:0"} 0.75
+condor_serve_latency_ms{kind="total",q="0.5"} 8.5
+condor_serve_latency_ms{kind="total",q="0.99"} 41.25
+condor_serve_latency_ms{kind="kernel",q="0.99"} 12
+garbage line without value
+condor_serve_queue_depth not-a-number
+`
+	m := parseNodeMetrics("http://n", strings.NewReader(page))
+	if m.QueueDepth != 12 || m.QueueCapacity != 64 {
+		t.Errorf("queue = %v/%v, want 12/64", m.QueueDepth, m.QueueCapacity)
+	}
+	if m.Utilization != 0.5 {
+		t.Errorf("utilization = %v, want mean 0.5", m.Utilization)
+	}
+	if m.TotalP99Ms != 41.25 {
+		t.Errorf("p99 = %v, want 41.25 (total q=0.99 only)", m.TotalP99Ms)
+	}
+	if got := m.QueuePressure(); got != 12.0/64.0 {
+		t.Errorf("QueuePressure = %v, want %v", got, 12.0/64.0)
+	}
+}

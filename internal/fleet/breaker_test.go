@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Breaker without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(3, time.Second, clk.now)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("breaker rejected traffic after %d/%d failures", i+1, 3)
+		}
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+}
+
+func TestBreakerHalfOpenTrial(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(1, time.Second, clk.now)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but no trial admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during trial = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+
+	// A failed trial re-opens immediately and restarts the cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed trial = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted traffic without a fresh cooldown")
+	}
+
+	// A successful trial closes the circuit for good.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second cooldown elapsed but no trial admitted")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful trial = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected traffic")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := NewBreaker(2, time.Second, nil)
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+}

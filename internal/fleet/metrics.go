@@ -1,0 +1,104 @@
+package fleet
+
+import "condor/internal/obs"
+
+// RegisterMetrics exposes the router (and its attached autoscaler, if any)
+// through an obs.Registry under the condor_fleet_* families. Every family
+// is a scrape-time function over Stats(), so /metricsz always agrees with
+// /statsz.
+func RegisterMetrics(reg *obs.Registry, rt *Router) {
+	reg.Func("condor_fleet_inflight", obs.TypeGauge,
+		"Requests currently being forwarded by the router.", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(rt.inflight.Load())}}
+		})
+	reg.Func("condor_fleet_requests_total", obs.TypeCounter,
+		"Router requests by priority class and outcome.", func() []obs.Sample {
+			st := rt.Stats()
+			var out []obs.Sample
+			for class, c := range st.Classes {
+				add := func(outcome string, v uint64) {
+					out = append(out, obs.Sample{
+						Labels: []obs.Label{obs.L("class", class), obs.L("outcome", outcome)},
+						Value:  float64(v),
+					})
+				}
+				add("completed", c.Completed)
+				add("shed", c.Shed)
+				add("rejected", c.Rejected)
+				add("failed", c.Failed)
+			}
+			return out
+		})
+	reg.Func("condor_fleet_retries_total", obs.TypeCounter,
+		"Failover attempts beyond the first replica.", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(rt.retries.Load())}}
+		})
+	reg.Func("condor_fleet_latency_ewma_ms", obs.TypeGauge,
+		"EWMA of completed end-to-end request latency, the admission signal.",
+		func() []obs.Sample {
+			return []obs.Sample{{Value: rt.Stats().EWMAMs}}
+		})
+	reg.Func("condor_fleet_nodes", obs.TypeGauge,
+		"Fleet members by state.", func() []obs.Sample {
+			ready, down := 0, 0
+			for _, n := range rt.members.Snapshot() {
+				if n.State == "ready" {
+					ready++
+				} else {
+					down++
+				}
+			}
+			return []obs.Sample{
+				{Labels: []obs.Label{obs.L("state", "ready")}, Value: float64(ready)},
+				{Labels: []obs.Label{obs.L("state", "down")}, Value: float64(down)},
+			}
+		})
+	reg.Func("condor_fleet_node_inflight", obs.TypeGauge,
+		"Requests in flight per fleet node.", func() []obs.Sample {
+			nodes := rt.members.Snapshot()
+			out := make([]obs.Sample, len(nodes))
+			for i, n := range nodes {
+				out[i] = obs.Sample{Labels: []obs.Label{obs.L("node", n.URL)}, Value: float64(n.Inflight)}
+			}
+			return out
+		})
+	reg.Func("condor_fleet_node_forwarded_total", obs.TypeCounter,
+		"Requests answered per fleet node.", func() []obs.Sample {
+			nodes := rt.members.Snapshot()
+			out := make([]obs.Sample, len(nodes))
+			for i, n := range nodes {
+				out[i] = obs.Sample{Labels: []obs.Label{obs.L("node", n.URL)}, Value: float64(n.Forwarded)}
+			}
+			return out
+		})
+
+	if rt.autoscaler == nil {
+		return
+	}
+	a := rt.autoscaler
+	reg.Func("condor_fleet_slots", obs.TypeGauge,
+		"Simulated F1 capacity by lifecycle state.", func() []obs.Sample {
+			st := a.Stats()
+			return []obs.Sample{
+				{Labels: []obs.Label{obs.L("state", "desired")}, Value: float64(st.Desired)},
+				{Labels: []obs.Label{obs.L("state", "ready")}, Value: float64(st.Ready)},
+				{Labels: []obs.Label{obs.L("state", "pending")}, Value: float64(st.Pending)},
+			}
+		})
+	reg.Func("condor_fleet_pressure", obs.TypeGauge,
+		"Fleet saturation scalar driving the control law.", func() []obs.Sample {
+			return []obs.Sample{{Value: a.Stats().Pressure}}
+		})
+	reg.Func("condor_fleet_scale_events_total", obs.TypeCounter,
+		"Autoscaler decisions by direction.", func() []obs.Sample {
+			st := a.Stats()
+			return []obs.Sample{
+				{Labels: []obs.Label{obs.L("dir", "up")}, Value: float64(st.ScaleUps)},
+				{Labels: []obs.Label{obs.L("dir", "down")}, Value: float64(st.ScaleDowns)},
+			}
+		})
+	reg.Func("condor_fleet_cost_usd_total", obs.TypeCounter,
+		"Accumulated modeled spend of the simulated F1 fleet.", func() []obs.Sample {
+			return []obs.Sample{{Value: a.Stats().CostUSD}}
+		})
+}

@@ -1,0 +1,126 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingLookupDeterministicAndBalanced(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"http://a", "http://b", "http://c"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	if r.Len() != len(nodes) {
+		t.Fatalf("Len = %d, want %d", r.Len(), len(nodes))
+	}
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("model-%d", i)
+		owner := r.Lookup(key)
+		if owner == "" {
+			t.Fatalf("Lookup(%q) found no owner", key)
+		}
+		if again := r.Lookup(key); again != owner {
+			t.Fatalf("Lookup(%q) is not deterministic: %s then %s", key, owner, again)
+		}
+		counts[owner]++
+	}
+	for _, n := range nodes {
+		// With 64 vnodes the split is uneven but every node must carry a
+		// real share — a node at < 10% means the vnode spread is broken.
+		if counts[n] < 1000 {
+			t.Errorf("node %s owns only %d/10000 keys", n, counts[n])
+		}
+	}
+}
+
+func TestRingBoundedKeyMovement(t *testing.T) {
+	r := NewRing(0)
+	const nodes = 10
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("http://node-%d", i))
+	}
+	const keys = 10000
+	before := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("model-%d", i)
+		before[key] = r.Lookup(key)
+	}
+
+	victim := "http://node-3"
+	r.Remove(victim)
+
+	moved := 0
+	for key, owner := range before {
+		now := r.Lookup(key)
+		if now == "" {
+			t.Fatalf("Lookup(%q) found no owner after removal", key)
+		}
+		if owner == victim {
+			if now == victim {
+				t.Fatalf("key %q still owned by removed node", key)
+			}
+			continue // these keys must move; that is the point
+		}
+		if now != owner {
+			moved++
+		}
+	}
+	// Consistent hashing's contract: removing one of N nodes moves only the
+	// removed node's keys. Keys owned by survivors stay put.
+	if moved != 0 {
+		t.Errorf("%d keys moved between surviving nodes; want 0", moved)
+	}
+
+	// And re-adding restores the original assignment exactly.
+	r.Add(victim)
+	for key, owner := range before {
+		if now := r.Lookup(key); now != owner {
+			t.Fatalf("key %q owned by %s after re-add, want %s", key, now, owner)
+		}
+	}
+}
+
+func TestRingLookupNDistinct(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 5; i++ {
+		r.Add(fmt.Sprintf("http://node-%d", i))
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("model-%d", i)
+		got := r.LookupN(key, 3)
+		if len(got) != 3 {
+			t.Fatalf("LookupN(%q, 3) = %d nodes, want 3", key, len(got))
+		}
+		seen := map[string]bool{}
+		for _, n := range got {
+			if seen[n] {
+				t.Fatalf("LookupN(%q, 3) repeats node %s", key, n)
+			}
+			seen[n] = true
+		}
+		if primary := r.Lookup(key); got[0] != primary {
+			t.Fatalf("LookupN(%q)[0] = %s, want primary %s", key, got[0], primary)
+		}
+	}
+	// Asking for more replicas than members returns every member once.
+	if got := r.LookupN("anything", 99); len(got) != 5 {
+		t.Fatalf("LookupN over-ask = %d nodes, want 5", len(got))
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if owner := r.Lookup("x"); owner != "" {
+		t.Errorf("Lookup on empty ring = %q", owner)
+	}
+	if got := r.LookupN("x", 3); len(got) != 0 {
+		t.Errorf("LookupN on empty ring = %v", got)
+	}
+	r.Add("http://a")
+	r.Remove("http://a")
+	if r.Len() != 0 || r.Has("http://a") {
+		t.Error("Remove did not clear the ring")
+	}
+}

@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the autoscaler's input side: a minimal Prometheus
+// text-exposition parser and the per-node scrape that distils a
+// condor-serve /metricsz page into the three signals the control law needs
+// — queue pressure, backend utilization, and the p99 total latency.
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePromText parses Prometheus text exposition into samples. Unparseable
+// lines are skipped — the scraper degrades to fewer signals rather than
+// failing the control loop on one malformed family.
+func parsePromText(r io.Reader) []promSample {
+	var out []promSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			continue
+		}
+		s := promSample{labels: map[string]string{}, value: val}
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			s.name = series[:i]
+			inner := strings.TrimSuffix(series[i+1:], "}")
+			for _, pair := range splitLabels(inner) {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 {
+					continue
+				}
+				key := pair[:eq]
+				v := strings.Trim(pair[eq+1:], `"`)
+				s.labels[key] = v
+			}
+		} else {
+			s.name = series
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// splitLabels splits `a="x",b="y"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var parts []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		parts = append(parts, s[start:])
+	}
+	return parts
+}
+
+// NodeMetrics is one node's scraped control signals.
+type NodeMetrics struct {
+	URL           string  `json:"url"`
+	QueueDepth    float64 `json:"queue_depth"`
+	QueueCapacity float64 `json:"queue_capacity"`
+	// Utilization is the mean modeled-busy fraction across the node's
+	// backends.
+	Utilization float64 `json:"utilization"`
+	// TotalP99Ms is the node's p99 end-to-end latency over its reservoir.
+	TotalP99Ms float64 `json:"total_p99_ms"`
+}
+
+// QueuePressure is queue depth over capacity (0 when capacity is unknown).
+func (m NodeMetrics) QueuePressure() float64 {
+	if m.QueueCapacity <= 0 {
+		return 0
+	}
+	return m.QueueDepth / m.QueueCapacity
+}
+
+// parseNodeMetrics distils one /metricsz page.
+func parseNodeMetrics(url string, r io.Reader) NodeMetrics {
+	m := NodeMetrics{URL: url}
+	var utilSum float64
+	var utilN int
+	for _, s := range parsePromText(r) {
+		switch s.name {
+		case "condor_serve_queue_depth":
+			m.QueueDepth = s.value
+		case "condor_serve_queue_capacity":
+			m.QueueCapacity = s.value
+		case "condor_serve_backend_utilization":
+			utilSum += s.value
+			utilN++
+		case "condor_serve_latency_ms":
+			if s.labels["kind"] == "total" && s.labels["q"] == "0.99" {
+				m.TotalP99Ms = s.value
+			}
+		}
+	}
+	if utilN > 0 {
+		m.Utilization = utilSum / float64(utilN)
+	}
+	return m
+}
+
+// MetricsScraper polls every ready node's /metricsz. The Membership-backed
+// implementation is what the autoscaler runs against in production; tests
+// substitute the Scrape func directly.
+type MetricsScraper struct {
+	members *Membership
+	client  *http.Client
+}
+
+// NewMetricsScraper builds a scraper over the router's membership.
+func NewMetricsScraper(members *Membership) *MetricsScraper {
+	return &MetricsScraper{
+		members: members,
+		client:  &http.Client{Timeout: members.cfg.ProbeTimeout},
+	}
+}
+
+// Scrape fetches metrics from every ready node, sorted by URL. Nodes that
+// fail to answer are omitted — the control law works on what it can see.
+func (s *MetricsScraper) Scrape() []NodeMetrics {
+	var out []NodeMetrics
+	for _, url := range s.members.ring.Members() {
+		resp, err := s.client.Get(url + "/metricsz")
+		if err != nil {
+			continue
+		}
+		m := parseNodeMetrics(url, resp.Body)
+		resp.Body.Close()
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}

@@ -1,0 +1,296 @@
+// Fleet-level stress tests: a router in front of several in-process nodes,
+// driven well past capacity and through a mid-run node kill. They live in
+// package fleet_test so they can drive the router with internal/loadgen
+// (which imports fleet for header and error-code names).
+package fleet_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"condor/internal/fleet"
+	"condor/internal/loadgen"
+	"condor/internal/serve"
+)
+
+// slowNode is a condor-serve stand-in with a real capacity: one request at
+// a time (sem), each taking serviceTime. Everything a saturated fleet does
+// — queueing, shedding, breaker trips — follows from this bottleneck.
+type slowNode struct {
+	srv         *httptest.Server
+	down        atomic.Bool
+	hits        atomic.Int64
+	sem         chan struct{}
+	serviceTime time.Duration
+}
+
+func newSlowNode(t *testing.T, concurrency int, serviceTime time.Duration) *slowNode {
+	t.Helper()
+	n := &slowNode{sem: make(chan struct{}, concurrency), serviceTime: serviceTime}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if n.down.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(serve.HealthResponse{
+			Status: "ok", Input: serve.InputShape{Channels: 1, Height: 8, Width: 8}, Backends: 1,
+		})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if n.down.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ready"}`))
+	})
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
+		n.hits.Add(1)
+		if n.down.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		n.sem <- struct{}{}
+		if n.serviceTime > 0 {
+			time.Sleep(n.serviceTime)
+		}
+		<-n.sem
+		w.Write([]byte(`{"argmax":1}`))
+	})
+	n.srv = httptest.NewServer(mux)
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+// waitForState polls the membership snapshot until the node reaches the
+// wanted state or the deadline passes.
+func waitForState(t *testing.T, m *fleet.Membership, url, state string, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		for _, n := range m.Snapshot() {
+			if n.URL == url && n.State == state {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("node %s never reached state %q within %v; snapshot: %+v",
+		url, state, within, m.Snapshot())
+}
+
+// TestFleetSaturationShedsNotDrops offers the fleet at least twice what it
+// can serve and checks the overload contract: every arrival is classified
+// (the loadgen accounting invariant), the excess is shed or rejected with
+// typed responses — never an untyped error — the shedding lands on the
+// low-priority class only, and the requests that were admitted still meet
+// their deadline (admission control keeps queues short instead of letting
+// latency absorb the overload).
+func TestFleetSaturationShedsNotDrops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second load run")
+	}
+	// Each node serves one request at a time in 20ms: 50 req/s per node,
+	// ~150 req/s for the fleet (the router spreads one model's replica set
+	// by least-inflight), so 600 req/s offered is ~4x capacity.
+	nodes := []*slowNode{
+		newSlowNode(t, 1, 20*time.Millisecond),
+		newSlowNode(t, 1, 20*time.Millisecond),
+		newSlowNode(t, 1, 20*time.Millisecond),
+	}
+	rt := fleet.NewRouter(fleet.RouterConfig{
+		MaxInflight:         6,
+		LowPriorityFraction: 0.5,
+		// Failover would only bounce saturated requests between busy nodes
+		// here; keep the test about admission, not retries.
+		Retries: 0,
+		Membership: fleet.MembershipConfig{
+			ProbeInterval: 20 * time.Millisecond,
+			// The nodes are healthy, just slow; a breaker trip would be a
+			// test artifact, so set the threshold out of reach.
+			BreakerThreshold: 1 << 20,
+		},
+	})
+	for _, n := range nodes {
+		if _, err := rt.Membership().Register(n.srv.URL); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+	}
+	rt.Start()
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	const deadlineMs = 500
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		TargetURL:    front.URL,
+		RateRPS:      600,
+		Duration:     1500 * time.Millisecond,
+		Arrival:      loadgen.ArrivalPoisson,
+		Body:         []byte(`{"image":[0]}`),
+		DeadlineMs:   deadlineMs,
+		HighFraction: 0.5,
+		Timeout:      2 * time.Second,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatalf("loadgen.Run: %v", err) // includes the silent-drop accounting check
+	}
+
+	if got := rep.OK + rep.DeadlineMiss + rep.Shed + rep.Rejected + rep.Errors; got != rep.Sent {
+		t.Fatalf("silent drop: %d classified of %d sent", got, rep.Sent)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d, want 0: overload must answer typed, not fail", rep.Errors)
+	}
+	if rep.OK == 0 {
+		t.Fatal("nothing succeeded under overload; admitted traffic should still be served")
+	}
+	if rep.Sent < 2*rep.OK {
+		t.Fatalf("offered %d vs %d served: run did not reach 2x capacity", rep.Sent, rep.OK)
+	}
+	if rep.Shed == 0 {
+		t.Error("no low-priority shedding despite ~4x overload")
+	}
+	if rep.Rejected == 0 {
+		t.Error("no saturation rejects (429) despite ~4x overload")
+	}
+	high, low := rep.Classes["high"], rep.Classes["low"]
+	if high.Shed != 0 {
+		t.Errorf("high-priority shed = %d, want 0 (only low sheds)", high.Shed)
+	}
+	if low.Shed == 0 {
+		t.Error("low-priority class saw no shedding")
+	}
+	if high.Latency.Count == 0 {
+		t.Fatal("no high-priority latency samples")
+	}
+	if high.Latency.P99 >= deadlineMs {
+		t.Errorf("high-priority p99 = %.2fms, want < %dms deadline (admission let queues grow)",
+			high.Latency.P99, deadlineMs)
+	}
+	t.Logf("sent %d: ok %d miss %d shed %d rejected %d; high p99 %.2fms",
+		rep.Sent, rep.OK, rep.DeadlineMiss, rep.Shed, rep.Rejected, high.Latency.P99)
+}
+
+// TestFleetNodeKillLosesNoRequest kills one of three nodes in the middle of
+// a steady request stream and brings it back: every admitted request must
+// still get a 200 (failover covers the kill window), the prober must evict
+// the dead node and re-admit it after recovery, and traffic must flow to it
+// again once it is back in the ring.
+func TestFleetNodeKillLosesNoRequest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second load run")
+	}
+	nodes := []*slowNode{
+		newSlowNode(t, 16, 0),
+		newSlowNode(t, 16, 0),
+		newSlowNode(t, 16, 0),
+	}
+	rt := fleet.NewRouter(fleet.RouterConfig{
+		ReplicationFactor: 3,
+		Retries:           2,
+		Membership: fleet.MembershipConfig{
+			ProbeInterval:    10 * time.Millisecond,
+			FailThreshold:    2,
+			BreakerThreshold: 3,
+			BreakerCooldown:  50 * time.Millisecond,
+		},
+	})
+	for _, n := range nodes {
+		if _, err := rt.Membership().Register(n.srv.URL); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+	}
+	rt.Start()
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// Spread requests over many model keys so every node is someone's
+	// primary and the kill is guaranteed to hit live traffic.
+	var (
+		ok       atomic.Int64
+		failed   atomic.Int64
+		lastFail atomic.Value
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	client := &http.Client{Timeout: 5 * time.Second}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req, err := http.NewRequest(http.MethodPost, front.URL+"/infer",
+					strings.NewReader(`{"image":[0]}`))
+				if err != nil {
+					failed.Add(1)
+					lastFail.Store(err.Error())
+					continue
+				}
+				req.Header.Set(fleet.ModelHeader, fmt.Sprintf("m-%d", (worker*31+i)%16))
+				resp, err := client.Do(req)
+				if err != nil {
+					failed.Add(1)
+					lastFail.Store(err.Error())
+					continue
+				}
+				if resp.StatusCode == http.StatusOK {
+					ok.Add(1)
+				} else {
+					failed.Add(1)
+					lastFail.Store(fmt.Sprintf("status %d", resp.StatusCode))
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+
+	victim := nodes[1]
+	time.Sleep(150 * time.Millisecond) // steady state before the kill
+	victim.down.Store(true)
+	waitForState(t, rt.Membership(), victim.srv.URL, "down", 2*time.Second)
+	time.Sleep(150 * time.Millisecond) // serve through the outage
+	victim.down.Store(false)
+	waitForState(t, rt.Membership(), victim.srv.URL, "ready", 2*time.Second)
+
+	// With the victim back in the ring, confirm it takes traffic again.
+	baseline := victim.hits.Load()
+	deadline := time.Now().Add(2 * time.Second)
+	for victim.hits.Load() == baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if failed.Load() != 0 {
+		t.Errorf("%d of %d requests failed across the kill (last: %v); failover must cover a single node loss",
+			failed.Load(), failed.Load()+ok.Load(), lastFail.Load())
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no requests completed")
+	}
+	if victim.hits.Load() == baseline {
+		t.Errorf("revived node saw no traffic after re-admission (hits stuck at %d)", baseline)
+	}
+	st := rt.Stats()
+	if st.Retries == 0 {
+		t.Error("no retries recorded; the kill window should have forced failover")
+	}
+	t.Logf("ok %d, retries %d, victim hits %d (baseline after revive %d)",
+		ok.Load(), st.Retries, victim.hits.Load(), baseline)
+}

@@ -1,0 +1,228 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"condor/internal/fleet"
+)
+
+func TestRunAccountsEveryArrival(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(`{"argmax":0}`))
+	}))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Config{
+		TargetURL: srv.URL,
+		RateRPS:   500,
+		Duration:  300 * time.Millisecond,
+		Arrival:   ArrivalFixed,
+		Body:      []byte(`{"image":[0]}`),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Sent == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if int64(rep.Sent) != hits.Load() {
+		t.Errorf("sent %d but server saw %d", rep.Sent, hits.Load())
+	}
+	if rep.OK != rep.Sent {
+		t.Errorf("ok = %d, want all %d against an instant server", rep.OK, rep.Sent)
+	}
+	if rep.GoodputRPS <= 0 {
+		t.Error("goodput not computed")
+	}
+	if rep.Latency.Count != rep.OK || rep.Latency.P99 <= 0 {
+		t.Errorf("latency summary = %+v", rep.Latency)
+	}
+	if len(rep.CDF) == 0 || rep.CDF[len(rep.CDF)-1].Fraction != 1.0 {
+		t.Errorf("CDF = %+v", rep.CDF)
+	}
+	// ~500 req/s for 300ms is ~150 arrivals; allow generous scheduling slop
+	// but catch a generator that is off by an order of magnitude.
+	if rep.Sent < 50 || rep.Sent > 200 {
+		t.Errorf("fixed arrivals = %d, want roughly 150", rep.Sent)
+	}
+}
+
+func TestRunClassifiesOutcomes(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch n.Add(1) % 4 {
+		case 0:
+			w.Write([]byte(`{"argmax":0}`))
+		case 1:
+			w.Header().Set(fleet.ShedHeader, "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(fleet.RouterError{Error: "shed", Code: fleet.CodeShedLowPriority})
+		case 2:
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(fleet.RouterError{Error: "full", Code: fleet.CodeSaturated})
+		default:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	}))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Config{
+		TargetURL:    srv.URL,
+		RateRPS:      400,
+		Duration:     250 * time.Millisecond,
+		Arrival:      ArrivalFixed,
+		Body:         []byte(`{"image":[0]}`),
+		HighFraction: 0.5,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.OK == 0 || rep.Shed == 0 || rep.Rejected == 0 || rep.Errors == 0 {
+		t.Errorf("outcome spread = ok %d shed %d rejected %d errors %d; want all non-zero",
+			rep.OK, rep.Shed, rep.Rejected, rep.Errors)
+	}
+	if rep.Classes["high"].Sent == 0 || rep.Classes["low"].Sent == 0 {
+		t.Errorf("priority mix = high %d low %d; want both classes offered",
+			rep.Classes["high"].Sent, rep.Classes["low"].Sent)
+	}
+	if got := rep.OK + rep.DeadlineMiss + rep.Shed + rep.Rejected + rep.Errors; got != rep.Sent {
+		t.Errorf("accounting: %d classified of %d sent", got, rep.Sent)
+	}
+}
+
+func TestRunDeadlineMiss(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(60 * time.Millisecond)
+		w.Write([]byte(`{"argmax":0}`))
+	}))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Config{
+		TargetURL:  srv.URL,
+		RateRPS:    100,
+		Duration:   200 * time.Millisecond,
+		Arrival:    ArrivalFixed,
+		Body:       []byte(`{"image":[0]}`),
+		DeadlineMs: 20,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.DeadlineMiss != rep.Sent {
+		t.Errorf("deadline misses = %d of %d sent against a 60ms server with 20ms deadline",
+			rep.DeadlineMiss, rep.Sent)
+	}
+	if rep.GoodputRPS != 0 {
+		t.Errorf("goodput = %v with every request late, want 0", rep.GoodputRPS)
+	}
+}
+
+func TestPoissonArrivalsApproximateRate(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"argmax":0}`))
+	}))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Config{
+		TargetURL: srv.URL,
+		RateRPS:   600,
+		Duration:  500 * time.Millisecond,
+		Arrival:   ArrivalPoisson,
+		Body:      []byte(`{"image":[0]}`),
+		Seed:      42,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 600 req/s * 0.5s = 300 expected; Poisson σ ≈ 17, so ±40% catches a
+	// broken process without flaking on scheduler noise.
+	if rep.Sent < 180 || rep.Sent > 420 {
+		t.Errorf("poisson arrivals = %d, want ≈300", rep.Sent)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"argmax":0}`))
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := Run(ctx, Config{
+		TargetURL: srv.URL,
+		RateRPS:   100,
+		Duration:  30 * time.Second, // ctx cuts this short
+		Arrival:   ArrivalFixed,
+		Body:      []byte(`{"image":[0]}`),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+	if rep.Sent == 0 {
+		t.Error("no arrivals before cancellation")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{TargetURL: "http://x", RateRPS: 1, Body: []byte("{}")}
+	bad := base
+	bad.RateRPS = 0
+	if _, err := Run(context.Background(), bad); err == nil {
+		t.Error("zero rate accepted")
+	}
+	bad = base
+	bad.Arrival = "burst"
+	if _, err := Run(context.Background(), bad); err == nil {
+		t.Error("unknown arrival accepted")
+	}
+	bad = base
+	bad.Body = nil
+	if _, err := Run(context.Background(), bad); err == nil {
+		t.Error("empty body accepted")
+	}
+}
+
+func TestReportTableAndQuantiles(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := quantile(sorted, 0.5); got != 5 {
+		t.Errorf("p50 = %v, want 5", got)
+	}
+	if got := quantile(sorted, 1.0); got != 10 {
+		t.Errorf("p100 = %v, want 10", got)
+	}
+	q := summarize(append([]float64(nil), sorted...))
+	if math.Abs(q.Mean-5.5) > 1e-9 || q.Max != 10 || q.Count != 10 {
+		t.Errorf("summarize = %+v", q)
+	}
+
+	rep := &Report{
+		Kind: ReportKind, Target: "http://x", Arrival: ArrivalFixed,
+		OfferedRPS: 10, DurationSec: 1, Sent: 10, OK: 8, Shed: 2,
+		GoodputRPS: 8, Latency: q,
+		Classes: map[string]*ClassReport{"high": {Sent: 10, OK: 8, Shed: 2, GoodputRPS: 8}, "low": {}},
+	}
+	var sb strings.Builder
+	rep.WriteTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"total", "goodput", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -15,14 +15,14 @@ import (
 // chromeEvent is one entry of the traceEvents array. Fields follow the
 // trace-event format specification; unused optional fields are omitted.
 type chromeEvent struct {
-	Name  string           `json:"name"`
-	Cat   string           `json:"cat,omitempty"`
-	Phase string           `json:"ph"`
-	PID   int              `json:"pid"`
-	TID   int              `json:"tid"`
-	TsUs  float64          `json:"ts"`
-	DurUs *float64         `json:"dur,omitempty"`
-	Args  map[string]int64 `json:"args,omitempty"`
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	TsUs  float64        `json:"ts"`
+	DurUs *float64       `json:"dur,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
 }
 
 // threadMeta names a thread lane in the viewer.
@@ -50,9 +50,12 @@ func (tr *Trace) WriteChromeTrace(w io.Writer) error {
 		for i := range t.spans {
 			sp := &t.spans[i]
 			dur := sp.End.Sub(sp.Start).Seconds() * 1e6
-			args := map[string]int64{"cycles": sp.Cycles()}
+			args := map[string]any{"cycles": sp.Cycles()}
 			if sp.Words != 0 {
 				args["words"] = sp.Words
+			}
+			for _, a := range sp.Attrs {
+				args[a.Name] = a.Value
 			}
 			events = append(events, chromeEvent{
 				Name: sp.Name, Cat: "fabric", Phase: "X", PID: 1, TID: tid,

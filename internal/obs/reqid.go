@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// This file carries the fleet-level request identity: one opaque id minted at
+// the outermost tier that sees a request (the fleet router, or a serve node
+// receiving direct traffic) and propagated across every process boundary in
+// the X-Condor-Request-ID header, so one user request can be stitched
+// together across router, serve node and backend from their separate traces.
+
+// RequestIDHeader is the HTTP header the id travels in between processes.
+const RequestIDHeader = "X-Condor-Request-ID"
+
+// NewRequestID mints a fresh 16-hex-character request id.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform's entropy source is gone;
+		// ids only need uniqueness, so fall back to a fixed marker rather
+		// than take the serving path down.
+		return "rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// requestIDKey is the private context key type for the request id.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom extracts the request id, or "" when the context carries none.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

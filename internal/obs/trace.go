@@ -42,6 +42,9 @@ type Span struct {
 	StartCycle int64
 	EndCycle   int64
 	Words      int64
+	// Attrs are optional string tags (request id, backend id) attached via
+	// Track.Annotate; they ride into the Chrome trace export as event args.
+	Attrs []Label
 }
 
 // Cycles returns the modeled cycles the span accounts for.
@@ -81,6 +84,13 @@ func (t *Track) End(id int, endCycle int64) {
 // AddWords accounts FIFO words moved during the span.
 func (t *Track) AddWords(id int, words int64) {
 	t.spans[id].Words += words
+}
+
+// Annotate attaches a string tag to the span opened by Begin — the request
+// id and executing backend of a serving-tier span. Like every Track method
+// it may only be called by the track's owning goroutine.
+func (t *Track) Annotate(id int, key, value string) {
+	t.spans[id].Attrs = append(t.spans[id].Attrs, Label{Name: key, Value: value})
 }
 
 // Trace owns the tracks of one (or more) fabric runs. Track creation takes

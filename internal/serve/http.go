@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"condor/internal/obs"
 	"condor/internal/tensor"
 )
 
@@ -31,6 +32,7 @@ type InferResponse struct {
 	Output   []float32 `json:"output"`
 	Argmax   int       `json:"argmax"`
 	KernelMs float64   `json:"kernel_ms"`
+	Backend  string    `json:"backend,omitempty"`
 }
 
 // HealthResponse is the JSON reply of GET /healthz; probes use the input
@@ -45,20 +47,58 @@ type httpError struct {
 	Error string `json:"error"`
 }
 
+// HandlerOption customises NewHandler beyond its required arguments.
+type HandlerOption func(*handlerOptions)
+
+type handlerOptions struct {
+	tracer obs.Tracer
+}
+
+// WithRequestTracer records one annotated span per /infer request (request
+// id + executing backend) on the given tracer, so a fleet-level request can
+// be stitched across the router's and every node's trace.
+func WithRequestTracer(tr obs.Tracer) HandlerOption {
+	return func(o *handlerOptions) { o.tracer = tr }
+}
+
 // NewHandler exposes a Server over HTTP:
 //
 //	POST /infer   {"image":[...]}  → {"output":[...],"argmax":n,"kernel_ms":x}
 //	GET  /healthz                  → {"status":"ok","input":{...},"backends":n}
+//	GET  /readyz                   → 200 while serving, 503 once draining
 //	GET  /statsz                   → the Stats snapshot
+//
+// /healthz is liveness (the process answers); /readyz is readiness — it
+// turns 503 the moment Shutdown starts, so a fleet router probing it stops
+// routing to a draining node while its in-flight requests still complete.
+//
+// Every /infer reply echoes an X-Condor-Request-ID header: the inbound one
+// when the caller (the fleet router) supplied it, a freshly minted id for
+// direct traffic.
 //
 // requestTimeout bounds each inference request's time in the serving
 // pipeline (queueing + batching + device); 0 means no per-request deadline.
 // Backpressure maps to 429, deadlines to 504, shutdown to 503.
-func NewHandler(s *Server, input InputShape, requestTimeout time.Duration) http.Handler {
+func NewHandler(s *Server, input InputShape, requestTimeout time.Duration, opts ...HandlerOption) http.Handler {
+	var o handlerOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, HealthResponse{
 			Status:   "ok",
+			Input:    input,
+			Backends: len(s.cfg.Backends),
+		})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, httpError{Error: "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, HealthResponse{
+			Status:   "ready",
 			Input:    input,
 			Backends: len(s.cfg.Backends),
 		})
@@ -71,6 +111,11 @@ func NewHandler(s *Server, input InputShape, requestTimeout time.Duration) http.
 			writeJSON(w, http.StatusMethodNotAllowed, httpError{Error: "POST required"})
 			return
 		}
+		rid := r.Header.Get(obs.RequestIDHeader)
+		if rid == "" {
+			rid = obs.NewRequestID()
+		}
+		w.Header().Set(obs.RequestIDHeader, rid)
 		var req InferRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeJSON(w, http.StatusBadRequest, httpError{Error: "malformed JSON: " + err.Error()})
@@ -83,22 +128,40 @@ func NewHandler(s *Server, input InputShape, requestTimeout time.Duration) http.
 			})
 			return
 		}
-		ctx := r.Context()
+		ctx := obs.WithRequestID(r.Context(), rid)
 		if requestTimeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, requestTimeout)
 			defer cancel()
 		}
 		img := tensor.FromSlice(req.Image, input.Channels, input.Height, input.Width)
-		out, ms, err := s.Submit(ctx, img)
+		var span struct {
+			track *obs.Track
+			id    int
+		}
+		if o.tracer != nil {
+			// One fresh single-writer track per request: this handler
+			// goroutine is the only writer, so annotation stays lock-free.
+			span.track = o.tracer.Track("serve.infer")
+			span.id = span.track.Begin("infer", 0)
+			span.track.Annotate(span.id, "request_id", rid)
+		}
+		res, err := s.SubmitDetailed(ctx, img)
+		if span.track != nil {
+			if res.Backend != "" {
+				span.track.Annotate(span.id, "backend", res.Backend)
+			}
+			span.track.End(span.id, 0)
+		}
 		if err != nil {
 			writeJSON(w, statusForErr(err), httpError{Error: err.Error()})
 			return
 		}
 		writeJSON(w, http.StatusOK, InferResponse{
-			Output:   out.Data(),
-			Argmax:   argmax(out.Data()),
-			KernelMs: ms,
+			Output:   res.Output.Data(),
+			Argmax:   argmax(res.Output.Data()),
+			KernelMs: res.KernelMs,
+			Backend:  res.Backend,
 		})
 	})
 	return mux

@@ -106,6 +106,7 @@ type request struct {
 type result struct {
 	out      *tensor.Tensor
 	kernelMs float64
+	backend  string // ID of the backend that executed the request's batch
 	err      error
 }
 
@@ -149,16 +150,32 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// SubmitResult is the detailed outcome of one request through the pipeline:
+// the inference output, the modeled device time of its batch, and which
+// backend executed it (the span tag fleet-level tracing stitches across
+// processes).
+type SubmitResult struct {
+	Output   *tensor.Tensor
+	KernelMs float64
+	Backend  string
+}
+
 // Submit runs one image through the serving pipeline and blocks until the
 // result is ready, the request's context expires, or admission rejects it.
 // Every admitted request is eventually answered even if the caller has
 // already given up on its context.
 func (s *Server) Submit(ctx context.Context, img *tensor.Tensor) (*tensor.Tensor, float64, error) {
+	r, err := s.SubmitDetailed(ctx, img)
+	return r.Output, r.KernelMs, err
+}
+
+// SubmitDetailed is Submit with backend attribution for per-request tracing.
+func (s *Server) SubmitDetailed(ctx context.Context, img *tensor.Tensor) (SubmitResult, error) {
 	req := &request{ctx: ctx, img: img, enqueued: time.Now(), done: make(chan result, 1)}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, 0, ErrClosed
+		return SubmitResult{}, ErrClosed
 	}
 	select {
 	case s.queue <- req:
@@ -167,18 +184,28 @@ func (s *Server) Submit(ctx context.Context, img *tensor.Tensor) (*tensor.Tensor
 	default:
 		s.mu.Unlock()
 		s.stats.reject()
-		return nil, 0, ErrQueueFull
+		return SubmitResult{}, ErrQueueFull
 	}
 	s.mu.Unlock()
 	select {
 	case r := <-req.done:
-		return r.out, r.kernelMs, r.err
+		return SubmitResult{Output: r.out, KernelMs: r.kernelMs, Backend: r.backend}, r.err
 	case <-ctx.Done():
 		// The request stays in the pipeline (its batch still runs and the
 		// reply lands in the buffered done channel); the caller gets the
 		// explicit deadline/cancellation error now.
-		return nil, 0, ctx.Err()
+		return SubmitResult{}, ctx.Err()
 	}
+}
+
+// Draining reports whether Shutdown has started: admission is closed and the
+// server is settling in-flight work. The /readyz endpoint turns 503 on this
+// signal so a fleet router stops routing to the node before its queue stops
+// answering.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // finish delivers a request's reply exactly once and settles its admission
@@ -270,15 +297,16 @@ func (s *Server) scheduleLoop() {
 			}
 			outs, ms, err := st.backend.Infer(imgs)
 			s.sched.release(st, ms, len(reqs), err != nil)
+			id := st.backend.ID()
 			if err != nil {
-				err = fmt.Errorf("serve: backend %s: %w", st.backend.ID(), err)
+				err = fmt.Errorf("serve: backend %s: %w", id, err)
 				for _, r := range reqs {
-					s.finish(r, result{err: err})
+					s.finish(r, result{backend: id, err: err})
 				}
 				return
 			}
 			for i, r := range reqs {
-				s.finish(r, result{out: outs[i], kernelMs: ms})
+				s.finish(r, result{out: outs[i], kernelMs: ms, backend: id})
 			}
 		}(st, live)
 	}
