@@ -81,17 +81,19 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-fabric runs the streaming-datapath microbenchmarks (including the
-# compute-unit replication legs) and writes the machine-readable results CI
-# uploads as an artifact.
+# compute-unit replication legs) across both fabric numeric formats and
+# writes the machine-readable results CI uploads as an artifact. The
+# /dtype=int8 legs exercise the packed 4-lane datapath; benchdiff derives
+# and gates the int8-over-float32 speedup ratio from the paired rows.
 bench-fabric:
-	$(GO) run ./cmd/condor-bench -json BENCH_fabric.json -cus 1,2
+	$(GO) run ./cmd/condor-bench -json BENCH_fabric.json -cus 1,2 -dtype float32,int8
 
 # bench-check is the throughput-regression gate: regenerate the fabric
 # microbenchmarks and diff them against the committed baseline, failing on a
 # >25% drop. Refresh the baseline with
-# `go run ./cmd/condor-bench -json BENCH_baseline.json -cus 1,2` on a quiet
-# machine (the -cus legs must match the baseline's rows, or the gate errors
-# on the missing benchmark).
+# `go run ./cmd/condor-bench -json BENCH_baseline.json -cus 1,2 -dtype float32,int8`
+# on a quiet machine (the -cus/-dtype legs must match the baseline's rows, or
+# the gate errors on the missing benchmark).
 bench-check: bench-fabric
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_fabric.json -max-regression 0.25
 

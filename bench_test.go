@@ -305,7 +305,10 @@ func BenchmarkAblationQuantization(b *testing.B) {
 // throughput (host-side), useful for tracking simulator regressions. The
 // cus=N sub-benchmarks run a 16-image batch on a replicated compute-unit
 // pool and report img/s — the replication speedup appears on hosts with
-// enough cores; on a single-core host all legs coincide.
+// enough cores; on a single-core host all legs coincide. The dtype=int8
+// legs run the same workloads on the packed int8 datapath (4 lanes per
+// FIFO word, int32 accumulators); its host speedup over the bare float32
+// legs is a gated baseline figure.
 func BenchmarkFabricThroughput(b *testing.B) {
 	ir, ws, err := models.TC1()
 	if err != nil {
@@ -329,6 +332,35 @@ func BenchmarkFabricThroughput(b *testing.B) {
 	for _, n := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("cus=%d", n), func(b *testing.B) {
 			pool := dataflow.NewCUPool(dep, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := pool.Run(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "img/s")
+		})
+	}
+
+	bld8, err := New().BuildAccelerator(Input{IR: ir, Weights: ws, Precision: quant.Int8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep8, err := bld8.Fabric()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("dtype=int8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dep8.Run(imgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "img/s")
+	})
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("cus=%d/dtype=int8", n), func(b *testing.B) {
+			pool := dataflow.NewCUPool(dep8, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := pool.Run(batch); err != nil {

@@ -126,6 +126,36 @@ func loadgenRows(rep *loadgen.Report) []metricRow {
 	}
 }
 
+// speedupRows derives one gated metric per dtype-suffixed bench leg: the
+// ratio of its throughput to the same leg without the suffix (the float32
+// row). Keying the ratio itself means an int8 regression cannot hide behind
+// a float32 win of the same magnitude — the gate compares relative speedups
+// across runs, not just absolute img/s rows that could drift together.
+func speedupRows(rows []metricRow) []metricRow {
+	byName := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		byName[r.Name] = r.Value
+	}
+	var out []metricRow
+	for _, r := range rows {
+		i := strings.Index(r.Name, "/dtype=")
+		if i < 0 {
+			continue
+		}
+		base, dtype := r.Name[:i], r.Name[i+len("/dtype="):]
+		f32, ok := byName[base]
+		if !ok || f32 <= 0 || r.Value <= 0 {
+			continue
+		}
+		out = append(out, metricRow{
+			Name:  base + "/" + dtype + "_speedup_x",
+			Value: r.Value / f32,
+			Unit:  "x",
+		})
+	}
+	return out
+}
+
 // readResults loads either file shape, sniffing the kind tag.
 func readResults(path string) (resultFile, error) {
 	data, err := os.ReadFile(path)
@@ -159,6 +189,7 @@ func readResults(path string) (resultFile, error) {
 		for _, b := range probe.Benchmarks {
 			f.Rows = append(f.Rows, metricRow{Name: b.Name, Value: b.ImgPerS, Unit: "img/s"})
 		}
+		f.Rows = append(f.Rows, speedupRows(f.Rows)...)
 	default:
 		return resultFile{}, fmt.Errorf("%s: unknown result kind %q", path, probe.Kind)
 	}

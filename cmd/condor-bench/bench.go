@@ -9,6 +9,7 @@ import (
 	"condor"
 	"condor/internal/dataflow"
 	"condor/internal/models"
+	"condor/internal/quant"
 	"condor/internal/tensor"
 )
 
@@ -23,30 +24,42 @@ type benchResult struct {
 }
 
 // timeIt runs fn (imagesPerOp images of work per call) until it has both a
-// minimum iteration count and a minimum elapsed time, then reports the mean.
+// minimum iteration count and a minimum elapsed time, then reports the mean
+// of the best of two measurement passes — a run that lost the CPU to a noisy
+// neighbour mid-pass gets a second chance, which keeps the committed
+// baselines (and the regression gate diffing against them) representative of
+// the code rather than of scheduler luck.
 func timeIt(name string, imagesPerOp int, fn func() error) (benchResult, error) {
 	const (
 		minIters = 3
 		minTime  = 200 * time.Millisecond
 		maxIters = 10000
+		passes   = 2
 	)
 	// Warm-up: first call pays one-time costs (weight staging, allocator).
 	if err := fn(); err != nil {
 		return benchResult{}, fmt.Errorf("%s: %w", name, err)
 	}
-	iters := 0
-	start := time.Now()
-	for {
-		if err := fn(); err != nil {
-			return benchResult{}, fmt.Errorf("%s: %w", name, err)
+	best := benchResult{Name: name}
+	for pass := 0; pass < passes; pass++ {
+		iters := 0
+		start := time.Now()
+		for {
+			if err := fn(); err != nil {
+				return benchResult{}, fmt.Errorf("%s: %w", name, err)
+			}
+			iters++
+			if iters >= maxIters || (iters >= minIters && time.Since(start) >= minTime) {
+				break
+			}
 		}
-		iters++
-		if iters >= maxIters || (iters >= minIters && time.Since(start) >= minTime) {
-			break
+		nsPerOp := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		if best.NsPerOp == 0 || nsPerOp < best.NsPerOp {
+			best.Iters, best.NsPerOp = iters, nsPerOp
+			best.ImgPerS = float64(imagesPerOp) * 1e9 / nsPerOp
 		}
 	}
-	nsPerOp := float64(time.Since(start).Nanoseconds()) / float64(iters)
-	return benchResult{Name: name, Iters: iters, NsPerOp: nsPerOp, ImgPerS: float64(imagesPerOp) * 1e9 / nsPerOp}, nil
+	return best, nil
 }
 
 // benchJSON runs the fabric-throughput microbenchmarks (the same workloads
@@ -55,17 +68,12 @@ func timeIt(name string, imagesPerOp int, fn func() error) (benchResult, error) 
 // artifact upload and regression tracking. For every entry of cus a
 // batch-16 leg runs on a compute-unit pool of that size
 // (BenchmarkFabricThroughput/cus=N), measuring the replication speedup on
-// hosts with enough cores — on a single-core host the legs coincide.
-func benchJSON(path string, cus []int) error {
+// hosts with enough cores — on a single-core host the legs coincide. The
+// fabric legs repeat per requested dtype: float32 keeps the bare leg names
+// (baseline continuity), every other precision gets a /dtype=<p> suffix so
+// benchdiff keys the rows apart and can gate the int8 speedup itself.
+func benchJSON(path string, cus []int, dtypes []quant.Precision) error {
 	ir, ws, err := models.TC1()
-	if err != nil {
-		return err
-	}
-	bld, err := condor.New().BuildAccelerator(condor.Input{IR: ir, Weights: ws})
-	if err != nil {
-		return err
-	}
-	dep, err := bld.Fabric()
 	if err != nil {
 		return err
 	}
@@ -78,15 +86,12 @@ func benchJSON(path string, cus []int) error {
 	refImg := models.USPSImages(1, 6)[0]
 	gemmImg := models.USPSImages(1, 3)[0]
 
-	cases := []struct {
+	type benchCase struct {
 		name   string
 		images int
 		fn     func() error
-	}{
-		{"BenchmarkFabricThroughput", 1, func() error {
-			_, _, err := dep.Run(fabricImgs)
-			return err
-		}},
+	}
+	cases := []benchCase{
 		{"BenchmarkReferenceEngine", 1, func() error {
 			_, err := net.Predict(refImg)
 			return err
@@ -102,16 +107,30 @@ func benchJSON(path string, cus []int) error {
 			return err
 		}},
 	}
-	for _, n := range cus {
-		pool := dataflow.NewCUPool(dep, n)
-		cases = append(cases, struct {
-			name   string
-			images int
-			fn     func() error
-		}{fmt.Sprintf("BenchmarkFabricThroughput/cus=%d", n), len(poolImgs), func() error {
-			_, _, err := pool.Run(poolImgs)
+	for _, p := range dtypes {
+		bld, err := condor.New().BuildAccelerator(condor.Input{IR: ir, Weights: ws, Precision: p})
+		if err != nil {
+			return err
+		}
+		dep, err := bld.Fabric()
+		if err != nil {
+			return err
+		}
+		suffix := ""
+		if p != quant.Float32 {
+			suffix = "/dtype=" + p.String()
+		}
+		cases = append(cases, benchCase{"BenchmarkFabricThroughput" + suffix, 1, func() error {
+			_, _, err := dep.Run(fabricImgs)
 			return err
 		}})
+		for _, n := range cus {
+			pool := dataflow.NewCUPool(dep, n)
+			cases = append(cases, benchCase{fmt.Sprintf("BenchmarkFabricThroughput/cus=%d%s", n, suffix), len(poolImgs), func() error {
+				_, _, err := pool.Run(poolImgs)
+				return err
+			}})
+		}
 	}
 
 	var results []benchResult

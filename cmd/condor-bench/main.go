@@ -20,12 +20,14 @@ import (
 	"strings"
 
 	"condor"
+	"condor/internal/quant"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment: table1 | table2 | figure5")
 	jsonOut := flag.String("json", "", "run the fabric microbenchmarks and write results to this JSON file (e.g. BENCH_fabric.json)")
 	cusList := flag.String("cus", "1,2", "comma-separated compute-unit counts for the -json batch-throughput legs")
+	dtypeList := flag.String("dtype", "float32", "comma-separated fabric numeric formats for the -json legs: float32 | int8")
 	layers := flag.String("layers", "", "print a per-layer traced cycle profile of the fabric: tc1 | lenet")
 	layersBatch := flag.Int("layers-batch", 4, "batch size for the -layers profile")
 	flag.Parse()
@@ -33,6 +35,11 @@ func main() {
 	cus, err := parseCUs(*cusList)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "condor-bench: -cus: %v\n", err)
+		os.Exit(1)
+	}
+	dtypes, err := parseDtypes(*dtypeList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "condor-bench: -dtype: %v\n", err)
 		os.Exit(1)
 	}
 
@@ -56,7 +63,7 @@ func main() {
 		}
 	}
 	if *jsonOut != "" {
-		if err := benchJSON(*jsonOut, cus); err != nil {
+		if err := benchJSON(*jsonOut, cus, dtypes); err != nil {
 			fmt.Fprintf(os.Stderr, "condor-bench: bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -82,6 +89,26 @@ func parseCUs(s string) ([]int, error) {
 			return nil, fmt.Errorf("invalid compute-unit count %q", part)
 		}
 		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseDtypes parses the -dtype list ("float32,int8") into precisions.
+func parseDtypes(s string) ([]quant.Precision, error) {
+	var out []quant.Precision
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "":
+		case "float32":
+			out = append(out, quant.Float32)
+		case "int8":
+			out = append(out, quant.Int8)
+		default:
+			return nil, fmt.Errorf("unknown dtype %q (float32 | int8)", part)
+		}
+	}
+	if len(out) == 0 {
+		out = []quant.Precision{quant.Float32}
 	}
 	return out, nil
 }

@@ -53,6 +53,7 @@ import (
 	"condor/internal/condorir"
 	"condor/internal/models"
 	"condor/internal/obs"
+	"condor/internal/quant"
 	"condor/internal/serve"
 )
 
@@ -63,6 +64,7 @@ func main() {
 		local       = flag.Int("local", 1, "number of local boards to program")
 		localBoard  = flag.String("local-board", "ku115", "board id for local deployments")
 		cus         = flag.Int("cus", 1, "compute units (replicated kernel instances) per local board")
+		dtype       = flag.String("dtype", "float32", "fabric numeric format: float32 | int16 | int8 (int8 serves on the packed datapath)")
 		endpoint    = flag.String("endpoint", "", "cloud endpoint URL (e.g. awsmock); empty disables the cloud pool")
 		bucket      = flag.String("bucket", "condor-serve", "S3 bucket for cloud deployments")
 		instType    = flag.String("instance-type", "f1.2xlarge", "F1 instance type for the cloud pool")
@@ -89,7 +91,7 @@ func main() {
 	}
 	opts := serveOptions{
 		addr: *addr, model: *model,
-		local: *local, localBoard: *localBoard, cus: *cus,
+		local: *local, localBoard: *localBoard, cus: *cus, dtype: *dtype,
 		endpoint: *endpoint, bucket: *bucket, instType: *instType, slots: *slots,
 		maxBatch: *maxBatch, batchWindow: *batchWindow, queueDepth: *queueDepth,
 		reqTimeout: *reqTimeout,
@@ -111,6 +113,7 @@ type serveOptions struct {
 	local               int
 	localBoard          string
 	cus                 int
+	dtype               string
 	endpoint, bucket    string
 	instType            string
 	slots               int
@@ -121,6 +124,19 @@ type serveOptions struct {
 	fleetURL, advertise string
 	tracePath           string
 	pprofOn             bool
+}
+
+func modelPrecision(dtype string) (quant.Precision, error) {
+	switch dtype {
+	case "", "float32":
+		return quant.Float32, nil
+	case "int16":
+		return quant.Int16, nil
+	case "int8":
+		return quant.Int8, nil
+	default:
+		return quant.Float32, fmt.Errorf("unknown dtype %q (float32 | int16 | int8)", dtype)
+	}
 }
 
 func modelIR(model string) (*condorir.Network, *condorir.WeightSet, error) {
@@ -175,6 +191,10 @@ func run(o serveOptions) error {
 	if err != nil {
 		return err
 	}
+	prec, err := modelPrecision(o.dtype)
+	if err != nil {
+		return err
+	}
 	input := serve.InputShape{Channels: ir.Input.Channels, Height: ir.Input.Height, Width: ir.Input.Width}
 
 	// Listen before building the pool: liveness is immediate, readiness
@@ -203,7 +223,7 @@ func run(o serveOptions) error {
 		if err != nil {
 			return err
 		}
-		build, err := f.BuildAccelerator(condor.Input{IR: ir, Weights: ws, Board: o.localBoard})
+		build, err := f.BuildAccelerator(condor.Input{IR: ir, Weights: ws, Board: o.localBoard, Precision: prec})
 		if err != nil {
 			return fmt.Errorf("local build: %w", err)
 		}
@@ -233,7 +253,7 @@ func run(o serveOptions) error {
 		if err != nil {
 			return err
 		}
-		build, err := f.BuildAccelerator(condor.Input{IR: ir, Weights: ws, Board: models.F1Board})
+		build, err := f.BuildAccelerator(condor.Input{IR: ir, Weights: ws, Board: models.F1Board, Precision: prec})
 		if err != nil {
 			return fmt.Errorf("cloud build: %w", err)
 		}

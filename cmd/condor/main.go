@@ -92,15 +92,11 @@ func cmdBuild(args []string) error {
 	}
 
 	in := condor.Input{Board: *boardID, FrequencyMHz: *freq, RunDSE: *runDSE}
-	switch *precision {
-	case "", "float32":
-	case "int16":
-		in.Precision = quant.Int16
-	case "int8":
-		in.Precision = quant.Int8
-	default:
-		return fmt.Errorf("unknown precision %q", *precision)
+	p, err := parsePrecision(*precision)
+	if err != nil {
+		return err
 	}
+	in.Precision = p
 	switch {
 	case *prototxt != "":
 		src, err := os.ReadFile(*prototxt)
@@ -357,6 +353,8 @@ func cmdLint(args []string) error {
 	burst := fs.Int("burst", 0, "DMA burst transaction length in words (0 = host-chunked)")
 	tapDepth := fs.Int("tap-depth", 0, "declared tap FIFO depth in words (0 = auto-sized worst case)")
 	fifoDepth := fs.Int("fifo-depth", 0, "inter-PE stream FIFO depth override in words (0 = default)")
+	precision := fs.String("precision", "float32", "fabric numeric format to prove: float32 | int16 | int8")
+	strictLanes := fs.Bool("strict-lanes", false, "reject padded tail lanes (CND023 becomes an error) on the packed int8 datapath")
 	quiet := fs.Bool("q", false, "suppress the success line")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -395,11 +393,17 @@ func cmdLint(args []string) error {
 		return fmt.Errorf("provide -network (optionally with -weights) or -model")
 	}
 
+	p, err := parsePrecision(*precision)
+	if err != nil {
+		return err
+	}
 	diags, err := condor.New().LintWith(ir, ws, condor.LintOptions{
 		ComputeUnits:     *cus,
 		BurstWords:       *burst,
 		TapFIFODepth:     *tapDepth,
 		InterPEFIFODepth: *fifoDepth,
+		Precision:        p,
+		StrictLanes:      *strictLanes,
 	})
 	if err != nil {
 		return err
@@ -418,6 +422,20 @@ func cmdLint(args []string) error {
 		fmt.Printf("%s: design verification passed (%d warning(s))\n", ir.Name, len(diags))
 	}
 	return nil
+}
+
+// parsePrecision resolves the -precision flag values.
+func parsePrecision(s string) (quant.Precision, error) {
+	switch s {
+	case "", "float32":
+		return quant.Float32, nil
+	case "int16":
+		return quant.Int16, nil
+	case "int8":
+		return quant.Int8, nil
+	default:
+		return quant.Float32, fmt.Errorf("unknown precision %q", s)
+	}
 }
 
 // builtinModel resolves the -model names to the evaluation networks.

@@ -241,7 +241,10 @@ func (f *Framework) BuildAccelerator(in Input) (*Build, error) {
 
 	if in.RunDSE {
 		f.logf("core: design-space exploration")
-		res, err := dse.Explore(ir, dse.Options{})
+		// The walk runs under the selected precision's resource and cycle
+		// models, so int8 builds explore the parallelism headroom their
+		// cheaper MACs and packed streams actually leave.
+		res, err := dse.Explore(ir, dse.Options{Precisions: []quant.Precision{in.Precision}})
 		if err != nil {
 			return nil, err
 		}
@@ -319,6 +322,16 @@ type LintOptions struct {
 	// InterPEFIFODepth, when positive, overrides the depth of the streaming
 	// FIFOs between PEs.
 	InterPEFIFODepth int
+
+	// Precision selects the fabric numeric format the configuration is
+	// verified for (the -precision/-dtype the deployment will run). Int8
+	// enables the packed-lane rule CND023.
+	Precision quant.Precision
+
+	// StrictLanes escalates CND023 from warning to error: streamed-edge
+	// volumes the packed lane count does not divide are rejected instead of
+	// falling back to zero-padded tail lanes.
+	StrictLanes bool
 }
 
 // Lint runs the pre-synthesis design verifier standalone: the IR is mapped
@@ -344,6 +357,8 @@ func (f *Framework) LintWith(ir *condorir.Network, ws *condorir.WeightSet, opts 
 	if err != nil {
 		return nil, err
 	}
+	spec.WordBits = opts.Precision.Bits()
+	spec.StrictLanes = opts.StrictLanes
 	if opts.InterPEFIFODepth > 0 {
 		spec.InterPEFIFODepth = opts.InterPEFIFODepth
 	}

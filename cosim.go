@@ -59,7 +59,8 @@ func (b *Build) Cosim(n int, seed int64, tolerance float64) (CosimReport, error)
 	if n <= 0 {
 		return CosimReport{}, fmt.Errorf("condor: cosim needs at least one image")
 	}
-	if tolerance <= 0 {
+	autoTol := tolerance <= 0
+	if autoTol {
 		tolerance = DefaultCosimTolerance
 	}
 	rep := CosimReport{Images: n, Tolerance: tolerance}
@@ -84,6 +85,15 @@ func (b *Build) Cosim(n int, seed int64, tolerance float64) (CosimReport, error)
 		return rep, err
 	}
 	rep.Stats = stats
+	if autoTol && b.Spec.WordBits == 8 {
+		// The packed int8 fabric is bounded-error, not bit-identical: widen
+		// the default tolerance to the bound the run's recorded quantization
+		// scales imply (never below the float reassociation allowance).
+		if qb := stats.QuantErrorBound(); qb > tolerance {
+			tolerance = qb
+			rep.Tolerance = qb
+		}
+	}
 	agree := 0
 	for i := range imgs {
 		want, err := net.Predict(imgs[i])

@@ -9,6 +9,7 @@ import (
 	"condor/internal/fifo"
 	"condor/internal/nn"
 	"condor/internal/obs"
+	"condor/internal/quant"
 	"condor/internal/tensor"
 )
 
@@ -20,6 +21,13 @@ type Accelerator struct {
 	Spec   *Spec
 	dm     *Datamover
 	tracer obs.Tracer
+
+	// qweights holds every compute layer's weights pre-quantized onto the
+	// symmetric int8 grid, built at Instantiate time for packed specs
+	// (WordBits == 8). The store is sealed before the codes are derived, so
+	// they stay valid for the accelerator's lifetime and are shared
+	// read-only by clones. Nil on float32/int16 fabrics.
+	qweights map[string]int8LayerWeights
 
 	// trackPrefix namespaces this unit's trace tracks ("cu1/feeder", …).
 	// Empty for a standalone fabric and for unit 0 of a single-unit pool, so
@@ -70,7 +78,14 @@ func Instantiate(spec *Spec, ws *condorir.WeightSet) (*Accelerator, error) {
 			}
 			a.dm.LoadWeights(l.Name, we.Data, bias)
 			if pe.WeightsOnChip {
-				a.dm.AccountOnChipLoad(l.Name)
+				if spec.WordBits == 8 {
+					// The packed fabric stores on-chip weights as int8
+					// codes: the configuration load moves one byte per
+					// word, matching Spec.OnChipLoadBytes.
+					a.dm.AccountOnChipLoadBytes(l.Name, 1)
+				} else {
+					a.dm.AccountOnChipLoad(l.Name)
+				}
 			}
 		}
 	}
@@ -78,6 +93,13 @@ func Instantiate(spec *Spec, ws *condorir.WeightSet) (*Accelerator, error) {
 	// every subsequent read lock-free, and is what lets Clone replicate the
 	// fabric by reference instead of by copy.
 	a.dm.Seal()
+	if spec.WordBits == 8 {
+		qw, err := quantizeWeightStore(spec, a.dm)
+		if err != nil {
+			return nil, err
+		}
+		a.qweights = qw
+	}
 	return a, nil
 }
 
@@ -89,7 +111,7 @@ func Instantiate(spec *Spec, ws *condorir.WeightSet) (*Accelerator, error) {
 // load stays accounted on the original unit. The tracer attachment carries
 // over; CUPool assigns per-unit track prefixes.
 func (a *Accelerator) Clone() *Accelerator {
-	return &Accelerator{Spec: a.Spec, dm: a.dm.Clone(), tracer: a.tracer, trackPrefix: a.trackPrefix}
+	return &Accelerator{Spec: a.Spec, dm: a.dm.Clone(), tracer: a.tracer, trackPrefix: a.trackPrefix, qweights: a.qweights}
 }
 
 // Datamover exposes the on-board memory interface (used by tests and the
@@ -102,6 +124,27 @@ type RunStats struct {
 	PEs     []PEStats
 	DRAM    DatamoverStats
 	Streams []fifo.Stats // inter-PE streaming FIFO traffic and occupancy
+
+	// InputScale is the largest per-image activation quantization scale the
+	// feeder applied over the batch (packed int8 datapath only; zero on the
+	// float paths). Together with the per-PE MaxRequantScale values it
+	// bounds the admissible deviation from the float oracle.
+	InputScale float64
+}
+
+// QuantErrorBound derives the admissible element-wise deviation of a packed
+// int8 run from the float32 oracle out of the per-tensor scales the run
+// recorded: every quantization point (the feeder plus each PE's requantize
+// boundary) contributes up to half a step of rounding error, and upstream
+// error is amplified as it propagates through the MAC chains, so the bound
+// takes a conservative multiple of the summed scales. Zero on float runs
+// (no scales recorded — the float paths are held to bit-identity instead).
+func (s *RunStats) QuantErrorBound() float64 {
+	sum := s.InputScale
+	for i := range s.PEs {
+		sum += s.PEs[i].MaxRequantScale
+	}
+	return 8 * sum
 }
 
 // BottleneckCycles returns the largest per-image cycle count among the PEs:
@@ -163,6 +206,12 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 	stats := &RunStats{Images: len(batch), PEs: make([]PEStats, len(spec.PEs))}
 	errs := make(chan error, len(spec.PEs)+2)
 
+	// The packed int8 datapath rides the burst protocol: WordBits == 8
+	// selects the quantize-pack-execute pipeline end to end. RunWords always
+	// stays the float32 word-at-a-time oracle — that is what the bounded
+	// error of the packed path is measured against.
+	packed := burst && spec.WordBits == 8
+
 	// Streaming FIFOs: datamover → pe0 → pe1 → … → datamover.
 	fifos := make([]*fifo.FIFO, len(spec.PEs)+1)
 	for i := range fifos {
@@ -186,22 +235,42 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 
 	// Feeder: the datamover streams every image from on-board memory. In
 	// burst mode a whole image moves per PushSlice (chunked internally by
-	// the FIFO's free space, so the bounded depth still throttles).
+	// the FIFO's free space, so the bounded depth still throttles). On the
+	// packed datapath the feeder is also the fabric's only float→int8
+	// quantization point: it calibrates a per-image symmetric scale, packs
+	// the codes four per word, and frames them behind a scale-header word.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer fifos[0].Close()
+		var codes []int8
+		var words []fifo.Word
+		if packed {
+			vol := in.Volume()
+			codes = make([]int8, vol)
+			words = make([]fifo.Word, fifo.PackedWords(vol))
+		}
 		for _, img := range batch {
 			sid := 0
 			if feedTrack != nil {
 				sid = feedTrack.Begin("feed", 0)
 			}
-			a.dm.AccountInput(int64(img.Len()))
-			if burst {
-				fifos[0].PushSlice(img.Data())
+			if packed {
+				scale := frameScale(img.Data())
+				quant.QuantizeInto(codes, img.Data(), scale)
+				a.dm.AccountReadBytes(int64(img.Len()))
+				pushInt8Frame(fifos[0], words, codes, scale)
+				if scale > stats.InputScale {
+					stats.InputScale = scale
+				}
 			} else {
-				for _, v := range img.Data() {
-					fifos[0].Push(v)
+				a.dm.AccountInput(int64(img.Len()))
+				if burst {
+					fifos[0].PushSlice(img.Data())
+				} else {
+					for _, v := range img.Data() {
+						fifos[0].Push(v)
+					}
 				}
 			}
 			if feedTrack != nil {
@@ -215,9 +284,12 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 	for i, pe := range spec.PEs {
 		stats.PEs[i].ID = pe.ID
 		var exec interface{ run(int) error }
-		if burst {
+		switch {
+		case packed:
+			exec = &peExecInt8{pe: pe, dm: a.dm, qw: a.qweights, in: fifos[i], out: fifos[i+1], stats: &stats.PEs[i], track: peTracks[i]}
+		case burst:
 			exec = &peExec{pe: pe, dm: a.dm, in: fifos[i], out: fifos[i+1], stats: &stats.PEs[i], track: peTracks[i]}
-		} else {
+		default:
 			exec = &peExecWords{pe: pe, dm: a.dm, in: fifos[i], out: fifos[i+1], stats: &stats.PEs[i]}
 		}
 		wg.Add(1)
@@ -236,6 +308,13 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 	go func() {
 		defer wg.Done()
 		sink := fifos[len(fifos)-1]
+		var codes []int8
+		var words []fifo.Word
+		if packed {
+			vol := outShape.Volume()
+			codes = make([]int8, vol)
+			words = make([]fifo.Word, fifo.PackedWords(vol))
+		}
 		for b := range outputs {
 			t := tensor.New(outShape.Channels, outShape.Height, outShape.Width)
 			data := t.Data()
@@ -243,7 +322,18 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 			if sinkTrack != nil {
 				sid = sinkTrack.Begin("collect", 0)
 			}
-			if burst {
+			if packed {
+				// The collector is the fabric's only int8→float point: it
+				// unpacks the last PE's frame and dequantizes with the
+				// frame's scale before the output leaves the fabric.
+				scale, err := popInt8Frame(sink, words, codes)
+				if err != nil {
+					errs <- fmt.Errorf("dataflow: image %d: %w", b, err)
+					return
+				}
+				quant.DequantizeInto(data, codes, scale)
+				a.dm.AccountWriteBytes(int64(len(data)))
+			} else if burst {
 				if n := sink.PopInto(data); n < len(data) {
 					errs <- fmt.Errorf("dataflow: output stream ended at image %d element %d", b, n)
 					return
@@ -258,7 +348,9 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 					data[j] = v
 				}
 			}
-			a.dm.AccountOutput(int64(len(data)))
+			if !packed {
+				a.dm.AccountOutput(int64(len(data)))
+			}
 			if sinkTrack != nil {
 				sinkTrack.AddWords(sid, int64(len(data)))
 				sinkTrack.End(sid, 0)

@@ -129,6 +129,12 @@ func (s *RunStats) Merge(o *RunStats) {
 		a.ElemsIn += b.ElemsIn
 		a.ElemsOut += b.ElemsOut
 		a.SpilledPartial += b.SpilledPartial
+		if b.MaxRequantScale > a.MaxRequantScale {
+			a.MaxRequantScale = b.MaxRequantScale
+		}
+	}
+	if o.InputScale > s.InputScale {
+		s.InputScale = o.InputScale
 	}
 	s.DRAM.BytesRead += o.DRAM.BytesRead
 	s.DRAM.BytesWritten += o.DRAM.BytesWritten
@@ -141,6 +147,8 @@ func (s *RunStats) Merge(o *RunStats) {
 		a.Pops += b.Pops
 		a.PushBursts += b.PushBursts
 		a.PopBursts += b.PopBursts
+		a.LanePushes += b.LanePushes
+		a.LanePops += b.LanePops
 		if b.MaxOccupancy > a.MaxOccupancy {
 			a.MaxOccupancy = b.MaxOccupancy
 		}

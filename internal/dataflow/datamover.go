@@ -134,9 +134,15 @@ func (d *Datamover) AccountWeightStream(words int64) { d.bytesRead.Add(4 * words
 
 // AccountOnChipLoad records the one-time DDR→BRAM weight load of a PE whose
 // weights are cached on-chip.
-func (d *Datamover) AccountOnChipLoad(layer string) {
+func (d *Datamover) AccountOnChipLoad(layer string) { d.AccountOnChipLoadBytes(layer, 4) }
+
+// AccountOnChipLoadBytes is AccountOnChipLoad at an explicit word size: the
+// quantized fabrics store weights at WordBits/8 bytes per word, so their
+// configuration-time load moves proportionally fewer bytes — mirroring the
+// analytic Spec.OnChipLoadBytes exactly.
+func (d *Datamover) AccountOnChipLoadBytes(layer string, wordBytes int64) {
 	w, b, _ := d.store.get(layer)
-	d.bytesRead.Add(int64(4 * (len(w) + len(b))))
+	d.bytesRead.Add(wordBytes * int64(len(w)+len(b)))
 }
 
 // WriteBuffer stores an intermediate array in DDR (fused-layer handoff or
@@ -182,6 +188,16 @@ func (d *Datamover) AccountInput(words int64) { d.bytesRead.Add(4 * words) }
 
 // AccountOutput records the DDR write of the network output.
 func (d *Datamover) AccountOutput(words int64) { d.bytesWritten.Add(4 * words) }
+
+// AccountReadBytes records a DDR read at byte granularity. The packed int8
+// datapath moves one byte per activation element and must account exactly
+// what the analytic Spec.DDRBytesPerImage model predicts, which the
+// 4-bytes-per-word helpers above cannot express.
+func (d *Datamover) AccountReadBytes(n int64) { d.bytesRead.Add(n) }
+
+// AccountWriteBytes records a DDR write at byte granularity (see
+// AccountReadBytes).
+func (d *Datamover) AccountWriteBytes(n int64) { d.bytesWritten.Add(n) }
 
 // Stats is a snapshot of DDR traffic.
 type DatamoverStats struct {

@@ -1,0 +1,486 @@
+package dataflow
+
+import (
+	"fmt"
+	"math"
+
+	"condor/internal/fifo"
+	"condor/internal/nn"
+	"condor/internal/obs"
+	"condor/internal/quant"
+)
+
+// This file is the packed int8 datapath: the fabric variant selected by
+// Spec.WordBits == 8, where every FIFO word carries fifo.Int8Lanes quantized
+// activation lanes. Each stream edge frames one image as a single float32
+// scale-header word followed by PackedWords(volume) payload words; PEs unpack
+// into int8, run conv/FC MACs in widened int32 accumulators, dequantize once
+// per layer to fold bias/activation/normalisation in float, and requantize
+// with a fresh symmetric per-tensor scale at the PE boundary. Only the feeder
+// quantizes float inputs and only the collector dequantizes back — in
+// between, activations exist purely as packed lanes, which is what shrinks
+// the stream traversal cycles and DDR bytes by the lane factor.
+//
+// Unlike the float paths, results are not bit-identical to the oracle: the
+// contract is bounded error, with the admissible deviation derived from the
+// per-tensor scales recorded in RunStats (InputScale, MaxRequantScale). See
+// quant_equiv_test.go.
+
+// frameScale rounds a per-tensor scale to float32 before anything is
+// quantized with it, so the exact value a header word can transport is also
+// the value the codes were produced with.
+func frameScale(data []float32) float64 {
+	return float64(float32(quant.TensorScale(data, quant.Int8)))
+}
+
+// int8LayerWeights is one layer's weights pre-quantized onto the symmetric
+// int8 grid. Built once per Instantiate (after the store seals) and shared
+// read-only by every compute unit and every run, so batches never pay the
+// weight-calibration scan again.
+type int8LayerWeights struct {
+	w      []int8
+	wScale float64
+	b      []float32
+}
+
+// quantizeWeightStore derives the int8 weight codes for every compute layer
+// of a packed spec from the sealed datamover store.
+func quantizeWeightStore(spec *Spec, dm *Datamover) (map[string]int8LayerWeights, error) {
+	out := make(map[string]int8LayerWeights)
+	for _, pe := range spec.PEs {
+		for i := range pe.Layers {
+			l := &pe.Layers[i]
+			if l.Kind != nn.Conv && l.Kind != nn.FullyConnected {
+				continue
+			}
+			w, b, err := dm.WeightsRef(l.Name)
+			if err != nil {
+				return nil, fmt.Errorf("dataflow: layer %q: %w", l.Name, err)
+			}
+			e := int8LayerWeights{wScale: frameScale(w), b: b}
+			e.w = make([]int8, len(w))
+			quant.QuantizeInto(e.w, w, e.wScale)
+			out[l.Name] = e
+		}
+	}
+	return out, nil
+}
+
+func growInt8(s []int8, n int) []int8 {
+	if cap(s) < n {
+		return make([]int8, n)
+	}
+	return s[:n]
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// pushInt8Frame sends one image's codes downstream: the scale header, then
+// the packed payload.
+func pushInt8Frame(f *fifo.FIFO, words []fifo.Word, codes []int8, scale float64) {
+	f.Push(fifo.Word(scale))
+	fifo.PackInt8(words, codes)
+	f.PushPacked(words[:fifo.PackedWords(len(codes))], int64(len(codes)))
+}
+
+// popInt8Frame receives one image's codes: header word, then payload.
+func popInt8Frame(f *fifo.FIFO, words []fifo.Word, codes []int8) (float64, error) {
+	sw, ok := f.Pop()
+	if !ok {
+		return 0, fmt.Errorf("input stream ended before the scale header")
+	}
+	need := fifo.PackedWords(len(codes))
+	if n := f.PopPackedInto(words[:need], int64(len(codes))); n < need {
+		return 0, fmt.Errorf("input stream ended after %d of %d packed words", n, need)
+	}
+	fifo.UnpackInt8(codes, words)
+	return float64(sw), nil
+}
+
+// peExecInt8 executes one PE over a batch on the packed datapath. The
+// schedule (channel passes, output banding on the worker pool, fused-layer
+// handoffs) mirrors peExec; the arithmetic is int8×int8→int32 with one
+// dequantize/requantize per layer boundary. Windows are read by direct
+// indexing into a zero-padded channel map rather than through the filter
+// chain: the chain's word-granularity simulation is a float-path fidelity
+// device, while the packed datapath models its stream traversal through
+// LayerCyclesAt and keeps the host loop tight — that hot-loop tightness is
+// where the measured (not just modeled) int8 speedup comes from.
+type peExecInt8 struct {
+	pe    *PE
+	dm    *Datamover
+	qw    map[string]int8LayerWeights // Instantiate-time weight codes (nil → quantize in prepare)
+	in    *fifo.FIFO
+	out   *fifo.FIFO
+	stats *PEStats
+	track *obs.Track // nil when tracing is off
+
+	pool   *workerPool
+	layers []peLayerInt8
+
+	// Scratch reused across layers and images.
+	curCodes []int8
+	nxtCodes []int8
+	floatBuf []float32
+	partial  []int32
+	padBuf   []int8
+	wordBuf  []fifo.Word
+}
+
+// peLayerInt8 is one fused layer's batch-resolved state: weight codes on the
+// symmetric int8 grid plus their scale, and the float bias folded at
+// dequantization time.
+type peLayerInt8 struct {
+	w           []int8
+	wScale      float64
+	b           []float32
+	streamBytes int64 // weight+bias bytes re-read from DDR per image (0 when on-chip)
+}
+
+func (x *peExecInt8) prepare() error {
+	x.layers = make([]peLayerInt8, len(x.pe.Layers))
+	for li := range x.pe.Layers {
+		l := &x.pe.Layers[li]
+		st := &x.layers[li]
+		if l.Kind != nn.Conv && l.Kind != nn.FullyConnected {
+			continue
+		}
+		if e, ok := x.qw[l.Name]; ok {
+			st.w, st.wScale, st.b = e.w, e.wScale, e.b
+		} else {
+			// Spec switched to WordBits==8 after Instantiate: derive the
+			// codes here (the slow path the Instantiate-time cache avoids).
+			w, b, err := x.dm.WeightsRef(l.Name)
+			if err != nil {
+				return fmt.Errorf("layer %q: %w", l.Name, err)
+			}
+			st.wScale = frameScale(w)
+			st.w = make([]int8, len(w))
+			quant.QuantizeInto(st.w, w, st.wScale)
+			st.b = b
+		}
+		if len(st.w) != l.WeightWords() {
+			return fmt.Errorf("layer %q: weight stream has %d words, want %d", l.Name, len(st.w), l.WeightWords())
+		}
+		if !x.pe.WeightsOnChip {
+			st.streamBytes = int64(len(st.w) + len(st.b))
+		}
+	}
+	width := x.pe.Par.Normalize()
+	par := width.In
+	if width.Out > par {
+		par = width.Out
+	}
+	x.pool = newPEWorkerPool(par)
+	return nil
+}
+
+// run processes batch images and closes the output FIFO, draining upstream
+// on error exactly like the float executor.
+func (x *peExecInt8) run(batch int) error {
+	defer x.out.Close()
+	if err := x.prepare(); err != nil {
+		x.in.Drain()
+		return fmt.Errorf("dataflow: %s: %w", x.pe.ID, err)
+	}
+	defer x.pool.close()
+	for img := 0; img < batch; img++ {
+		if err := x.runImage(img); err != nil {
+			x.in.Drain()
+			return fmt.Errorf("dataflow: %s image %d: %w", x.pe.ID, img, err)
+		}
+		x.stats.Images++
+	}
+	return nil
+}
+
+func (x *peExecInt8) runImage(img int) error {
+	lanes := fifo.Int8Lanes
+	vol := x.pe.Layers[0].InShape.Volume()
+	x.curCodes = growInt8(x.curCodes, vol)
+	x.wordBuf = growWords(x.wordBuf, fifo.PackedWords(vol))
+	scale, err := popInt8Frame(x.in, x.wordBuf, x.curCodes)
+	if err != nil {
+		return err
+	}
+	x.stats.ElemsIn += int64(vol)
+
+	cur := x.curCodes
+	for li := range x.pe.Layers {
+		l := &x.pe.Layers[li]
+		st := &x.layers[li]
+		if len(cur) != l.InShape.Volume() {
+			return fmt.Errorf("fused intermediate has %d lanes, layer expects %d", len(cur), l.InShape.Volume())
+		}
+		outVol := l.OutShape.Volume()
+		x.nxtCodes = growInt8(x.nxtCodes, outVol)
+		out := x.nxtCodes
+
+		sid := 0
+		if x.track != nil {
+			sid = x.track.Begin(l.Name, x.stats.Cycles)
+		}
+
+		var outScale float64
+		switch l.Kind {
+		case nn.Conv:
+			outScale, err = x.runConv(l, st, cur, scale, out)
+		case nn.MaxPool, nn.AvgPool:
+			outScale, err = x.runPool(l, cur, scale, out)
+		case nn.FullyConnected:
+			outScale, err = x.runFC(l, st, cur, scale, out)
+		default:
+			err = fmt.Errorf("layer %q: unsupported PE kind %v", l.Name, l.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("layer %q: %w", l.Name, err)
+		}
+		x.stats.Cycles += LayerCyclesAt(l, x.pe.Par, lanes)
+		if outScale > x.stats.MaxRequantScale {
+			x.stats.MaxRequantScale = outScale
+		}
+
+		if li == len(x.pe.Layers)-1 {
+			x.wordBuf = growWords(x.wordBuf, fifo.PackedWords(outVol))
+			pushInt8Frame(x.out, x.wordBuf, out, outScale)
+			x.stats.ElemsOut += int64(outVol)
+		} else {
+			// Fused-layer handoff: the intermediate rides through DDR as
+			// packed bytes (one per lane), half the round trip each way.
+			x.dm.AccountWriteBytes(int64(outVol))
+			x.dm.AccountReadBytes(int64(outVol))
+			x.stats.Cycles += 2 * ceilDiv64(int64(outVol), int64(lanes))
+		}
+		if x.track != nil {
+			x.track.AddWords(sid, int64(fifo.PackedWords(outVol)))
+			x.track.End(sid, x.stats.Cycles)
+		}
+		x.curCodes, x.nxtCodes = x.nxtCodes, x.curCodes
+		cur, scale = out, outScale
+	}
+	return nil
+}
+
+// padChannel copies one channel map into the zero-padded scratch. With no
+// padding the in-place map is returned directly.
+func (x *peExecInt8) padChannel(l *LayerHW, chmap []int8) []int8 {
+	if l.Pad == 0 {
+		return chmap
+	}
+	h, w, pad := l.InShape.Height, l.InShape.Width, l.Pad
+	ph, pw := l.PaddedHeight(), l.PaddedWidth()
+	x.padBuf = growInt8(x.padBuf, ph*pw)
+	padded := x.padBuf
+	for i := range padded {
+		padded[i] = 0
+	}
+	for y := 0; y < h; y++ {
+		copy(padded[(y+pad)*pw+pad:], chmap[y*w:(y+1)*w])
+	}
+	return padded
+}
+
+// runConv is the quantized convolutional PE: per input-channel pass, every
+// window position accumulates int8 products into the int32 partial buffer,
+// output channels banded across the worker pool. After the last pass the
+// accumulators are dequantized (acc · wScale · inScale + bias), activated in
+// float, and requantized with a fresh per-tensor scale.
+func (x *peExecInt8) runConv(l *LayerHW, st *peLayerInt8, cur []int8, inScale float64, out []int8) (float64, error) {
+	c, f, k := l.InShape.Channels, l.OutShape.Channels, l.Kernel
+	outH, outW := l.OutShape.Height, l.OutShape.Width
+	outHW := outH * outW
+	inHW := l.InShape.Height * l.InShape.Width
+	pw := l.PaddedWidth()
+	stride := l.Stride
+	kk := k * k
+	if st.streamBytes > 0 {
+		x.dm.AccountReadBytes(st.streamBytes)
+	}
+	x.partial = growInt32(x.partial, f*outHW)
+	partial := x.partial
+	clear(partial)
+	outBands := x.pe.Par.Normalize().Out
+	for ci := 0; ci < c; ci++ {
+		padded := x.padChannel(l, cur[ci*inHW:(ci+1)*inHW])
+		x.pool.bands(f, outBands, func(_, lo, hi int) {
+			for fi := lo; fi < hi; fi++ {
+				wbase := (fi*c + ci) * kk
+				off := fi * outHW
+				for oy := 0; oy < outH; oy++ {
+					iy0 := oy * stride
+					for ox := 0; ox < outW; ox++ {
+						ix0 := ox * stride
+						var acc int32
+						if k == 5 {
+							// The paper's models are all 5×5 convs; a fixed
+							// unroll with full-length slices lets the compiler
+							// drop every bounds check from the MAC chain.
+							for m := 0; m < 5; m++ {
+								rb, wb := (iy0+m)*pw+ix0, wbase+m*5
+								r := padded[rb : rb+5]
+								w := st.w[wb : wb+5]
+								acc += int32(w[0])*int32(r[0]) + int32(w[1])*int32(r[1]) +
+									int32(w[2])*int32(r[2]) + int32(w[3])*int32(r[3]) +
+									int32(w[4])*int32(r[4])
+							}
+						} else {
+							for m := 0; m < k; m++ {
+								row := padded[(iy0+m)*pw+ix0:]
+								wrow := st.w[wbase+m*k:]
+								for n := 0; n < k; n++ {
+									acc += int32(wrow[n]) * int32(row[n])
+								}
+							}
+						}
+						partial[off+oy*outW+ox] += acc
+					}
+				}
+			}
+		})
+		x.stats.WindowsRead += int64(outHW)
+		x.stats.MACs += int64(f) * int64(kk) * int64(outHW)
+		if !x.pe.PartialsOnChip {
+			x.dm.AccountPartialSpill(int64(f * outHW))
+			x.stats.SpilledPartial += int64(f * outHW)
+		}
+	}
+	x.floatBuf = growSlice(x.floatBuf, f*outHW)
+	fb := x.floatBuf
+	deq := st.wScale * inScale
+	x.pool.bands(f, outBands, func(_, lo, hi int) {
+		for fi := lo; fi < hi; fi++ {
+			var bias float64
+			if len(st.b) > 0 {
+				bias = float64(st.b[fi])
+			}
+			off := fi * outHW
+			for pos := 0; pos < outHW; pos++ {
+				fb[off+pos] = applyActivation(l.Activation, float32(float64(partial[off+pos])*deq+bias))
+			}
+		}
+	})
+	outScale := frameScale(fb)
+	quant.QuantizeInto(out, fb, outScale)
+	return outScale, nil
+}
+
+// runPool is the quantized sub-sampling PE. Max pooling with no folded
+// activation stays entirely on the int8 grid — max commutes with the
+// monotone dequantization, so the pass is exact and the input scale passes
+// through. Average pooling (and any folded activation) accumulates in int32,
+// dequantizes, applies the float stage and requantizes.
+func (x *peExecInt8) runPool(l *LayerHW, cur []int8, inScale float64, out []int8) (float64, error) {
+	c, k := l.InShape.Channels, l.Kernel
+	outH, outW := l.OutShape.Height, l.OutShape.Width
+	outHW := outH * outW
+	inHW := l.InShape.Height * l.InShape.Width
+	pw := l.PaddedWidth()
+	stride := l.Stride
+	isMax := l.Kind == nn.MaxPool
+	pureMax := isMax && l.Activation == NoActivation
+	if !pureMax {
+		x.floatBuf = growSlice(x.floatBuf, c*outHW)
+	}
+	fb := x.floatBuf
+	inv := inScale / float64(k*k)
+	inBands := x.pe.Par.Normalize().In
+	// Channel maps are independent; bands shard whole channels, and each
+	// band pads into its own local scratch (x.padBuf is single-pass state).
+	poolChannel := func(padded []int8, base int) {
+		for oy := 0; oy < outH; oy++ {
+			iy0 := oy * stride
+			for ox := 0; ox < outW; ox++ {
+				ix0 := ox * stride
+				if isMax {
+					v := int8(math.MinInt8)
+					for m := 0; m < k; m++ {
+						row := padded[(iy0+m)*pw+ix0:]
+						for n := 0; n < k; n++ {
+							if row[n] > v {
+								v = row[n]
+							}
+						}
+					}
+					if pureMax {
+						out[base+oy*outW+ox] = v
+					} else {
+						fb[base+oy*outW+ox] = applyActivation(l.Activation, float32(float64(v)*inScale))
+					}
+				} else {
+					var sum int32
+					for m := 0; m < k; m++ {
+						row := padded[(iy0+m)*pw+ix0:]
+						for n := 0; n < k; n++ {
+							sum += int32(row[n])
+						}
+					}
+					fb[base+oy*outW+ox] = applyActivation(l.Activation, float32(float64(sum)*inv))
+				}
+			}
+		}
+	}
+	if x.pool == nil || inBands <= 1 || c <= 1 || l.Pad != 0 {
+		for ci := 0; ci < c; ci++ {
+			poolChannel(x.padChannel(l, cur[ci*inHW:(ci+1)*inHW]), ci*outHW)
+		}
+	} else {
+		x.pool.bands(c, inBands, func(_, lo, hi int) {
+			for ci := lo; ci < hi; ci++ {
+				poolChannel(cur[ci*inHW:(ci+1)*inHW], ci*outHW)
+			}
+		})
+	}
+	x.stats.WindowsRead += int64(c) * int64(outHW)
+	if pureMax {
+		return inScale, nil
+	}
+	outScale := frameScale(fb[:c*outHW])
+	quant.QuantizeInto(out, fb[:c*outHW], outScale)
+	return outScale, nil
+}
+
+// runFC is the quantized fully-connected PE: each output neuron's int32
+// accumulation walks the packed input lanes, then the whole vector is
+// dequantized, biased, activated, normalized (LogSoftMax/SoftMax in float —
+// the paper folds normalisation into the last PE) and requantized for the
+// output frame.
+func (x *peExecInt8) runFC(l *LayerHW, st *peLayerInt8, cur []int8, inScale float64, out []int8) (float64, error) {
+	v := l.InShape.Volume()
+	o := l.OutShape.Channels
+	if st.streamBytes > 0 {
+		x.dm.AccountReadBytes(st.streamBytes)
+	}
+	x.floatBuf = growSlice(x.floatBuf, o)
+	fb := x.floatBuf[:o]
+	deq := st.wScale * inScale
+	in := cur[:v]
+	x.pool.bands(o, x.pe.Par.Normalize().Out, func(_, lo, hi int) {
+		for oi := lo; oi < hi; oi++ {
+			var acc int32
+			wrow := st.w[oi*v : (oi+1)*v]
+			for h, xv := range in {
+				acc += int32(wrow[h]) * int32(xv)
+			}
+			var bias float64
+			if len(st.b) > 0 {
+				bias = float64(st.b[oi])
+			}
+			fb[oi] = float32(float64(acc)*deq + bias)
+		}
+	})
+	x.stats.MACs += int64(o) * int64(v)
+	for i := range fb {
+		fb[i] = applyActivation(l.Activation, fb[i])
+	}
+	if l.Normalize != NoActivation {
+		normalizeInPlace(l.Normalize, fb)
+	}
+	outScale := frameScale(fb)
+	quant.QuantizeInto(out, fb, outScale)
+	return outScale, nil
+}

@@ -20,6 +20,12 @@ type PEStats struct {
 	ElemsIn        int64
 	ElemsOut       int64
 	SpilledPartial int64 // words of partial sums exchanged with the datamover
+
+	// MaxRequantScale is the largest per-tensor requantization scale this PE
+	// applied at its output boundary over the batch (int8 datapath only;
+	// zero on the float paths). The bounded-error equivalence harness uses
+	// it to derive the admissible deviation from the float oracle.
+	MaxRequantScale float64
 }
 
 // CyclesPerImage returns the average modeled busy cycles per image.
@@ -38,23 +44,38 @@ func (s *PEStats) CyclesPerImage() int64 {
 // sub-sampling layers. This is the single cycle model shared by the
 // functional simulator and the analytic performance layer.
 func LayerCycles(l *LayerHW, par condorir.Parallelism) int64 {
+	return LayerCyclesAt(l, par, 1)
+}
+
+// LayerCyclesAt is LayerCycles with an explicit lane count: on the packed
+// int8 datapath each FIFO word carries `lanes` activation elements, so the
+// stream-traversal terms (padded-map traversal for features extraction, the
+// input-volume walk for FC) shrink by the lane factor — ceil'd, since a
+// padded tail word still takes its cycle. Compute terms are unchanged: the
+// MAC count per output cell does not depend on how elements were packed in
+// flight. lanes=1 reproduces the float model exactly.
+func LayerCyclesAt(l *LayerHW, par condorir.Parallelism, lanes int) int64 {
+	if lanes < 1 {
+		lanes = 1
+	}
 	par = par.Normalize()
 	switch {
 	case l.Kind == nn.Conv:
 		groups := ceilDiv(l.InShape.Channels, par.In)
 		outHW := int64(l.OutShape.Height) * int64(l.OutShape.Width)
 		compute := outHW * int64(ceilDiv(l.OutShape.Channels, par.Out))
-		stream := int64(l.PaddedHeight()) * int64(l.PaddedWidth())
+		stream := ceilDiv64(int64(l.PaddedHeight())*int64(l.PaddedWidth()), int64(lanes))
 		return int64(groups)*maxI64(compute, stream) + chainFill(l)
 	case l.Kind == nn.MaxPool || l.Kind == nn.AvgPool:
 		groups := ceilDiv(l.InShape.Channels, par.In)
 		outHW := int64(l.OutShape.Height) * int64(l.OutShape.Width)
-		stream := int64(l.PaddedHeight()) * int64(l.PaddedWidth())
+		stream := ceilDiv64(int64(l.PaddedHeight())*int64(l.PaddedWidth()), int64(lanes))
 		return int64(groups)*maxI64(outHW, stream) + chainFill(l)
 	case l.Kind == nn.FullyConnected:
 		// Single-input/single-output 1x1-convolution PE: every input element
-		// is multiplied against each output neuron group.
-		v := int64(l.InShape.Volume())
+		// is multiplied against each output neuron group. Packed lanes feed
+		// the MAC array `lanes` elements per cycle.
+		v := ceilDiv64(int64(l.InShape.Volume()), int64(lanes))
 		return v*int64(ceilDiv(l.OutShape.Channels, par.Out)) + fcPipelineFill
 	default:
 		return 0
@@ -76,17 +97,34 @@ const (
 // over its (possibly fused) layers plus the DDR round trips of fused-layer
 // intermediates (one write + one read at one word per cycle).
 func PECyclesPerImage(pe *PE) int64 {
+	return PECyclesPerImageAt(pe, 1)
+}
+
+// PECyclesPerImageAt is PECyclesPerImage with an explicit lane count: the
+// fused-layer handoff also moves packed words, so its DDR round trip shrinks
+// by the lane factor alongside the per-layer stream terms.
+func PECyclesPerImageAt(pe *PE, lanes int) int64 {
+	if lanes < 1 {
+		lanes = 1
+	}
 	var total int64
 	for i, l := range pe.Layers {
-		total += LayerCycles(&l, pe.Par)
+		total += LayerCyclesAt(&l, pe.Par, lanes)
 		if i+1 < len(pe.Layers) {
-			total += 2 * int64(l.OutShape.Volume())
+			total += 2 * ceilDiv64(int64(l.OutShape.Volume()), int64(lanes))
 		}
 	}
 	return total
 }
 
 func ceilDiv(a, b int) int {
+	if b <= 0 {
+		b = 1
+	}
+	return (a + b - 1) / b
+}
+
+func ceilDiv64(a, b int64) int64 {
 	if b <= 0 {
 		b = 1
 	}

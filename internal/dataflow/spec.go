@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"condor/internal/condorir"
+	"condor/internal/fifo"
 	"condor/internal/nn"
 )
 
@@ -233,10 +234,28 @@ type Spec struct {
 	InterPEFIFODepth int
 
 	// WordBits is the fabric numeric width: 32 (float32, the default), or
-	// 16/8 for the fixed-point quantized variants. The functional simulator
-	// always computes in float32 over quantized values; WordBits drives the
-	// resource, bandwidth and power models.
+	// 16/8 for the fixed-point quantized variants. At 8 bits the functional
+	// simulator executes the packed int8 datapath natively (4 lanes per
+	// 32-bit FIFO word, int32 accumulators, per-tensor requantization at PE
+	// boundaries); at 16 bits it computes in float32 over grid-snapped
+	// values. WordBits also drives the resource, bandwidth and power models.
 	WordBits int
+
+	// StrictLanes escalates the CND023 lane-packing rule from a warning to
+	// an error: streamed-edge volumes that the lane count does not divide
+	// are rejected instead of falling back to zero-padded tail lanes.
+	StrictLanes bool
+}
+
+// Lanes returns the number of activation lanes packed into each 32-bit FIFO
+// word: Int8Lanes on the packed int8 datapath, 1 everywhere else (the int16
+// variant keeps the float-over-quantized-values execution, one element per
+// word).
+func (s *Spec) Lanes() int {
+	if s.WordBits == 8 {
+		return fifo.Int8Lanes
+	}
+	return 1
 }
 
 // OutputShape returns the shape produced by the last PE.

@@ -41,6 +41,7 @@ const (
 	RuleFIFOOccupancy  = "CND020" // worst-case FIFO-network edge occupancy must fit the declared depth
 	RuleCUResource     = "CND021" // replicated-CU resource totals must fit the board budget
 	RuleFabricConfig   = "CND022" // the (parallelism, CUs, burst) execution configuration must be sane
+	RuleLanePacking    = "CND023" // packed lanes must divide streamed-edge volumes (else padded tail lanes)
 )
 
 // Severity classifies a diagnostic.

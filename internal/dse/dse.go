@@ -15,6 +15,7 @@ import (
 	"condor/internal/dataflow"
 	"condor/internal/hls"
 	"condor/internal/perf"
+	"condor/internal/quant"
 )
 
 // Options tunes the exploration.
@@ -28,6 +29,15 @@ type Options struct {
 
 	// MaxPortParallelism caps the per-PE port counts (0 = default 64).
 	MaxPortParallelism int
+
+	// Precisions adds the fabric numeric format to the configuration space:
+	// the parallelism walk runs once per listed precision under that
+	// precision's HLS resource model (narrower words mean cheaper MACs and
+	// smaller buffers, so more parallelism may fit) and lane-aware cycle
+	// model (packed int8 shrinks the stream-bound stage times), and the best
+	// overall configuration wins. Empty means float32 only — the legacy
+	// parallelism-only exploration.
+	Precisions []quant.Precision
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +62,10 @@ type Result struct {
 	// objective pipeline (features-only when Options.FeaturesOnly).
 	BottleneckCycles int64
 
+	// Precision is the fabric numeric format of the chosen configuration
+	// (Float32 unless Options.Precisions widened the space).
+	Precision quant.Precision
+
 	// Trace records the accepted moves for inspection.
 	Trace []Move
 }
@@ -64,24 +78,56 @@ type Move struct {
 }
 
 // Explore searches for the fastest configuration of ir that fits its board.
-// The input IR is not modified; the result carries a configured copy.
+// The input IR is not modified; the result carries a configured copy. With
+// Options.Precisions set, each precision gets its own parallelism walk and
+// the best-scoring configuration across precisions is returned.
 func Explore(ir *condorir.Network, opts Options) (*Result, error) {
+	precisions := opts.Precisions
+	if len(precisions) == 0 {
+		precisions = []quant.Precision{quant.Float32}
+	}
+	var best *Result
+	var bestScore score
+	var firstErr error
+	for _, p := range precisions {
+		res, sc, err := exploreAt(ir, opts, p)
+		if err != nil {
+			// A precision whose sequential configuration does not fit (or is
+			// bandwidth-bound) drops out of the space; fail only when every
+			// precision does.
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if best == nil || sc.betterThan(bestScore) {
+			best, bestScore = res, sc
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
+}
+
+// exploreAt runs the greedy parallelism walk at one fixed precision.
+func exploreAt(ir *condorir.Network, opts Options, p quant.Precision) (*Result, score, error) {
 	opts = opts.withDefaults()
 	cur := cloneIR(ir)
 	for i := range cur.Layers {
 		cur.Layers[i].Parallelism = cur.Layers[i].Parallelism.Normalize()
 	}
 
-	spec, rep, score, err := evaluate(cur, opts)
+	spec, rep, sc, err := evaluate(cur, opts, p)
 	if err != nil {
-		return nil, err
+		return nil, score{}, err
 	}
 	if !rep.Fits {
-		return nil, fmt.Errorf("dse: network %q does not fit board %q even in the sequential configuration", ir.Name, ir.Board)
+		return nil, score{}, fmt.Errorf("dse: network %q does not fit board %q even in the sequential %s configuration", ir.Name, ir.Board, p)
 	}
-	res := &Result{IR: cur, Spec: spec, Report: rep, BottleneckCycles: score.bottleneck}
+	res := &Result{IR: cur, Spec: spec, Report: rep, BottleneckCycles: sc.bottleneck, Precision: p}
 
-	best := score
+	best := sc
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		improved := false
 		// Candidate moves on every PE tied at the bottleneck. A move is
@@ -91,16 +137,16 @@ func Explore(ir *condorir.Network, opts Options) (*Result, error) {
 		for _, mv := range candidateMoves(res, opts) {
 			trial := cloneIR(res.IR)
 			trial.Layers[mv.layerIdx].Parallelism = mv.par
-			spec, rep, score, err := evaluate(trial, opts)
-			if err != nil || !rep.Fits || !score.betterThan(best) {
+			spec, rep, sc, err := evaluate(trial, opts, p)
+			if err != nil || !rep.Fits || !sc.betterThan(best) {
 				continue
 			}
-			res.IR, res.Spec, res.Report, res.BottleneckCycles = trial, spec, rep, score.bottleneck
-			best = score
+			res.IR, res.Spec, res.Report, res.BottleneckCycles = trial, spec, rep, sc.bottleneck
+			best = sc
 			res.Trace = append(res.Trace, Move{
 				Layer:       trial.Layers[mv.layerIdx].Name,
 				Parallelism: mv.par,
-				Bottleneck:  score.bottleneck,
+				Bottleneck:  sc.bottleneck,
 			})
 			improved = true
 			break
@@ -109,7 +155,7 @@ func Explore(ir *condorir.Network, opts Options) (*Result, error) {
 			break
 		}
 	}
-	return res, nil
+	return res, best, nil
 }
 
 // score orders configurations: primarily by the pipeline bottleneck, then
@@ -181,15 +227,17 @@ func maxOutPorts(l *dataflow.LayerHW) int {
 	return 1
 }
 
-// evaluate builds, plans and estimates a configuration, returning its
-// objective score. Configurations whose sustained throughput exceeds the
-// DDR bandwidth roof are rejected — the datamover could not feed them, so
-// their modeled throughput would never be reached on the device.
-func evaluate(ir *condorir.Network, opts Options) (*dataflow.Spec, *hls.Report, score, error) {
+// evaluate builds, plans and estimates a configuration at the given
+// precision, returning its objective score. Configurations whose sustained
+// throughput exceeds the DDR bandwidth roof are rejected — the datamover
+// could not feed them, so their modeled throughput would never be reached on
+// the device.
+func evaluate(ir *condorir.Network, opts Options, p quant.Precision) (*dataflow.Spec, *hls.Report, score, error) {
 	spec, err := dataflow.BuildSpec(ir)
 	if err != nil {
 		return nil, nil, score{}, err
 	}
+	spec.WordBits = p.Bits()
 	if err := hls.PlanMemory(spec); err != nil {
 		return nil, nil, score{}, err
 	}

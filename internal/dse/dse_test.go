@@ -6,6 +6,7 @@ import (
 	"condor/internal/condorir"
 	"condor/internal/models"
 	"condor/internal/perf"
+	"condor/internal/quant"
 )
 
 func TestExploreImprovesLeNet(t *testing.T) {
@@ -21,7 +22,7 @@ func TestExploreImprovesLeNet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, baseScore, err := evaluate(baseline, Options{})
+	_, _, baseScore, err := evaluate(baseline, Options{}, quant.Float32)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -49,6 +49,12 @@ type FIFO struct {
 	pushBursts int64
 	popBursts  int64
 	maxOcc     int64 // high-water mark, observed at burst boundaries
+
+	// Lane counters, advanced only by the packed transfers (packed.go): the
+	// int8 elements carried inside the words counted above. Zero on the
+	// float32 datapath, where word == element.
+	lanePushes int64
+	lanePops   int64
 }
 
 // New creates a FIFO with the given capacity (depth in words). Depth must be
@@ -248,6 +254,11 @@ type Stats struct {
 	PushBursts   int64
 	PopBursts    int64
 	MaxOccupancy int64
+
+	// LanePushes/LanePops count the int8 lanes carried inside packed words
+	// (PushPacked/PopPackedInto). Zero on the float32 datapath.
+	LanePushes int64
+	LanePops   int64
 }
 
 // Stats returns the current traffic counters. MaxOccupancy is a high-water
@@ -263,6 +274,8 @@ func (f *FIFO) Stats() Stats {
 		PushBursts:   f.pushBursts,
 		PopBursts:    f.popBursts,
 		MaxOccupancy: f.maxOcc,
+		LanePushes:   f.lanePushes,
+		LanePops:     f.lanePops,
 	}
 	f.mu.Unlock()
 	return s

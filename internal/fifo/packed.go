@@ -1,0 +1,72 @@
+package fifo
+
+import "math"
+
+// Packed-lane transfers: the fixed-point fabric keeps the FIFO word 32 bits
+// wide (Word stays the ring-buffer currency) but packs Int8Lanes int8
+// activation lanes into each word's bit pattern, quadrupling the effective
+// stream bandwidth — the Qiu-style bandwidth optimisation the quantized
+// datapath is built on. Pack/Unpack move lanes through math.Float32bits
+// punning: pure bit moves, never float arithmetic, so every lane pattern
+// (including ones whose word aliases a NaN encoding) round-trips losslessly.
+
+// Int8Lanes is the number of int8 lanes packed into one 32-bit FIFO word.
+const Int8Lanes = 4
+
+// PackedWords returns the number of 32-bit words needed to carry n int8
+// lanes (the tail word is zero-padded when Int8Lanes does not divide n).
+func PackedWords(n int) int { return (n + Int8Lanes - 1) / Int8Lanes }
+
+// PackInt8 packs src into dst, Int8Lanes lanes per word, little-lane-first;
+// tail lanes of the final word are zero. dst must hold PackedWords(len(src))
+// words; the words written are returned.
+func PackInt8(dst []Word, src []int8) int {
+	words := PackedWords(len(src))
+	_ = dst[:words]
+	i := 0
+	for w := 0; w < words; w++ {
+		var u uint32
+		for l := 0; l < Int8Lanes && i < len(src); l++ {
+			u |= uint32(uint8(src[i])) << (8 * l)
+			i++
+		}
+		dst[w] = math.Float32frombits(u)
+	}
+	return words
+}
+
+// UnpackInt8 unpacks len(dst) lanes from the packed words in src (the
+// inverse of PackInt8; padded tail lanes are simply never read).
+func UnpackInt8(dst []int8, src []Word) {
+	for i := range dst {
+		u := math.Float32bits(src[i/Int8Lanes])
+		dst[i] = int8(u >> (8 * (i % Int8Lanes)))
+	}
+}
+
+// PushPacked pushes a burst of packed words carrying the given number of
+// int8 lanes, accounting the per-lane traffic counters alongside the word
+// counters PushSlice advances. Framing words that carry no lanes (per-image
+// scale headers) are pushed with lanes=0.
+func (f *FIFO) PushPacked(vs []Word, lanes int64) {
+	f.PushSlice(vs)
+	f.mu.Lock()
+	f.lanePushes += lanes
+	f.mu.Unlock()
+}
+
+// PopPackedInto fills dst with packed words (blocking like PopInto) and
+// accounts the given lane count on the pop side. It returns the number of
+// words read; a short count means the stream closed mid-frame.
+func (f *FIFO) PopPackedInto(dst []Word, lanes int64) int {
+	n := f.PopInto(dst)
+	if n < len(dst) {
+		// Truncated frame: scale the lane accounting to the words that
+		// actually arrived so pushes and pops still reconcile on teardown.
+		lanes = lanes * int64(n) / int64(len(dst))
+	}
+	f.mu.Lock()
+	f.lanePops += lanes
+	f.mu.Unlock()
+	return n
+}

@@ -1,0 +1,119 @@
+package fifo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackedWords(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 3: 1, 4: 1, 5: 2, 8: 2, 9: 3, 256: 64, 10: 3}
+	for n, want := range cases {
+		if got := PackedWords(n); got != want {
+			t.Errorf("PackedWords(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: pack-then-unpack is the identity on every int8 lane pattern, at
+// every length (including tails Int8Lanes does not divide). This must hold
+// bit-exactly because the fabric's payload integrity depends on the float32
+// word type never normalising or quieting the punned bit patterns.
+func TestPackUnpackLosslessProperty(t *testing.T) {
+	f := func(src []int8) bool {
+		words := make([]Word, PackedWords(len(src)))
+		if n := PackInt8(words, src); n != len(words) {
+			return false
+		}
+		got := make([]int8, len(src))
+		UnpackInt8(got, words)
+		for i := range src {
+			if got[i] != src[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The adversarial lane patterns: words whose bit images alias float32 NaN
+// and infinity encodings. A payload of 0x7F,0xC0,0x80,0xFF packs to
+// 0xFF80C07F — a signalling-NaN bit pattern — and any arithmetic or
+// load-through-float-register normalisation would quiet it (flipping a lane
+// bit). The FIFO only ever copies words, so the pattern must survive.
+func TestPackUnpackNaNAliasedLanes(t *testing.T) {
+	patterns := [][]int8{
+		{0x7F, -0x40, -0x80, -0x01},            // 0xFF80C07F: signalling NaN
+		{0x00, 0x00, -0x80, 0x7F},              // 0x7F800000: +Inf
+		{0x00, 0x00, -0x80, -0x01},             // 0xFF800000: -Inf
+		{-0x01, -0x01, -0x01, -0x01},           // 0xFFFFFFFF: quiet NaN, all bits
+		{0x01, 0x00, -0x80, 0x7F, 0x55, -0x56}, // NaN word + ragged tail
+	}
+	for _, src := range patterns {
+		words := make([]Word, PackedWords(len(src)))
+		PackInt8(words, src)
+		got := make([]int8, len(src))
+		UnpackInt8(got, words)
+		for i := range src {
+			if got[i] != src[i] {
+				t.Fatalf("pattern %v lane %d: got %d, want %d (word bits %#x)",
+					src, i, got[i], src[i], math.Float32bits(float32(words[i/Int8Lanes])))
+			}
+		}
+	}
+}
+
+// Packed transfers must traverse a FIFO unchanged and advance the lane
+// counters; plain word transfers must leave them at zero.
+func TestPackedTransferLaneCounters(t *testing.T) {
+	f := New("pk", 4)
+	src := make([]int8, 11)
+	for i := range src {
+		src[i] = int8(i*17 - 80)
+	}
+	words := make([]Word, PackedWords(len(src)))
+	PackInt8(words, src)
+
+	done := make(chan []int8)
+	go func() {
+		buf := make([]Word, len(words))
+		if n := f.PopPackedInto(buf, int64(len(src))); n != len(buf) {
+			done <- nil
+			return
+		}
+		out := make([]int8, len(src))
+		UnpackInt8(out, buf)
+		done <- out
+	}()
+	f.PushPacked(words, int64(len(src)))
+	got := <-done
+	if got == nil {
+		t.Fatal("packed frame truncated")
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("lane %d: got %d, want %d", i, got[i], src[i])
+		}
+	}
+	st := f.Stats()
+	if st.LanePushes != int64(len(src)) || st.LanePops != int64(len(src)) {
+		t.Fatalf("lane counters %d/%d, want %d/%d", st.LanePushes, st.LanePops, len(src), len(src))
+	}
+	if st.Pushes != int64(len(words)) || st.Pops != int64(len(words)) {
+		t.Fatalf("word counters %d/%d, want %d/%d", st.Pushes, st.Pops, len(words), len(words))
+	}
+
+	// A header word pushed the plain way carries no lanes. Depth 2 means
+	// the single push never blocks, so no producer goroutine is needed.
+	g := New("hdr", 2)
+	g.Push(1.5)
+	if v, ok := g.Pop(); !ok || v != 1.5 {
+		t.Fatalf("header word round-trip: got %v (ok=%v), want 1.5", v, ok)
+	}
+	if st := g.Stats(); st.LanePushes != 0 || st.LanePops != 0 {
+		t.Fatalf("plain transfer advanced lane counters: %+v", st)
+	}
+}

@@ -19,11 +19,14 @@ type Stage struct {
 	Cycles int64
 }
 
-// Stages maps every PE of the spec to a pipeline stage.
+// Stages maps every PE of the spec to a pipeline stage. Stage times come
+// from the lane-aware cycle model: on the packed int8 fabric every FIFO word
+// carries Spec.Lanes() activation elements, so the stream-bound terms (and
+// with them the modeled cycles) shrink by the lane factor.
 func Stages(spec *dataflow.Spec) []Stage {
 	out := make([]Stage, len(spec.PEs))
 	for i, pe := range spec.PEs {
-		out[i] = Stage{Name: pe.ID, Cycles: dataflow.PECyclesPerImage(pe)}
+		out[i] = Stage{Name: pe.ID, Cycles: dataflow.PECyclesPerImageAt(pe, spec.Lanes())}
 	}
 	return out
 }
@@ -34,7 +37,7 @@ func FeatureStages(spec *dataflow.Spec) []Stage {
 	var out []Stage
 	for _, pe := range spec.PEs {
 		if pe.IsFeatureExtraction() {
-			out = append(out, Stage{Name: pe.ID, Cycles: dataflow.PECyclesPerImage(pe)})
+			out = append(out, Stage{Name: pe.ID, Cycles: dataflow.PECyclesPerImageAt(pe, spec.Lanes())})
 		}
 	}
 	return out

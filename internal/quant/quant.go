@@ -78,7 +78,11 @@ type Report struct {
 	BytesAfter  int64
 }
 
-// QuantizeValue rounds v to the fixed-point grid with the given scale.
+// QuantizeValue rounds v to the fixed-point grid with the given scale. The
+// grid is symmetric (±levels): clamping the negative side to −levels rather
+// than the two's-complement −levels−1 keeps the code domain the exact mirror
+// of the scale calibration, so quantize→dequantize never overshoots maxAbs
+// and the int8 fabric's requantization points stay sign-symmetric.
 func quantizeValue(v float32, scale float64, levels float64) float32 {
 	if scale == 0 {
 		return 0
@@ -87,14 +91,15 @@ func quantizeValue(v float32, scale float64, levels float64) float32 {
 	if q > levels {
 		q = levels
 	}
-	if q < -levels-1 {
-		q = -levels - 1
+	if q < -levels {
+		q = -levels
 	}
 	return float32(q * scale)
 }
 
 // tensorScale computes the per-tensor scale: maxAbs / levels (symmetric
-// linear quantization).
+// linear quantization). A zero-range tensor (all zeros) gets scale 0, which
+// quantizeValue/QuantizeInto treat as "emit zeros" — the zero-range guard.
 func tensorScale(data []float32, levels float64) float64 {
 	var maxAbs float64
 	for _, v := range data {
@@ -106,6 +111,54 @@ func tensorScale(data []float32, levels float64) float64 {
 		return 0
 	}
 	return maxAbs / levels
+}
+
+// TensorScale computes the symmetric max-abs per-tensor scale for the given
+// precision: maxAbs/levels, or 0 for a zero-range tensor. The fabric's int8
+// feeder and PEs use it to calibrate per-image activation scales.
+func TensorScale(data []float32, p Precision) float64 {
+	return tensorScale(data, p.levels())
+}
+
+// QuantizeInto quantizes src onto the symmetric int8 grid with the given
+// scale, writing codes into dst (which must be at least len(src) long). A
+// zero scale (zero-range tensor) emits all-zero codes. It allocates nothing,
+// for the feeder/requantize hot path.
+func QuantizeInto(dst []int8, src []float32, scale float64) {
+	_ = dst[:len(src)]
+	if scale == 0 {
+		for i := range src {
+			dst[i] = 0
+		}
+		return
+	}
+	inv := 1 / scale
+	for i, v := range src {
+		// Clamp in the float domain first (a float→int conversion out of
+		// int range is implementation-dependent in Go), then round half away
+		// from zero via the copysign trick — identical to math.Round on the
+		// remaining range but cheap enough for the per-frame hot path, where
+		// Round's branchy bit manipulation shows up in profiles.
+		f := float64(v) * inv
+		switch {
+		case f > 126.5:
+			dst[i] = 127
+		case f < -126.5:
+			dst[i] = -127
+		default:
+			dst[i] = int8(int32(f + math.Copysign(0.5, f)))
+		}
+	}
+}
+
+// DequantizeInto converts int8 codes back to float32 with the given scale,
+// writing into dst (at least len(src) long). The collector and the PE
+// boundary dequantization use it; it allocates nothing.
+func DequantizeInto(dst []float32, src []int8, scale float64) {
+	_ = dst[:len(src)]
+	for i, q := range src {
+		dst[i] = float32(float64(q) * scale)
+	}
 }
 
 // QuantizeWeights produces a weight set whose values lie on the fixed-point

@@ -202,3 +202,84 @@ func TestQuantizationErrorBoundProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The exported slice variants back the packed fabric's hot path: quantize
+// and dequantize must round-trip within scale/2, clamp symmetrically at
+// ±127 (never the two's-complement −128, which would overshoot the scale
+// calibration), and treat a zero-range tensor as all-zero codes.
+func TestQuantizeIntoRoundTrip(t *testing.T) {
+	src := []float32{0.5, -1, 0.25, 0, 1, -0.999, 1e-9}
+	scale := TensorScale(src, Int8)
+	if want := 1.0 / 127; math.Abs(scale-want) > 1e-12 {
+		t.Fatalf("scale %v, want %v", scale, want)
+	}
+	codes := make([]int8, len(src))
+	QuantizeInto(codes, src, scale)
+	back := make([]float32, len(src))
+	DequantizeInto(back, codes, scale)
+	for i := range src {
+		if err := math.Abs(float64(src[i] - back[i])); err > scale/2+1e-9 {
+			t.Errorf("value %v: round-trip error %v exceeds scale/2", src[i], err)
+		}
+	}
+}
+
+func TestQuantizeIntoSymmetricClamp(t *testing.T) {
+	// With a scale calibrated on 1.0, out-of-range values clamp to ±127 —
+	// the negative extreme must not reach −128.
+	scale := TensorScale([]float32{1}, Int8)
+	codes := make([]int8, 4)
+	QuantizeInto(codes, []float32{5, -5, 1, -1}, scale)
+	if codes[0] != 127 || codes[1] != -127 {
+		t.Fatalf("clamp codes %v, want ±127", codes[:2])
+	}
+	if codes[2] != 127 || codes[3] != -127 {
+		t.Fatalf("extremes %v, want ±127", codes[2:])
+	}
+}
+
+func TestQuantizeIntoZeroRangeGuard(t *testing.T) {
+	if s := TensorScale([]float32{0, 0, 0}, Int8); s != 0 {
+		t.Fatalf("zero-range scale %v, want 0", s)
+	}
+	codes := []int8{9, 9, 9}
+	QuantizeInto(codes, []float32{0, 0, 0}, 0)
+	for _, c := range codes {
+		if c != 0 {
+			t.Fatalf("zero-scale codes %v, want all zero", codes)
+		}
+	}
+}
+
+// Property: for any non-degenerate tensor, every quantized code stays inside
+// the symmetric ±127 domain and dequantization never overshoots maxAbs.
+func TestQuantizeIntoDomainProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := make([]float32, 48)
+		var maxAbs float64
+		for i := range src {
+			src[i] = float32(rng.NormFloat64())
+			if a := math.Abs(float64(src[i])); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := TensorScale(src, Int8)
+		codes := make([]int8, len(src))
+		QuantizeInto(codes, src, scale)
+		back := make([]float32, len(src))
+		DequantizeInto(back, codes, scale)
+		for i, c := range codes {
+			if c < -127 || c > 127 {
+				return false
+			}
+			if math.Abs(float64(back[i])) > maxAbs+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -58,6 +58,11 @@
 //	                         shell-excluded budget (fabric.go).
 //	CND022 fabric-config     the (CUs, burst) execution configuration must be
 //	                         executable at all (fabric.go).
+//	CND023 lane-packing      on the packed fabric (WordBits 8) the lane count
+//	                         must divide every streamed-edge volume; an
+//	                         indivisible edge falls back to zero-padded tail
+//	                         lanes (warning), or is rejected when the spec
+//	                         demands strict lane packing (error).
 package verify
 
 import (
@@ -87,6 +92,7 @@ func Verify(spec *dataflow.Spec, ir *condorir.Network, b *board.Board) []*Diagno
 	}
 
 	checkWordBits(spec, report)
+	checkLanePacking(spec, report)
 	if spec.InterPEFIFODepth < 1 {
 		report(diag.Errorf(diag.RuleInterPEFIFO, "", "",
 			"inter-PE FIFO depth %d < 1: blocking pushes would deadlock the fabric", spec.InterPEFIFODepth))
@@ -167,6 +173,40 @@ func checkWordBits(spec *dataflow.Spec, report func(*Diagnostic)) {
 	default:
 		report(diag.Errorf(diag.RuleWordBits, "", "",
 			"fabric word width %d bits is not one of 8, 16, 32", spec.WordBits))
+	}
+}
+
+// checkLanePacking enforces CND023: on the packed int8 fabric every streamed
+// edge (the network input, every layer boundary — fused handoffs ride DDR as
+// packed frames too) carries Spec.Lanes() activation lanes per word, so an
+// edge volume the lane count does not divide leaves zero-padded tail lanes
+// in its final word. The fabric handles the padding transparently, so the
+// finding is a warning — bandwidth on that edge falls short of the full lane
+// multiplier — unless the spec demands strict lane packing, in which case
+// the misconfiguration is an error.
+func checkLanePacking(spec *dataflow.Spec, report func(*Diagnostic)) {
+	lanes := spec.Lanes()
+	if lanes <= 1 {
+		return
+	}
+	sev := diag.Warning
+	verdict := "the tail word of every frame carries padded lanes"
+	if spec.StrictLanes {
+		sev = diag.Error
+		verdict = "strict lane packing rejects the padded-tail fallback"
+	}
+	if vol := spec.Input.Volume(); vol%lanes != 0 {
+		report(diag.New(diag.RuleLanePacking, sev, "", "",
+			"input volume %d is not a multiple of the %d packed lanes: %s", vol, lanes, verdict))
+	}
+	for _, pe := range spec.PEs {
+		for i := range pe.Layers {
+			l := &pe.Layers[i]
+			if vol := l.OutShape.Volume(); vol%lanes != 0 {
+				report(diag.New(diag.RuleLanePacking, sev, pe.ID, l.Name,
+					"streamed output volume %d is not a multiple of the %d packed lanes: %s", vol, lanes, verdict))
+			}
+		}
 	}
 }
 

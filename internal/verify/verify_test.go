@@ -298,6 +298,24 @@ func TestBrokenSpecs(t *testing.T) {
 			rule: diag.RuleWordBits,
 		},
 		{
+			name: "lane-packing-padded-tail",
+			breakIt: func(t *testing.T, spec *dataflow.Spec, ir *condorir.Network, ws *condorir.WeightSet) {
+				// TC1's fc2 streams 10 values per image — not a multiple of
+				// the 4 packed lanes, so the tail word carries padded lanes.
+				spec.WordBits = 8
+			},
+			rule:    diag.RuleLanePacking,
+			warning: true,
+		},
+		{
+			name: "lane-packing-strict-rejects",
+			breakIt: func(t *testing.T, spec *dataflow.Spec, ir *condorir.Network, ws *condorir.WeightSet) {
+				spec.WordBits = 8
+				spec.StrictLanes = true
+			},
+			rule: diag.RuleLanePacking,
+		},
+		{
 			name: "empty-pe",
 			breakIt: func(t *testing.T, spec *dataflow.Spec, ir *condorir.Network, ws *condorir.WeightSet) {
 				spec.PEs[0].Layers = nil
