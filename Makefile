@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet condorlint staticcheck govulncheck lint test race race-serve race-fleet smoke-serve smoke-fleet bench bench-fabric bench-check profile-fabric ci
+.PHONY: all build vet condorlint staticcheck govulncheck lint test race race-serve race-fleet stream-stress smoke-serve smoke-fleet bench bench-fabric bench-check profile-fabric ci
 
 all: build lint test
 
@@ -46,6 +46,19 @@ race-serve:
 race-fleet:
 	$(GO) test -race ./internal/fleet/... ./internal/loadgen/...
 
+# stream-stress is the continuous-streaming fabric gate CI runs: the frame
+# protocol unit tests, the epoch-framing equivalence sweep and the
+# two-epochs-in-flight saturation test under the race detector, plus the
+# CND024 static check — an undersized tap depth must pass the plain lint
+# and fail the -batch lint.
+stream-stress:
+	$(GO) test -race -run 'TestFrame|TestEpoch|TestMarkEpoch|TestResetStats' ./internal/fifo/
+	$(GO) test -race -run 'TestStreaming' -timeout 20m ./internal/dataflow/
+	@if $(GO) run ./cmd/condor lint -model tc1 -batch -tap-depth 64 >/dev/null 2>&1; then \
+		echo "undersized streaming tap depth passed -batch lint"; exit 1; fi
+	$(GO) run ./cmd/condor lint -model tc1 -tap-depth 64 -q
+	$(GO) run ./cmd/condor lint -model tc1 -batch -q
+
 # smoke-serve boots awsmock and condor-serve, then probes one inference
 # round over HTTP (the same step CI runs). The wait polls /readyz: /healthz
 # answers 200 while the pool is still warming (listen-early).
@@ -90,12 +103,16 @@ bench-fabric:
 
 # bench-check is the throughput-regression gate: regenerate the fabric
 # microbenchmarks and diff them against the committed baseline, failing on a
-# >25% drop. Refresh the baseline with
+# >25% drop — then the tighter utilization gate diffs only the derived
+# pipeline_efficiency rows (measured batch=8/batch=1 speedup over the
+# modeled host steady-state speedup), failing on a >10% drop. Refresh the
+# baseline with
 # `go run ./cmd/condor-bench -json BENCH_baseline.json -cus 1,2 -dtype float32,int8`
 # on a quiet machine (the -cus/-dtype legs must match the baseline's rows, or
 # the gate errors on the missing benchmark).
 bench-check: bench-fabric
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_fabric.json -max-regression 0.25
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_fabric.json -only pipeline_efficiency -max-regression 0.10
 
 # profile-fabric captures a CPU profile of the functional fabric benchmark;
 # inspect it with `go tool pprof fabric.cpu.prof`.

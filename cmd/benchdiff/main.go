@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"regexp"
 	"strings"
 
 	"condor/internal/loadgen"
@@ -39,6 +40,9 @@ type benchResult struct {
 	Iters   int     `json:"iters"`
 	NsPerOp float64 `json:"ns_per_op"`
 	ImgPerS float64 `json:"img_per_s"`
+	// ModelSpeedupX, on batch-streaming legs, is the modeled steady-state
+	// speedup recorded by condor-bench for the host the run executed on.
+	ModelSpeedupX float64 `json:"model_speedup_x,omitempty"`
 }
 
 // metricRow is the common currency both file shapes reduce to: one named
@@ -156,6 +160,47 @@ func speedupRows(rows []metricRow) []metricRow {
 	return out
 }
 
+// pipelineRows derives the utilization-gate metric from each batch-streaming
+// leg pair: pipeline_efficiency = (batch=8 img/s ÷ batch=1 img/s) ÷ the
+// modeled steady-state speedup condor-bench recorded for the host it ran on.
+// Normalizing by the model makes the row portable across runner core counts
+// — a perfectly-streaming fabric scores 1.0 on any host — so the gate
+// catches a fabric that stopped pipelining (a drain snuck back into the
+// session path) rather than a slow runner.
+func pipelineRows(bs []benchResult) []metricRow {
+	byName := make(map[string]float64, len(bs))
+	for _, b := range bs {
+		byName[b.Name] = b.ImgPerS
+	}
+	var out []metricRow
+	for _, b := range bs {
+		if !strings.Contains(b.Name, "/batch=8") || b.ModelSpeedupX <= 0 {
+			continue
+		}
+		v1 := byName[strings.Replace(b.Name, "/batch=8", "/batch=1", 1)]
+		if v1 <= 0 || b.ImgPerS <= 0 {
+			continue
+		}
+		out = append(out, metricRow{
+			Name:  strings.Replace(b.Name, "/batch=8", "/pipeline_efficiency", 1),
+			Value: (b.ImgPerS / v1) / b.ModelSpeedupX,
+			Unit:  "ratio",
+		})
+	}
+	return out
+}
+
+// filterRows keeps the rows whose name matches re.
+func filterRows(rows []metricRow, re *regexp.Regexp) []metricRow {
+	var out []metricRow
+	for _, r := range rows {
+		if re.MatchString(r.Name) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // readResults loads either file shape, sniffing the kind tag.
 func readResults(path string) (resultFile, error) {
 	data, err := os.ReadFile(path)
@@ -190,6 +235,7 @@ func readResults(path string) (resultFile, error) {
 			f.Rows = append(f.Rows, metricRow{Name: b.Name, Value: b.ImgPerS, Unit: "img/s"})
 		}
 		f.Rows = append(f.Rows, speedupRows(f.Rows)...)
+		f.Rows = append(f.Rows, pipelineRows(probe.Benchmarks)...)
 	default:
 		return resultFile{}, fmt.Errorf("%s: unknown result kind %q", path, probe.Kind)
 	}
@@ -204,6 +250,7 @@ func main() {
 	currentPath := flag.String("current", "BENCH_fabric.json", "fresh condor-bench -json or condor-loadgen -json results")
 	maxRegression := flag.Float64("max-regression", 0.25, "largest tolerated fractional move in a metric's bad direction")
 	allowMissing := flag.Bool("allow-missing", false, "warn (instead of fail) when a baseline metric is absent from the current run")
+	only := flag.String("only", "", "regexp restricting the gate to matching metric names (e.g. pipeline_efficiency), so one run can be diffed under several thresholds")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -217,6 +264,17 @@ func main() {
 	current, err := readResults(*currentPath)
 	if err != nil {
 		fail(err)
+	}
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			fail(fmt.Errorf("-only: %w", err))
+		}
+		baseline.Rows = filterRows(baseline.Rows, re)
+		current.Rows = filterRows(current.Rows, re)
+		if len(baseline.Rows) == 0 {
+			fail(fmt.Errorf("-only %q matches no baseline metric", *only))
+		}
 	}
 	verdicts, missing, err := compare(baseline, current, *maxRegression)
 	if err != nil {

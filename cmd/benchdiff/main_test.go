@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"regexp"
 	"testing"
 
 	"condor/internal/loadgen"
@@ -158,6 +159,86 @@ func TestCompareLowerBetterDirections(t *testing.T) {
 		} else if v.Regressed {
 			t.Errorf("%s: wrongly regressed (%+v)", v.Name, v)
 		}
+	}
+}
+
+func TestPipelineRows(t *testing.T) {
+	bs := []benchResult{
+		{Name: "BenchmarkFabricThroughput/batch=1", ImgPerS: 1000},
+		{Name: "BenchmarkFabricThroughput/batch=8", ImgPerS: 1500, ModelSpeedupX: 2},
+		{Name: "BenchmarkFabricThroughput/batch=1/dtype=int8", ImgPerS: 4000},
+		{Name: "BenchmarkFabricThroughput/batch=8/dtype=int8", ImgPerS: 6000, ModelSpeedupX: 1.5},
+		// No model recorded (old baseline, or a non-streaming leg): no row.
+		{Name: "BenchmarkFabricThroughput/cus=2", ImgPerS: 2000},
+	}
+	rows := pipelineRows(bs)
+	if len(rows) != 2 {
+		t.Fatalf("derived %d rows, want 2: %+v", len(rows), rows)
+	}
+	byName := map[string]metricRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// float32: measured 1.5x over a modeled 2x → efficiency 0.75.
+	if r := byName["BenchmarkFabricThroughput/pipeline_efficiency"]; math.Abs(r.Value-0.75) > 1e-12 || r.LowerBetter {
+		t.Errorf("float32 efficiency row = %+v, want 0.75 higher-better", r)
+	}
+	// int8: measured 1.5x over a modeled 1.5x → efficiency 1.0, dtype suffix kept.
+	if r := byName["BenchmarkFabricThroughput/pipeline_efficiency/dtype=int8"]; math.Abs(r.Value-1.0) > 1e-12 {
+		t.Errorf("int8 efficiency row = %+v, want 1.0", r)
+	}
+
+	// A batch=8 leg without its batch=1 counterpart derives nothing.
+	if rows := pipelineRows(bs[1:2]); len(rows) != 0 {
+		t.Errorf("orphan batch=8 leg derived rows: %+v", rows)
+	}
+}
+
+// The derived efficiency row must flow through readResults so the gate can
+// diff it, and a pipelining regression (model unchanged, measured speedup
+// collapsed) must trip the 10% utilization gate even when every raw img/s
+// row also moved — the ratio is what is keyed, not the absolutes.
+func TestPipelineEfficiencyGate(t *testing.T) {
+	doc := func(b1, b8 float64) map[string]any {
+		return map[string]any{"benchmarks": []benchResult{
+			{Name: "BenchmarkFabricThroughput/batch=1", ImgPerS: b1},
+			{Name: "BenchmarkFabricThroughput/batch=8", ImgPerS: b8, ModelSpeedupX: 2},
+		}}
+	}
+	base, err := readResults(writeJSON(t, "base.json", doc(1000, 1800)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fabric stopped streaming: batch=8 degenerates to batch=1 speed.
+	cur, err := readResults(writeJSON(t, "cur.json", doc(1000, 1010)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile("pipeline_efficiency")
+	baseOnly, curOnly := filterRows(base.Rows, re), filterRows(cur.Rows, re)
+	if len(baseOnly) != 1 || baseOnly[0].Name != "BenchmarkFabricThroughput/pipeline_efficiency" {
+		t.Fatalf("filtered baseline = %+v, want the one efficiency row", baseOnly)
+	}
+	verdicts, missing, err := compare(resultFile{Rows: baseOnly}, resultFile{Rows: curOnly}, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v", missing)
+	}
+	if len(verdicts) != 1 || !verdicts[0].Regressed {
+		t.Fatalf("collapsed pipelining did not trip the utilization gate: %+v", verdicts)
+	}
+}
+
+func TestFilterRows(t *testing.T) {
+	rows := []metricRow{{Name: "a/pipeline_efficiency"}, {Name: "a/batch=8"}, {Name: "b"}}
+	got := filterRows(rows, regexp.MustCompile("^a/"))
+	if len(got) != 2 {
+		t.Fatalf("filtered = %+v", got)
+	}
+	if got := filterRows(rows, regexp.MustCompile("nope")); len(got) != 0 {
+		t.Fatalf("want empty, got %+v", got)
 	}
 }
 

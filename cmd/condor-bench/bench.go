@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"condor"
 	"condor/internal/dataflow"
 	"condor/internal/models"
+	"condor/internal/perf"
 	"condor/internal/quant"
 	"condor/internal/tensor"
 )
@@ -21,6 +23,12 @@ type benchResult struct {
 	Iters   int     `json:"iters"`
 	NsPerOp float64 `json:"ns_per_op"`
 	ImgPerS float64 `json:"img_per_s"`
+	// ModelSpeedupX, on batch-streaming legs, is the modeled steady-state
+	// speedup of this leg over its batch=1 counterpart on this host
+	// (perf.HostSteadyStateSpeedup). benchdiff divides the measured speedup
+	// by it to derive the pipeline_efficiency rows the utilization gate
+	// tracks.
+	ModelSpeedupX float64 `json:"model_speedup_x,omitempty"`
 }
 
 // timeIt runs fn (imagesPerOp images of work per call) until it has both a
@@ -71,7 +79,10 @@ func timeIt(name string, imagesPerOp int, fn func() error) (benchResult, error) 
 // hosts with enough cores — on a single-core host the legs coincide. The
 // fabric legs repeat per requested dtype: float32 keeps the bare leg names
 // (baseline continuity), every other precision gets a /dtype=<p> suffix so
-// benchdiff keys the rows apart and can gate the int8 speedup itself.
+// benchdiff keys the rows apart and can gate the int8 speedup itself. Each
+// dtype additionally runs a batch=1/batch=8 streaming pair (drain-between-
+// images vs one resident session), with the modeled steady-state speedup
+// recorded on the batch=8 row for the pipeline-efficiency gate.
 func benchJSON(path string, cus []int, dtypes []quant.Precision) error {
 	ir, ws, err := models.TC1()
 	if err != nil {
@@ -83,24 +94,26 @@ func benchJSON(path string, cus []int, dtypes []quant.Precision) error {
 	}
 	fabricImgs := models.USPSImages(1, 5)
 	poolImgs := models.USPSImages(16, 5)
+	streamImgs := models.USPSImages(8, 5)
 	refImg := models.USPSImages(1, 6)[0]
 	gemmImg := models.USPSImages(1, 3)[0]
 
 	type benchCase struct {
 		name   string
 		images int
+		model  float64 // modeled steady-state speedup (batch-streaming legs)
 		fn     func() error
 	}
 	cases := []benchCase{
-		{"BenchmarkReferenceEngine", 1, func() error {
+		{name: "BenchmarkReferenceEngine", images: 1, fn: func() error {
 			_, err := net.Predict(refImg)
 			return err
 		}},
-		{"BenchmarkBaselineGEMMEngine/direct", 1, func() error {
+		{name: "BenchmarkBaselineGEMMEngine/direct", images: 1, fn: func() error {
 			_, err := net.Predict(gemmImg)
 			return err
 		}},
-		{"BenchmarkBaselineGEMMEngine/gemm", 1, func() error {
+		{name: "BenchmarkBaselineGEMMEngine/gemm", images: 1, fn: func() error {
 			var out *tensor.Tensor
 			out, err := net.GEMMForward(gemmImg)
 			_ = out
@@ -120,17 +133,41 @@ func benchJSON(path string, cus []int, dtypes []quant.Precision) error {
 		if p != quant.Float32 {
 			suffix = "/dtype=" + p.String()
 		}
-		cases = append(cases, benchCase{"BenchmarkFabricThroughput" + suffix, 1, func() error {
+		cases = append(cases, benchCase{name: "BenchmarkFabricThroughput" + suffix, images: 1, fn: func() error {
 			_, _, err := dep.Run(fabricImgs)
 			return err
 		}})
 		for _, n := range cus {
 			pool := dataflow.NewCUPool(dep, n)
-			cases = append(cases, benchCase{fmt.Sprintf("BenchmarkFabricThroughput/cus=%d%s", n, suffix), len(poolImgs), func() error {
+			cases = append(cases, benchCase{name: fmt.Sprintf("BenchmarkFabricThroughput/cus=%d%s", n, suffix), images: len(poolImgs), fn: func() error {
 				_, _, err := pool.Run(poolImgs)
 				return err
 			}})
 		}
+		// The batch-streaming pair: batch=1 drains between images
+		// (image-at-a-time Run), batch=8 streams the same eight images
+		// back-to-back through a resident session. The batch=8 row carries
+		// the modeled steady-state speedup for this host so benchdiff can
+		// derive the measured/modeled pipeline_efficiency ratio.
+		cases = append(cases, benchCase{name: "BenchmarkFabricThroughput/batch=1" + suffix, images: len(streamImgs), fn: func() error {
+			for i := range streamImgs {
+				if _, _, err := dep.Run(streamImgs[i : i+1]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+		sess := dep.OpenSession()
+		defer sess.Close()
+		cases = append(cases, benchCase{
+			name:   "BenchmarkFabricThroughput/batch=8" + suffix,
+			images: len(streamImgs),
+			model:  perf.HostSteadyStateSpeedup(perf.Stages(dep.Spec), len(streamImgs), runtime.GOMAXPROCS(0)),
+			fn: func() error {
+				_, _, err := sess.RunBatch(streamImgs)
+				return err
+			},
+		})
 	}
 
 	var results []benchResult
@@ -140,6 +177,7 @@ func benchJSON(path string, cus []int, dtypes []quant.Precision) error {
 		if err != nil {
 			return err
 		}
+		r.ModelSpeedupX = c.model
 		results = append(results, r)
 		fmt.Printf("%-38s %10d iters %14.0f ns/op %12.1f img/s\n", r.Name, r.Iters, r.NsPerOp, r.ImgPerS)
 	}

@@ -340,10 +340,11 @@ func cmdCosim(args []string) error {
 // rule fires. Networks come either from a Condor JSON file (with optional
 // weights for the weight-consistency rules) or from the built-in evaluation
 // models by name. The configuration flags (-cus, -burst, -tap-depth,
-// -fifo-depth) describe the deployment to prove: the fabric rules
+// -fifo-depth, -batch) describe the deployment to prove: the fabric rules
 // CND020–CND022 statically reject a configuration whose worst-case FIFO
 // occupancy exceeds a declared depth or whose replicated compute units
-// overcommit the board.
+// overcommit the board, and -batch adds the CND024 continuous-streaming
+// bound (two in-flight epochs per FIFO).
 func cmdLint(args []string) error {
 	fs := flag.NewFlagSet("lint", flag.ExitOnError)
 	network := fs.String("network", "", "Condor network representation (JSON)")
@@ -355,6 +356,7 @@ func cmdLint(args []string) error {
 	fifoDepth := fs.Int("fifo-depth", 0, "inter-PE stream FIFO depth override in words (0 = default)")
 	precision := fs.String("precision", "float32", "fabric numeric format to prove: float32 | int16 | int8")
 	strictLanes := fs.Bool("strict-lanes", false, "reject padded tail lanes (CND023 becomes an error) on the packed int8 datapath")
+	batchStream := fs.Bool("batch", false, "prove the continuous-streaming deployment (CND024: two in-flight epochs must fit every FIFO)")
 	quiet := fs.Bool("q", false, "suppress the success line")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -404,6 +406,7 @@ func cmdLint(args []string) error {
 		InterPEFIFODepth: *fifoDepth,
 		Precision:        p,
 		StrictLanes:      *strictLanes,
+		BatchStreaming:   *batchStream,
 	})
 	if err != nil {
 		return err

@@ -314,6 +314,11 @@ type LintOptions struct {
 	ComputeUnits int
 	BurstWords   int
 
+	// BatchStreaming declares the continuous-streaming deployment (resident
+	// sessions, back-to-back images) and enables the CND024 two-epochs-in-
+	// flight capacity rule on every FIFO edge.
+	BatchStreaming bool
+
 	// TapFIFODepth, when positive, declares that depth (in words) for every
 	// filter chain's tap FIFOs instead of the auto-sized analytic worst
 	// case — the knob that makes a FIFO-infeasible design expressible.
@@ -373,7 +378,7 @@ func (f *Framework) LintWith(ir *condorir.Network, ws *condorir.WeightSet, opts 
 		return nil, err
 	}
 	f.logf("lint: verifying %d PEs against the CND rule catalogue", len(spec.PEs))
-	cfg := verify.FabricConfig{CUs: opts.ComputeUnits, BurstWords: opts.BurstWords}
+	cfg := verify.FabricConfig{CUs: opts.ComputeUnits, BurstWords: opts.BurstWords, BatchStreaming: opts.BatchStreaming}
 	return verify.LintConfig(spec, ir, ws, cfg), nil
 }
 

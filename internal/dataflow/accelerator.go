@@ -9,7 +9,6 @@ import (
 	"condor/internal/fifo"
 	"condor/internal/nn"
 	"condor/internal/obs"
-	"condor/internal/quant"
 	"condor/internal/tensor"
 )
 
@@ -174,23 +173,42 @@ func (s *RunStats) TotalMACs() int64 {
 // input order. The returned stats carry per-PE cycle counts and DDR
 // traffic for the batch.
 //
-// Run uses the burst datapath: FIFO traffic moves in slice-granularity
-// bursts (whole images, padded rows, output tensors) with identical word
+// Run is a one-shot streaming session (OpenSession + RunBatch + Close): it
+// uses the framed burst datapath — FIFO traffic moves in slice-granularity
+// bursts behind epoch-tagged frame headers, with identical datapath word
 // content, order, traffic totals and modeled cycles as the word-at-a-time
 // path, which is retained behind RunWords as the equivalence oracle.
+// Callers running many batches should hold a Session (or CUPool.RunBatch)
+// open instead, which amortizes the fabric's setup and fill/drain across
+// batches.
 func (a *Accelerator) Run(batch []*tensor.Tensor) ([]*tensor.Tensor, *RunStats, error) {
-	return a.run(batch, true)
+	if len(batch) == 0 {
+		return nil, &RunStats{}, nil
+	}
+	s := a.OpenSession()
+	outs, stats, err := s.RunBatch(batch)
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return outs, stats, nil
 }
 
 // RunWords executes the batch with the original word-at-a-time datapath:
 // one FIFO operation per streamed word, the exact granularity of the modeled
-// hardware. It exists so tests can assert the burst datapath is functionally
-// and statistically bit-identical; production callers should use Run.
+// hardware, with no frame headers. It exists so tests can assert the framed
+// burst datapath is functionally and statistically bit-identical on the
+// datapath counters; production callers should use Run.
 func (a *Accelerator) RunWords(batch []*tensor.Tensor) ([]*tensor.Tensor, *RunStats, error) {
-	return a.run(batch, false)
+	return a.runWords(batch)
 }
 
-func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor, *RunStats, error) {
+// runWords is the unframed word-at-a-time oracle. It is deliberately the
+// original one-shot feeder/PE/collector spawn-and-join loop — the framed
+// streaming session in session.go is measured against it.
+func (a *Accelerator) runWords(batch []*tensor.Tensor) ([]*tensor.Tensor, *RunStats, error) {
 	if len(batch) == 0 {
 		return nil, &RunStats{}, nil
 	}
@@ -206,12 +224,6 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 	stats := &RunStats{Images: len(batch), PEs: make([]PEStats, len(spec.PEs))}
 	errs := make(chan error, len(spec.PEs)+2)
 
-	// The packed int8 datapath rides the burst protocol: WordBits == 8
-	// selects the quantize-pack-execute pipeline end to end. RunWords always
-	// stays the float32 word-at-a-time oracle — that is what the bounded
-	// error of the packed path is measured against.
-	packed := burst && spec.WordBits == 8
-
 	// Streaming FIFOs: datamover → pe0 → pe1 → … → datamover.
 	fifos := make([]*fifo.FIFO, len(spec.PEs)+1)
 	for i := range fifos {
@@ -220,62 +232,16 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 
 	var wg sync.WaitGroup
 
-	// Tracks are created up front, one per fabric element, so each element
-	// goroutine owns its track exclusively (single-writer, no locking on
-	// the record path). Nil tracks mean tracing is off.
-	var feedTrack, sinkTrack *obs.Track
-	peTracks := make([]*obs.Track, len(spec.PEs))
-	if a.tracer != nil && burst {
-		feedTrack = a.tracer.Track(a.trackPrefix + "feeder")
-		for i, pe := range spec.PEs {
-			peTracks[i] = a.tracer.Track(a.trackPrefix + pe.ID)
-		}
-		sinkTrack = a.tracer.Track(a.trackPrefix + "collector")
-	}
-
-	// Feeder: the datamover streams every image from on-board memory. In
-	// burst mode a whole image moves per PushSlice (chunked internally by
-	// the FIFO's free space, so the bounded depth still throttles). On the
-	// packed datapath the feeder is also the fabric's only float→int8
-	// quantization point: it calibrates a per-image symmetric scale, packs
-	// the codes four per word, and frames them behind a scale-header word.
+	// Feeder: the datamover streams every image from on-board memory, one
+	// word per push.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer fifos[0].Close()
-		var codes []int8
-		var words []fifo.Word
-		if packed {
-			vol := in.Volume()
-			codes = make([]int8, vol)
-			words = make([]fifo.Word, fifo.PackedWords(vol))
-		}
 		for _, img := range batch {
-			sid := 0
-			if feedTrack != nil {
-				sid = feedTrack.Begin("feed", 0)
-			}
-			if packed {
-				scale := frameScale(img.Data())
-				quant.QuantizeInto(codes, img.Data(), scale)
-				a.dm.AccountReadBytes(int64(img.Len()))
-				pushInt8Frame(fifos[0], words, codes, scale)
-				if scale > stats.InputScale {
-					stats.InputScale = scale
-				}
-			} else {
-				a.dm.AccountInput(int64(img.Len()))
-				if burst {
-					fifos[0].PushSlice(img.Data())
-				} else {
-					for _, v := range img.Data() {
-						fifos[0].Push(v)
-					}
-				}
-			}
-			if feedTrack != nil {
-				feedTrack.AddWords(sid, int64(img.Len()))
-				feedTrack.End(sid, 0)
+			a.dm.AccountInput(int64(img.Len()))
+			for _, v := range img.Data() {
+				fifos[0].Push(v)
 			}
 		}
 	}()
@@ -283,15 +249,7 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 	// One goroutine per PE.
 	for i, pe := range spec.PEs {
 		stats.PEs[i].ID = pe.ID
-		var exec interface{ run(int) error }
-		switch {
-		case packed:
-			exec = &peExecInt8{pe: pe, dm: a.dm, qw: a.qweights, in: fifos[i], out: fifos[i+1], stats: &stats.PEs[i], track: peTracks[i]}
-		case burst:
-			exec = &peExec{pe: pe, dm: a.dm, in: fifos[i], out: fifos[i+1], stats: &stats.PEs[i], track: peTracks[i]}
-		default:
-			exec = &peExecWords{pe: pe, dm: a.dm, in: fifos[i], out: fifos[i+1], stats: &stats.PEs[i]}
-		}
+		exec := &peExecWords{pe: pe, dm: a.dm, in: fifos[i], out: fifos[i+1], stats: &stats.PEs[i]}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -308,58 +266,23 @@ func (a *Accelerator) run(batch []*tensor.Tensor, burst bool) ([]*tensor.Tensor,
 	go func() {
 		defer wg.Done()
 		sink := fifos[len(fifos)-1]
-		var codes []int8
-		var words []fifo.Word
-		if packed {
-			vol := outShape.Volume()
-			codes = make([]int8, vol)
-			words = make([]fifo.Word, fifo.PackedWords(vol))
-		}
 		for b := range outputs {
 			t := tensor.New(outShape.Channels, outShape.Height, outShape.Width)
 			data := t.Data()
-			sid := 0
-			if sinkTrack != nil {
-				sid = sinkTrack.Begin("collect", 0)
-			}
-			if packed {
-				// The collector is the fabric's only int8→float point: it
-				// unpacks the last PE's frame and dequantizes with the
-				// frame's scale before the output leaves the fabric.
-				scale, err := popInt8Frame(sink, words, codes)
-				if err != nil {
-					errs <- fmt.Errorf("dataflow: image %d: %w", b, err)
+			for j := range data {
+				v, ok := sink.Pop()
+				if !ok {
+					errs <- fmt.Errorf("dataflow: output stream ended at image %d element %d", b, j)
 					return
 				}
-				quant.DequantizeInto(data, codes, scale)
-				a.dm.AccountWriteBytes(int64(len(data)))
-			} else if burst {
-				if n := sink.PopInto(data); n < len(data) {
-					errs <- fmt.Errorf("dataflow: output stream ended at image %d element %d", b, n)
-					return
-				}
-			} else {
-				for j := range data {
-					v, ok := sink.Pop()
-					if !ok {
-						errs <- fmt.Errorf("dataflow: output stream ended at image %d element %d", b, j)
-						return
-					}
-					data[j] = v
-				}
+				data[j] = v
 			}
-			if !packed {
-				a.dm.AccountOutput(int64(len(data)))
-			}
-			if sinkTrack != nil {
-				sinkTrack.AddWords(sid, int64(len(data)))
-				sinkTrack.End(sid, 0)
-			}
+			a.dm.AccountOutput(int64(len(data)))
 			outputs[b] = t
 		}
 		// Anything extra indicates a shape accounting bug. Drain the sink
-		// synchronously so no goroutine outlives Run: the last PE has closed
-		// (or will close) its output FIFO, so the drain terminates.
+		// synchronously so no goroutine outlives the run: the last PE has
+		// closed (or will close) its output FIFO, so the drain terminates.
 		if _, ok := sink.Pop(); ok {
 			errs <- fmt.Errorf("dataflow: accelerator produced more output words than %d images require", len(outputs))
 			sink.Drain()

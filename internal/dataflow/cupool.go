@@ -18,6 +18,13 @@ import (
 // is taken per unit and maxed).
 type CUPool struct {
 	cus []*Accelerator
+
+	// Resident streaming sessions, one per unit, opened lazily by the first
+	// RunBatch and held until Close — that is what lets a serving batcher
+	// feed the pool as a continuous stream instead of paying a fabric
+	// spawn/join per batch.
+	mu   sync.Mutex
+	sess []*Session
 }
 
 // NewCUPool builds a pool of n compute units around an instantiated fabric.
@@ -110,6 +117,118 @@ func (p *CUPool) Run(batch []*tensor.Tensor) ([]*tensor.Tensor, *RunStats, error
 	return outs, merged, nil
 }
 
+// session returns (opening on first use) the i-th unit's resident session.
+func (p *CUPool) session(i int) *Session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sess == nil {
+		p.sess = make([]*Session, len(p.cus))
+	}
+	if p.sess[i] == nil {
+		p.sess[i] = p.cus[i].OpenSession()
+	}
+	return p.sess[i]
+}
+
+// RunBatch shards the batch contiguously across the pool's resident
+// streaming sessions: every compute unit's fabric stays up between calls,
+// so consecutive batches stream back-to-back through the layer pipelines
+// with no spawn/join or fill/drain per batch. Outputs come back in input
+// order; stats are the merge of the per-unit session-cumulative stats (see
+// Session.RunBatch). The caller owns Close; Run remains the one-shot
+// alternative and never touches the resident sessions.
+func (p *CUPool) RunBatch(batch []*tensor.Tensor) ([]*tensor.Tensor, *RunStats, error) {
+	if len(p.cus) == 1 || len(batch) <= 1 {
+		return p.session(0).RunBatch(batch)
+	}
+	n := len(p.cus)
+	per := (len(batch) + n - 1) / n
+	outs := make([]*tensor.Tensor, len(batch))
+	stats := make([]*RunStats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	shards := 0
+	for i := 0; i < n; i++ {
+		lo := i * per
+		if lo >= len(batch) {
+			break
+		}
+		hi := lo + per
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		shards++
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			shardOuts, st, err := p.session(i).RunBatch(batch[lo:hi])
+			if err != nil {
+				errs[i] = fmt.Errorf("cu%d: %w", i, err)
+				return
+			}
+			copy(outs[lo:hi], shardOuts)
+			stats[i] = st
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	merged := stats[0]
+	for _, st := range stats[1:shards] {
+		merged.Merge(st)
+	}
+	return outs, merged, nil
+}
+
+// Stats merges the session-cumulative stats of every resident session the
+// pool has opened (see Session.Stats). Meaningful between RunBatch calls,
+// when no images are in flight; a pool with no open sessions reports zero.
+func (p *CUPool) Stats() *RunStats {
+	p.mu.Lock()
+	sess := append([]*Session(nil), p.sess...)
+	p.mu.Unlock()
+	var merged *RunStats
+	for _, s := range sess {
+		if s == nil {
+			continue
+		}
+		st := s.Stats()
+		if merged == nil {
+			merged = st
+		} else {
+			merged.Merge(st)
+		}
+	}
+	if merged == nil {
+		merged = &RunStats{}
+	}
+	return merged
+}
+
+// Close tears down every resident session opened by RunBatch, joining all
+// fabric goroutines, and returns the first failure. A pool that only ever
+// used Run has nothing to close; Close is then a no-op. The pool may be
+// used again after Close — the next RunBatch opens fresh sessions.
+func (p *CUPool) Close() error {
+	p.mu.Lock()
+	sess := p.sess
+	p.sess = nil
+	p.mu.Unlock()
+	var first error
+	for _, s := range sess {
+		if s == nil {
+			continue
+		}
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Merge folds another run's stats into s: image and traffic counters sum,
 // per-PE entries merge index-wise, per-stream push/pop/burst totals sum and
 // occupancy high-water marks max. Merging the per-unit stats of a pool run
@@ -149,8 +268,13 @@ func (s *RunStats) Merge(o *RunStats) {
 		a.PopBursts += b.PopBursts
 		a.LanePushes += b.LanePushes
 		a.LanePops += b.LanePops
+		a.HeaderPushes += b.HeaderPushes
+		a.HeaderPops += b.HeaderPops
 		if b.MaxOccupancy > a.MaxOccupancy {
 			a.MaxOccupancy = b.MaxOccupancy
+		}
+		if b.EpochMaxOccupancy > a.EpochMaxOccupancy {
+			a.EpochMaxOccupancy = b.EpochMaxOccupancy
 		}
 	}
 }

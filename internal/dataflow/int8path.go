@@ -120,6 +120,11 @@ type peExecInt8 struct {
 	stats *PEStats
 	track *obs.Track // nil when tracing is off
 
+	// Session hooks, same contract as peExec: onImage advances the RunBatch
+	// barrier, onErr latches a failure before the input drain starts.
+	onImage func()
+	onErr   func(error)
+
 	pool   *workerPool
 	layers []peLayerInt8
 
@@ -180,23 +185,41 @@ func (x *peExecInt8) prepare() error {
 	return nil
 }
 
-// run processes batch images and closes the output FIFO, draining upstream
-// on error exactly like the float executor.
-func (x *peExecInt8) run(batch int) error {
+// runStream is the resident session loop, mirroring peExec.runStream:
+// epoch-validated frames until end-of-stream, prepare amortized over the
+// session, failure latched before the terminating input drain.
+func (x *peExecInt8) runStream() error {
 	defer x.out.Close()
-	if err := x.prepare(); err != nil {
+	fail := func(err error) error {
+		err = fmt.Errorf("dataflow: %s: %w", x.pe.ID, err)
+		x.onErr(err)
 		x.in.Drain()
-		return fmt.Errorf("dataflow: %s: %w", x.pe.ID, err)
+		return err
+	}
+	if err := x.prepare(); err != nil {
+		return fail(err)
 	}
 	defer x.pool.close()
-	for img := 0; img < batch; img++ {
-		if err := x.runImage(img); err != nil {
-			x.in.Drain()
-			return fmt.Errorf("dataflow: %s image %d: %w", x.pe.ID, img, err)
+	var epoch uint16
+	for {
+		e, ok, err := x.in.PopFrameHeader()
+		if !ok {
+			return nil // end of session
+		}
+		if err != nil {
+			return fail(err)
+		}
+		if e != epoch {
+			return fail(fmt.Errorf("frame epoch %d arrived, expected %d", e, epoch))
+		}
+		x.out.PushFrameHeader(e)
+		if err := x.runImage(int(epoch)); err != nil {
+			return fail(fmt.Errorf("epoch %d: %w", e, err))
 		}
 		x.stats.Images++
+		epoch++
+		x.onImage()
 	}
-	return nil
 }
 
 func (x *peExecInt8) runImage(img int) error {

@@ -159,6 +159,12 @@ type peExec struct {
 	stats *PEStats
 	track *obs.Track // nil when tracing is off
 
+	// Session hooks: onImage advances the RunBatch barrier after each
+	// retired image; onErr latches a failure before the input drain starts,
+	// so the feeder learns to close the head FIFO and the drain terminates.
+	onImage func()
+	onErr   func(error)
+
 	// pool executes port-parallel bands; nil when the PE's parallelism or
 	// the processor budget is 1 (the sequential schedule).
 	pool *workerPool
@@ -237,24 +243,45 @@ func (x *peExec) runner(i int) *stencilRun {
 	return x.runners[i]
 }
 
-// run processes batch images and closes the output FIFO. On error it drains
-// the input stream so upstream PEs never block forever; the drain completes
-// before run returns, so no goroutine outlives Accelerator.Run.
-func (x *peExec) run(batch int) error {
+// runStream is the resident session loop: frames are consumed until the
+// input stream ends, each validated against the expected epoch sequence and
+// forwarded under the same tag. prepare runs once per session, not once per
+// image, so batches amortize it. On error the executor latches the failure
+// first (so the session feeder stops and closes the head FIFO) and then
+// drains its input; the drain completes before runStream returns, so no
+// goroutine outlives the session.
+func (x *peExec) runStream() error {
 	defer x.out.Close()
-	if err := x.prepare(); err != nil {
+	fail := func(err error) error {
+		err = fmt.Errorf("dataflow: %s: %w", x.pe.ID, err)
+		x.onErr(err)
 		x.in.Drain()
-		return fmt.Errorf("dataflow: %s: %w", x.pe.ID, err)
+		return err
+	}
+	if err := x.prepare(); err != nil {
+		return fail(err)
 	}
 	defer x.pool.close()
-	for img := 0; img < batch; img++ {
-		if err := x.runImage(img); err != nil {
-			x.in.Drain()
-			return fmt.Errorf("dataflow: %s image %d: %w", x.pe.ID, img, err)
+	var epoch uint16
+	for {
+		e, ok, err := x.in.PopFrameHeader()
+		if !ok {
+			return nil // end of session
+		}
+		if err != nil {
+			return fail(err)
+		}
+		if e != epoch {
+			return fail(fmt.Errorf("frame epoch %d arrived, expected %d", e, epoch))
+		}
+		x.out.PushFrameHeader(e)
+		if err := x.runImage(int(epoch)); err != nil {
+			return fail(fmt.Errorf("epoch %d: %w", e, err))
 		}
 		x.stats.Images++
+		epoch++
+		x.onImage()
 	}
-	return nil
 }
 
 // runImage pushes one image through the PE's fused layer sequence.

@@ -1,0 +1,417 @@
+package dataflow
+
+import (
+	"fmt"
+	"sync"
+
+	"condor/internal/fifo"
+	"condor/internal/obs"
+	"condor/internal/quant"
+	"condor/internal/tensor"
+)
+
+// Session is a resident streaming instance of the fabric: every element
+// (feeder, one goroutine per PE, collector) stays alive across batches, and
+// consecutive images stream back-to-back through the layer pipeline without
+// draining between them. Each image travels as an epoch-tagged frame
+// (fifo.PushFrameHeader) so elements detect interleaving bugs instead of
+// silently mixing images; on the packed int8 datapath the epoch header
+// precedes the per-image scale word of the PR-8 frame layout.
+//
+// RunBatch feeds a batch into the running pipeline and blocks until every
+// element has retired it; Close ends the stream, joins every goroutine and
+// reports any deferred failure. Accelerator.Run is OpenSession + RunBatch +
+// Close, so one-shot callers see exactly the old behavior; throughput
+// callers hold a session open and amortize the fabric's fill/drain and
+// setup (executor prepare, FIFO and scratch allocation, goroutine spawn)
+// over the whole stream.
+type Session struct {
+	acc    *Accelerator
+	packed bool
+	fifos  []*fifo.FIFO
+
+	feedQ    chan *tensor.Tensor
+	collectQ chan *collectJob
+	quit     chan struct{} // closed on first element failure
+
+	// mu guards the completion barrier and the failure latch. Elements
+	// increment their done counter after finishing an image; RunBatch waits
+	// until the slowest element catches up, which also orders every
+	// element's stats writes before the snapshot RunBatch returns.
+	mu   sync.Mutex
+	cond *sync.Cond
+	done []int // images retired per element: [feeder, PEs..., collector]
+	err  error // sticky first failure
+
+	fed        int // images fed over the session (runMu-guarded)
+	peStats    []PEStats
+	inputScale float64
+	outShape   [3]int
+
+	runMu  sync.Mutex // serializes RunBatch and Close
+	closed bool       // runMu-guarded
+	wg     sync.WaitGroup
+
+	// testExpectEpoch, when set by tests, perturbs the epoch the collector
+	// expects for a given image sequence number — the hook the mid-batch
+	// error-cascade test uses to prove teardown leaks no goroutine.
+	testExpectEpoch func(seq int, epoch uint16) uint16
+}
+
+// collectJob asks the collector to retire len(outs) frames into outs.
+type collectJob struct {
+	outs []*tensor.Tensor
+}
+
+// OpenSession brings the fabric up as a resident streaming pipeline with no
+// images in flight. The caller must Close the session to join its
+// goroutines; errors detected mid-stream surface on the blocked RunBatch
+// and again on Close.
+func (a *Accelerator) OpenSession() *Session {
+	spec := a.Spec
+	s := &Session{
+		acc:      a,
+		packed:   spec.WordBits == 8,
+		feedQ:    make(chan *tensor.Tensor),
+		collectQ: make(chan *collectJob, 1),
+		quit:     make(chan struct{}),
+		done:     make([]int, len(spec.PEs)+2),
+		peStats:  make([]PEStats, len(spec.PEs)),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	out := spec.OutputShape()
+	s.outShape = [3]int{out.Channels, out.Height, out.Width}
+
+	s.fifos = make([]*fifo.FIFO, len(spec.PEs)+1)
+	for i := range s.fifos {
+		s.fifos[i] = fifo.New(fmt.Sprintf("stream%d", i), spec.InterPEFIFODepth)
+	}
+
+	// One trace track per element, created up front so each goroutine owns
+	// its track exclusively (single-writer, no locking on the record path).
+	var feedTrack, sinkTrack *obs.Track
+	peTracks := make([]*obs.Track, len(spec.PEs))
+	if a.tracer != nil {
+		feedTrack = a.tracer.Track(a.trackPrefix + "feeder")
+		for i, pe := range spec.PEs {
+			peTracks[i] = a.tracer.Track(a.trackPrefix + pe.ID)
+		}
+		sinkTrack = a.tracer.Track(a.trackPrefix + "collector")
+	}
+
+	s.wg.Add(1)
+	go s.feeder(feedTrack)
+
+	for i, pe := range spec.PEs {
+		s.peStats[i].ID = pe.ID
+		elem := 1 + i
+		var exec interface{ runStream() error }
+		if s.packed {
+			exec = &peExecInt8{pe: pe, dm: a.dm, qw: a.qweights, in: s.fifos[i], out: s.fifos[i+1],
+				stats: &s.peStats[i], track: peTracks[i], onImage: func() { s.imageDone(elem) }, onErr: s.fail}
+		} else {
+			exec = &peExec{pe: pe, dm: a.dm, in: s.fifos[i], out: s.fifos[i+1],
+				stats: &s.peStats[i], track: peTracks[i], onImage: func() { s.imageDone(elem) }, onErr: s.fail}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := exec.runStream(); err != nil {
+				s.fail(err)
+			}
+		}()
+	}
+
+	s.wg.Add(1)
+	go s.collector(sinkTrack)
+	return s
+}
+
+// imageDone advances one element's retirement counter and wakes the
+// RunBatch barrier. Because the increment happens under mu after the
+// element's stats writes for that image, a woken RunBatch observes every
+// contributing write.
+func (s *Session) imageDone(elem int) {
+	s.mu.Lock()
+	s.done[elem]++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// fail latches the first element failure and tells the fabric to wind down:
+// the feeder closes the head FIFO on seeing quit, which cascades
+// end-of-stream through every resident element.
+func (s *Session) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+		close(s.quit)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// failed reports the sticky error, if any.
+func (s *Session) failed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// feeder streams every queued image from on-board memory into the head
+// FIFO, one epoch-tagged frame per image. On the packed datapath it is the
+// fabric's only float→int8 quantization point. It owns closing the head
+// FIFO — on a clean Close (feedQ closed) and on failure (quit closed) —
+// which is what guarantees every downstream drain terminates.
+func (s *Session) feeder(track *obs.Track) {
+	defer s.wg.Done()
+	in := s.acc.Spec.Input
+	head := s.fifos[0]
+	var codes []int8
+	var words []fifo.Word
+	if s.packed {
+		vol := in.Volume()
+		codes = make([]int8, vol)
+		words = make([]fifo.Word, fifo.PackedWords(vol))
+	}
+	var epoch uint16
+	for {
+		// Prefer quit so a failed fabric stops consuming the queue promptly.
+		select {
+		case <-s.quit:
+			head.Close()
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			head.Close()
+			return
+		case img, ok := <-s.feedQ:
+			if !ok {
+				head.Close()
+				return
+			}
+			sid := 0
+			if track != nil {
+				sid = track.Begin("feed", 0)
+			}
+			head.PushFrameHeader(epoch)
+			if s.packed {
+				scale := frameScale(img.Data())
+				quant.QuantizeInto(codes, img.Data(), scale)
+				s.acc.dm.AccountReadBytes(int64(img.Len()))
+				pushInt8Frame(head, words, codes, scale)
+				s.mu.Lock()
+				if scale > s.inputScale {
+					s.inputScale = scale
+				}
+				s.mu.Unlock()
+			} else {
+				s.acc.dm.AccountInput(int64(img.Len()))
+				head.PushSlice(img.Data())
+			}
+			if track != nil {
+				track.AddWords(sid, int64(img.Len()))
+				track.End(sid, 0)
+			}
+			epoch++
+			s.imageDone(0)
+		}
+	}
+}
+
+// collector retires output frames from the tail FIFO into the tensors of
+// the posted jobs, validating the epoch sequence and dequantizing on the
+// packed datapath. A mid-stream failure drains the tail synchronously so no
+// upstream element can block on a full FIFO forever.
+func (s *Session) collector(track *obs.Track) {
+	defer s.wg.Done()
+	sink := s.fifos[len(s.fifos)-1]
+	elem := len(s.done) - 1
+	var codes []int8
+	var words []fifo.Word
+	vol := s.outShape[0] * s.outShape[1] * s.outShape[2]
+	if s.packed {
+		codes = make([]int8, vol)
+		words = make([]fifo.Word, fifo.PackedWords(vol))
+	}
+	seq := 0 // images retired over the session; low 16 bits = expected epoch
+	for {
+		job, ok := <-s.collectQ
+		if !ok {
+			// Clean shutdown: anything left in the tail stream is a shape
+			// accounting bug. The blocking Pop terminates because Close has
+			// already ended the feed, so end-of-stream cascades here.
+			if _, ok := sink.Pop(); ok {
+				s.fail(fmt.Errorf("dataflow: accelerator produced more output words than %d images require", seq))
+				sink.Drain()
+			}
+			return
+		}
+		for b := range job.outs {
+			if err := s.collectImage(sink, track, job, b, seq, codes, words); err != nil {
+				s.fail(err)
+				sink.Drain()
+				return
+			}
+			seq++
+			s.imageDone(elem)
+		}
+	}
+}
+
+// collectImage retires one output frame into job.outs[b].
+func (s *Session) collectImage(sink *fifo.FIFO, track *obs.Track, job *collectJob, b, seq int, codes []int8, words []fifo.Word) error {
+	want := uint16(seq)
+	if s.testExpectEpoch != nil {
+		want = s.testExpectEpoch(seq, want)
+	}
+	epoch, ok, err := sink.PopFrameHeader()
+	if !ok {
+		return fmt.Errorf("dataflow: output stream ended before image %d", seq)
+	}
+	if err != nil {
+		return fmt.Errorf("dataflow: collector: %w", err)
+	}
+	if epoch != want {
+		return fmt.Errorf("dataflow: collector: frame epoch %d arrived, expected %d", epoch, want)
+	}
+	t := tensor.New(s.outShape[0], s.outShape[1], s.outShape[2])
+	data := t.Data()
+	sid := 0
+	if track != nil {
+		sid = track.Begin("collect", 0)
+	}
+	if s.packed {
+		// The collector is the fabric's only int8→float point: it unpacks
+		// the last PE's frame and dequantizes with the frame's scale before
+		// the output leaves the fabric.
+		scale, err := popInt8Frame(sink, words, codes)
+		if err != nil {
+			return fmt.Errorf("dataflow: image %d: %w", seq, err)
+		}
+		quant.DequantizeInto(data, codes, scale)
+		s.acc.dm.AccountWriteBytes(int64(len(data)))
+	} else {
+		if n := sink.PopInto(data); n < len(data) {
+			return fmt.Errorf("dataflow: output stream ended at image %d element %d", seq, n)
+		}
+		s.acc.dm.AccountOutput(int64(len(data)))
+	}
+	if track != nil {
+		track.AddWords(sid, int64(len(data)))
+		track.End(sid, 0)
+	}
+	job.outs[b] = t
+	return nil
+}
+
+// RunBatch streams a batch through the resident pipeline and blocks until
+// every element has retired it, returning the outputs in input order. The
+// returned stats are cumulative over the session (Images counts every image
+// fed so far; DRAM counters are cumulative over the accelerator, exactly as
+// Accelerator.Run reports them), so the final RunBatch of a session is
+// comparable against one oracle run over the same image sequence. The
+// session survives shape-validation errors; any failure detected inside the
+// fabric is fatal to the session and re-reported by Close.
+func (s *Session) RunBatch(batch []*tensor.Tensor) ([]*tensor.Tensor, *RunStats, error) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	if s.closed {
+		return nil, nil, fmt.Errorf("dataflow: RunBatch on a closed session")
+	}
+	if err := s.failed(); err != nil {
+		return nil, nil, err
+	}
+	if len(batch) == 0 {
+		return nil, &RunStats{}, nil
+	}
+	in := s.acc.Spec.Input
+	for i, img := range batch {
+		sh := img.Shape()
+		if len(sh) != 3 || sh[0] != in.Channels || sh[1] != in.Height || sh[2] != in.Width {
+			return nil, nil, fmt.Errorf("dataflow: image %d has shape %v, accelerator input is %v", i, sh, in)
+		}
+	}
+
+	outs := make([]*tensor.Tensor, len(batch))
+	select {
+	case s.collectQ <- &collectJob{outs: outs}:
+	case <-s.quit:
+		return nil, nil, s.failed()
+	}
+feed:
+	for _, img := range batch {
+		select {
+		case s.feedQ <- img:
+		case <-s.quit:
+			break feed // the barrier below reports the failure
+		}
+	}
+	s.fed += len(batch)
+	target := s.fed
+
+	s.mu.Lock()
+	for s.minDoneLocked() < target && s.err == nil {
+		s.cond.Wait()
+	}
+	err := s.err
+	s.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	return outs, s.snapshotStats(), nil
+}
+
+// minDoneLocked returns the slowest element's retirement count.
+func (s *Session) minDoneLocked() int {
+	min := s.done[0]
+	for _, d := range s.done[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// snapshotStats assembles the session-cumulative RunStats. Callers
+// guarantee quiescence (the RunBatch barrier or the Close join).
+func (s *Session) snapshotStats() *RunStats {
+	stats := &RunStats{Images: s.fed, PEs: make([]PEStats, len(s.peStats))}
+	copy(stats.PEs, s.peStats)
+	stats.DRAM = s.acc.dm.Stats()
+	s.mu.Lock()
+	stats.InputScale = s.inputScale
+	s.mu.Unlock()
+	for _, f := range s.fifos {
+		stats.Streams = append(stats.Streams, f.Stats())
+	}
+	return stats
+}
+
+// Stats returns the session-cumulative RunStats without feeding anything.
+// Only meaningful between RunBatch calls (no images in flight).
+func (s *Session) Stats() *RunStats {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	return s.snapshotStats()
+}
+
+// Close ends the stream: the feeder closes the head FIFO, end-of-stream
+// cascades through every PE to the collector, and every session goroutine
+// joins before Close returns. A failure latched at any point in the
+// session's life — including surplus output words discovered during the
+// final drain — is returned. Closing twice returns the latched error again.
+func (s *Session) Close() error {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	if s.closed {
+		return s.failed()
+	}
+	s.closed = true
+	close(s.feedQ)
+	close(s.collectQ)
+	s.wg.Wait()
+	return s.failed()
+}

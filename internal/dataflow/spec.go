@@ -258,6 +258,17 @@ func (s *Spec) Lanes() int {
 	return 1
 }
 
+// FrameHeaderWords returns the control words that precede one image's
+// payload on a streaming-session stream edge: the epoch frame header, plus
+// the per-image scale word of the packed int8 frame layout. The verifier's
+// CND024 interleaving rule uses it to bound two-epochs-in-flight occupancy.
+func (s *Spec) FrameHeaderWords() int {
+	if s.WordBits == 8 {
+		return 2
+	}
+	return 1
+}
+
 // OutputShape returns the shape produced by the last PE.
 func (s *Spec) OutputShape() nn.Shape {
 	last := s.PEs[len(s.PEs)-1]

@@ -1,0 +1,321 @@
+package dataflow
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"condor/internal/condorir"
+	"condor/internal/models"
+	"condor/internal/tensor"
+)
+
+// These tests pin the tentpole invariant of the continuous-streaming fabric:
+// a resident Session (or CUPool of sessions) fed the same images in several
+// back-to-back RunBatch calls must agree with one word-at-a-time oracle pass
+// over the whole sequence — bit-identical outputs and identical cumulative
+// RunStats on the float32 path (frame headers ride in separate counters, so
+// the datapath word totals still match exactly), bounded error on the packed
+// int8 path. Teardown is part of the contract too: a mid-batch failure must
+// cascade end-of-stream through every resident element and leak nothing.
+
+// chunkBatch splits a batch into uneven consecutive chunks (1, 2, 3, …) so
+// the sweep exercises single-image batches, partial CU shards and full
+// shards in one session lifetime.
+func chunkBatch(batch []*tensor.Tensor) [][]*tensor.Tensor {
+	var chunks [][]*tensor.Tensor
+	for size := 1; len(batch) > 0; size++ {
+		if size > len(batch) {
+			size = len(batch)
+		}
+		chunks = append(chunks, batch[:size])
+		batch = batch[size:]
+	}
+	return chunks
+}
+
+// runStreamCase executes one {Par, CUs, dtype} point: the streaming side
+// feeds the batch through resident pool sessions in uneven chunks, the
+// oracle side runs one unframed word-at-a-time pass over everything.
+func runStreamCase(t *testing.T, ir *condorir.Network, ws *condorir.WeightSet, batch []*tensor.Tensor, par condorir.Parallelism, cus int, int8path bool) {
+	t.Helper()
+	spec, err := BuildSpec(ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int8path {
+		spec.WordBits = 8
+	}
+	for _, pe := range spec.PEs {
+		pe.Par = par
+	}
+	streamAcc, err := Instantiate(spec, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleAcc, err := Instantiate(spec, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewCUPool(streamAcc, cus)
+	var gotOut []*tensor.Tensor
+	for _, chunk := range chunkBatch(batch) {
+		outs, _, err := pool.RunBatch(chunk)
+		if err != nil {
+			t.Fatalf("streaming chunk: %v", err)
+		}
+		gotOut = append(gotOut, outs...)
+	}
+	gotStats := pool.Stats()
+	if err := pool.Close(); err != nil {
+		t.Fatalf("pool close: %v", err)
+	}
+	wantOut, wantStats, err := oracleAcc.RunWords(batch)
+	if err != nil {
+		t.Fatalf("oracle run: %v", err)
+	}
+
+	if !int8path {
+		assertRunsIdentical(t, "stream", gotOut, gotStats, "word", wantOut, wantStats)
+		assertFramedStreams(t, gotStats, len(batch), cus)
+		return
+	}
+	// Packed path: bounded error against the float oracle, like runQuantCase.
+	tol := gotStats.QuantErrorBound()
+	if tol <= 0 {
+		t.Fatalf("QuantErrorBound = %g, want positive", tol)
+	}
+	if len(gotOut) != len(wantOut) {
+		t.Fatalf("output count %d vs %d", len(gotOut), len(wantOut))
+	}
+	agree := 0
+	for i := range gotOut {
+		if d := tensor.MaxAbsDiff(gotOut[i], wantOut[i]); d > tol {
+			t.Errorf("image %d: max abs diff %g exceeds quant error bound %g", i, d, tol)
+		}
+		if gotOut[i].ArgMax() == wantOut[i].ArgMax() {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(gotOut)); frac < 0.75 {
+		t.Errorf("argmax agreement %.2f below 0.75 (%d/%d images)", frac, agree, len(gotOut))
+	}
+	assertFramedStreams(t, gotStats, len(batch), cus)
+}
+
+// assertFramedStreams asserts the session actually framed its traffic: one
+// header pushed and popped per image per stream edge (pool-merged across
+// units), with per-epoch occupancy windows recorded.
+func assertFramedStreams(t *testing.T, stats *RunStats, images, cus int) {
+	t.Helper()
+	for i, s := range stats.Streams {
+		if s.HeaderPushes != int64(images) || s.HeaderPops != int64(images) {
+			t.Errorf("stream %d: %d header pushes / %d pops, want %d each", i, s.HeaderPushes, s.HeaderPops, images)
+		}
+		if s.EpochMaxOccupancy <= 0 {
+			t.Errorf("stream %d: no per-epoch occupancy recorded", i)
+		}
+		if s.EpochMaxOccupancy > int64(s.Depth) {
+			t.Errorf("stream %d: per-epoch occupancy %d exceeds depth %d", i, s.EpochMaxOccupancy, s.Depth)
+		}
+	}
+}
+
+func TestStreamingEquivalenceTC1(t *testing.T) {
+	ir, ws, err := models.TC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := models.USPSImages(6, 7)
+	withProcs(t, 4, func(t *testing.T) {
+		for _, dtype := range []string{"float32", "int8"} {
+			for _, in := range []int{1, 2, 4} {
+				for _, out := range []int{1, 2, 4} {
+					for _, cus := range []int{1, 2, 4} {
+						name := fmt.Sprintf("dtype=%s/in=%d/out=%d/cus=%d", dtype, in, out, cus)
+						t.Run(name, func(t *testing.T) {
+							runStreamCase(t, ir, ws, batch, condorir.Parallelism{In: in, Out: out}, cus, dtype == "int8")
+						})
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestStreamingEquivalenceLeNet(t *testing.T) {
+	ir, ws, err := models.LeNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := models.MNISTImages(4, 11)
+	withProcs(t, 4, func(t *testing.T) {
+		for _, dtype := range []string{"float32", "int8"} {
+			for _, p := range []int{1, 2, 4} {
+				name := fmt.Sprintf("dtype=%s/in=%d/out=%d/cus=%d", dtype, p, p, p)
+				t.Run(name, func(t *testing.T) {
+					runStreamCase(t, ir, ws, batch, condorir.Parallelism{In: p, Out: p}, p, dtype == "int8")
+				})
+			}
+		}
+	})
+}
+
+// A session fed batch=1 repeatedly must degenerate to today's one-shot Run
+// behavior bit-identically: same outputs image for image, and cumulative
+// session stats identical to one oracle pass over the sequence.
+func TestStreamingBatch1Degenerates(t *testing.T) {
+	ir, ws, err := models.TC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := BuildSpec(ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessAcc, err := Instantiate(spec, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShotAcc, err := Instantiate(spec, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleAcc, err := Instantiate(spec, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := models.USPSImages(4, 7)
+	s := sessAcc.OpenSession()
+	var sessOut []*tensor.Tensor
+	var sessStats *RunStats
+	for i, img := range batch {
+		outs, st, err := s.RunBatch(batch[i : i+1])
+		if err != nil {
+			t.Fatalf("session image %d: %v", i, err)
+		}
+		sessOut = append(sessOut, outs...)
+		sessStats = st
+
+		oneOut, _, err := oneShotAcc.Run([]*tensor.Tensor{img})
+		if err != nil {
+			t.Fatalf("one-shot image %d: %v", i, err)
+		}
+		if d := tensor.MaxAbsDiff(outs[0], oneOut[0]); d != 0 {
+			t.Fatalf("image %d: session batch=1 differs from one-shot Run by %g", i, d)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wantOut, wantStats, err := oracleAcc.RunWords(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRunsIdentical(t, "session", sessOut, sessStats, "word", wantOut, wantStats)
+}
+
+// A mid-batch failure must cascade end-of-stream through every resident
+// element: RunBatch reports the failure, later calls fail fast, Close joins
+// every goroutine and re-reports it, and no goroutine outlives the session
+// (hand-rolled leak check — the fabric's teardown contract).
+func TestStreamingMidBatchCollectorErrorNoLeak(t *testing.T) {
+	ir, ws, err := models.TC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := BuildSpec(ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Instantiate(spec, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := models.USPSImages(5, 7)
+	before := runtime.NumGoroutine()
+
+	s := acc.OpenSession()
+	// Corrupt the collector's expected epoch for the third image: the frame
+	// arriving under the true tag then looks interleaved, mid-batch.
+	s.testExpectEpoch = func(seq int, epoch uint16) uint16 {
+		if seq == 2 {
+			return epoch + 7
+		}
+		return epoch
+	}
+	_, _, err = s.RunBatch(batch)
+	if err == nil {
+		t.Fatal("mid-batch epoch corruption was not detected")
+	}
+	if !strings.Contains(err.Error(), "epoch") {
+		t.Fatalf("unexpected failure: %v", err)
+	}
+	if _, _, err2 := s.RunBatch(batch[:1]); err2 == nil {
+		t.Fatal("RunBatch on a failed session did not fail fast")
+	}
+	if cerr := s.Close(); cerr == nil {
+		t.Fatal("Close did not re-report the session failure")
+	}
+	// Every element goroutine must have exited by now; poll briefly to let
+	// the runtime retire stacks that are mid-exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before session, %d after Close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Two epochs genuinely in flight inside shallow FIFOs: with the stream depth
+// squeezed far below one image's volume, back-to-back frames saturate every
+// edge, and the result must still be bit-identical with per-epoch occupancy
+// bounded by the declared depth (the dynamic counterpart of CND024).
+func TestStreamingTwoEpochsInFlightSaturation(t *testing.T) {
+	ir, ws, err := models.TC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := BuildSpec(ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.InterPEFIFODepth = 8
+	streamAcc, err := Instantiate(spec, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleAcc, err := Instantiate(spec, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := models.USPSImages(6, 7)
+	s := streamAcc.OpenSession()
+	var gotOut []*tensor.Tensor
+	var gotStats *RunStats
+	for lo := 0; lo < len(batch); lo += 3 {
+		outs, st, err := s.RunBatch(batch[lo : lo+3])
+		if err != nil {
+			t.Fatalf("chunk at %d: %v", lo, err)
+		}
+		gotOut = append(gotOut, outs...)
+		gotStats = st
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wantOut, wantStats, err := oracleAcc.RunWords(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRunsIdentical(t, "saturated", gotOut, gotStats, "word", wantOut, wantStats)
+	assertFramedStreams(t, gotStats, len(batch), 1)
+	for i, st := range gotStats.Streams {
+		if st.MaxOccupancy > int64(spec.InterPEFIFODepth) {
+			t.Errorf("stream %d: occupancy %d exceeds depth %d", i, st.MaxOccupancy, spec.InterPEFIFODepth)
+		}
+	}
+}

@@ -50,6 +50,21 @@ type FIFO struct {
 	popBursts  int64
 	maxOcc     int64 // high-water mark, observed at burst boundaries
 
+	// Frame-protocol counters (frame.go): header words are control traffic
+	// and are kept apart from the datapath word totals so framed streaming
+	// runs stay word-identical to the unframed oracle.
+	headerPushes int64
+	headerPops   int64
+
+	// Per-epoch occupancy: epochOcc is the high-water mark of the window
+	// since the last epoch boundary; epochMaxOcc the maximum over completed
+	// windows; epochs the number of boundaries observed. Steady-state
+	// sessions read EpochMaxOccupancy to separate the pipeline-fill
+	// transient from the per-image occupancy that buffer sizing needs.
+	epochOcc    int64
+	epochMaxOcc int64
+	epochs      int64
+
 	// Lane counters, advanced only by the packed transfers (packed.go): the
 	// int8 elements carried inside the words counted above. Zero on the
 	// float32 datapath, where word == element.
@@ -89,6 +104,9 @@ func (f *FIFO) enqueueLocked(vs []Word) {
 	f.pushBursts++
 	if occ := int64(f.count); occ > f.maxOcc {
 		f.maxOcc = occ
+	}
+	if occ := int64(f.count); occ > f.epochOcc {
+		f.epochOcc = occ
 	}
 }
 
@@ -217,8 +235,10 @@ func (f *FIFO) PopInto(dst []Word) int {
 // hardware FIFO is reused across channel passes — instead of instantiating
 // a fresh one per pass. Only a finished stream may be reset: resetting a
 // FIFO that is still open, or that still buffers words, is a design bug and
-// panics. Traffic counters are not cleared; they keep accumulating across
-// the passes the FIFO carries.
+// panics. Reset touches contents only — traffic counters keep accumulating
+// across the passes the FIFO carries, so per-session occupancy accounting
+// survives multi-epoch reuse; a caller that wants fresh counters calls
+// ResetStats explicitly.
 func (f *FIFO) Reset() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -230,6 +250,21 @@ func (f *FIFO) Reset() {
 	}
 	f.closed = false
 	f.head = 0
+}
+
+// ResetStats zeroes every traffic counter — words, bursts, lanes, headers,
+// occupancy high-water marks and epoch windows — without touching the
+// FIFO's contents or open/closed state. Sessions that reuse a fabric across
+// measurement intervals call it between intervals.
+func (f *FIFO) ResetStats() {
+	f.mu.Lock()
+	f.pushes, f.pops = 0, 0
+	f.pushBursts, f.popBursts = 0, 0
+	f.maxOcc = 0
+	f.lanePushes, f.lanePops = 0, 0
+	f.headerPushes, f.headerPops = 0, 0
+	f.epochOcc, f.epochMaxOcc, f.epochs = 0, 0, 0
+	f.mu.Unlock()
 }
 
 // Close marks end-of-stream. Subsequent Pops drain remaining words and then
@@ -259,6 +294,21 @@ type Stats struct {
 	// (PushPacked/PopPackedInto). Zero on the float32 datapath.
 	LanePushes int64
 	LanePops   int64
+
+	// HeaderPushes/HeaderPops count epoch frame-header words
+	// (PushFrameHeader/PopFrameHeader), kept apart from Pushes/Pops so the
+	// datapath word totals stay oracle-identical under framing. Zero on
+	// unframed runs.
+	HeaderPushes int64
+	HeaderPops   int64
+
+	// EpochMaxOccupancy is the largest per-epoch occupancy high-water mark:
+	// the maximum, over epoch windows (frame boundaries), of the buffered
+	// word count within that window. Unlike MaxOccupancy it excludes nothing
+	// numerically — it differs only in being windowed, so a steady-state
+	// session can tell the fill transient from the recurring per-image
+	// occupancy. Zero when no epoch boundary was ever marked.
+	EpochMaxOccupancy int64
 }
 
 // Stats returns the current traffic counters. MaxOccupancy is a high-water
@@ -276,6 +326,14 @@ func (f *FIFO) Stats() Stats {
 		MaxOccupancy: f.maxOcc,
 		LanePushes:   f.lanePushes,
 		LanePops:     f.lanePops,
+		HeaderPushes: f.headerPushes,
+		HeaderPops:   f.headerPops,
+	}
+	if f.epochs > 0 {
+		s.EpochMaxOccupancy = f.epochMaxOcc
+		if f.epochOcc > s.EpochMaxOccupancy {
+			s.EpochMaxOccupancy = f.epochOcc // current, still-open window
+		}
 	}
 	f.mu.Unlock()
 	return s

@@ -1,0 +1,155 @@
+package fifo
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFrameHeaderRoundTrip: every epoch survives encode/decode, and plain
+// words do not decode as headers.
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	for _, e := range []uint16{0, 1, 255, 256, 0x7FFF, 0xFFFF} {
+		w := EncodeFrameHeader(e)
+		got, ok := DecodeFrameHeader(w)
+		if !ok || got != e {
+			t.Fatalf("epoch %d: decode returned (%d, %v)", e, got, ok)
+		}
+	}
+	for _, w := range []Word{0, 1, -1, 3.75, float32(math.Inf(1))} {
+		if _, ok := DecodeFrameHeader(w); ok {
+			t.Fatalf("plain word %v decoded as a frame header", w)
+		}
+	}
+}
+
+// TestFrameHeaderCounters: header words travel through the FIFO but are
+// accounted apart from the datapath word totals.
+func TestFrameHeaderCounters(t *testing.T) {
+	f := New("hdr", 8)
+	f.PushFrameHeader(0)
+	f.PushSlice([]Word{1, 2, 3})
+	f.PushFrameHeader(1)
+	f.Push(4)
+	f.Close()
+
+	e, ok, err := f.PopFrameHeader()
+	if err != nil || !ok || e != 0 {
+		t.Fatalf("first header: (%d, %v, %v)", e, ok, err)
+	}
+	var buf [3]Word
+	if n := f.PopInto(buf[:]); n != 3 {
+		t.Fatalf("payload PopInto returned %d words", n)
+	}
+	e, ok, err = f.PopFrameHeader()
+	if err != nil || !ok || e != 1 {
+		t.Fatalf("second header: (%d, %v, %v)", e, ok, err)
+	}
+	if v, ok := f.Pop(); !ok || v != 4 {
+		t.Fatalf("payload Pop returned (%v, %v)", v, ok)
+	}
+	if _, ok, _ := f.PopFrameHeader(); ok {
+		t.Fatal("PopFrameHeader on a drained closed FIFO reported a word")
+	}
+
+	s := f.Stats()
+	if s.Pushes != 4 || s.Pops != 4 {
+		t.Fatalf("datapath words: %d pushed / %d popped, want 4/4", s.Pushes, s.Pops)
+	}
+	if s.HeaderPushes != 2 || s.HeaderPops != 2 {
+		t.Fatalf("header words: %d pushed / %d popped, want 2/2", s.HeaderPushes, s.HeaderPops)
+	}
+}
+
+// TestPopFrameHeaderProtocolError: a datapath word at a frame boundary is a
+// protocol violation, reported as an error with the word consumed.
+func TestPopFrameHeaderProtocolError(t *testing.T) {
+	f := New("bad", 4)
+	f.Push(7)
+	if _, ok, err := f.PopFrameHeader(); !ok || err == nil {
+		t.Fatalf("non-header word at boundary: ok=%v err=%v", ok, err)
+	}
+	if s := f.Stats(); s.HeaderPops != 1 {
+		t.Fatalf("violating word not consumed as a header pop: %+v", s)
+	}
+}
+
+// TestEpochOccupancyWindows: MaxOccupancy spans the whole stream while
+// EpochMaxOccupancy is windowed at frame boundaries, so a transient spike in
+// one epoch does not pollute the steady-state figure of later epochs — and
+// with no boundary ever marked the windowed figure stays zero.
+func TestEpochOccupancyWindows(t *testing.T) {
+	f := New("occ", 16)
+	f.PushSlice([]Word{1, 2, 3, 4, 5})
+	if s := f.Stats(); s.EpochMaxOccupancy != 0 {
+		t.Fatalf("unframed stream has EpochMaxOccupancy %d, want 0", s.EpochMaxOccupancy)
+	}
+	var buf [5]Word
+	f.PopInto(buf[:])
+
+	mustPop := func() {
+		if _, ok := f.Pop(); !ok {
+			t.Fatal("Pop hit end-of-stream mid-test")
+		}
+	}
+	// Epoch 0: spike to 7 buffered words (header + 6), fully drained.
+	f.PushFrameHeader(0)
+	f.PushSlice([]Word{1, 2, 3, 4, 5, 6})
+	f.PopFrameHeader()
+	f.PopInto(buf[:])
+	mustPop()
+	// Epoch 1: never more than 3 resident (header + 2).
+	f.PushFrameHeader(1)
+	f.PushSlice([]Word{1, 2})
+	f.PopFrameHeader()
+	mustPop()
+	mustPop()
+	// Epoch 2 opens: its window starts at the current (empty) occupancy.
+	f.PushFrameHeader(2)
+	f.PushSlice([]Word{1})
+
+	s := f.Stats()
+	if s.MaxOccupancy != 7 {
+		t.Fatalf("MaxOccupancy %d, want 7", s.MaxOccupancy)
+	}
+	if s.EpochMaxOccupancy != 7 {
+		t.Fatalf("EpochMaxOccupancy %d, want 7 (epoch 0's window)", s.EpochMaxOccupancy)
+	}
+}
+
+// TestResetStats: counters zero, contents and state survive.
+func TestResetStats(t *testing.T) {
+	f := New("rs", 8)
+	f.PushFrameHeader(0)
+	f.PushSlice([]Word{1, 2, 3})
+	f.ResetStats()
+	s := f.Stats()
+	if s.Pushes != 0 || s.PushBursts != 0 || s.MaxOccupancy != 0 ||
+		s.HeaderPushes != 0 || s.EpochMaxOccupancy != 0 || s.LanePushes != 0 {
+		t.Fatalf("counters not cleared: %+v", s)
+	}
+	// Contents are untouched: the header and payload are still there.
+	if e, ok, err := f.PopFrameHeader(); e != 0 || !ok || err != nil {
+		t.Fatalf("header lost across ResetStats: (%d, %v, %v)", e, ok, err)
+	}
+	var buf [3]Word
+	if n := f.PopInto(buf[:]); n != 3 || buf[0] != 1 || buf[2] != 3 {
+		t.Fatalf("payload lost across ResetStats: n=%d buf=%v", n, buf)
+	}
+}
+
+// TestMarkEpochOutOfBand: MarkEpoch windows occupancy without moving words.
+func TestMarkEpochOutOfBand(t *testing.T) {
+	f := New("mark", 8)
+	f.MarkEpoch()
+	f.PushSlice([]Word{1, 2, 3, 4})
+	var buf [4]Word
+	f.PopInto(buf[:])
+	f.MarkEpoch()
+	f.Push(9)
+	if s := f.Stats(); s.EpochMaxOccupancy != 4 {
+		t.Fatalf("EpochMaxOccupancy %d, want 4", s.EpochMaxOccupancy)
+	}
+	if s := f.Stats(); s.HeaderPushes != 0 || s.Pushes != 5 {
+		t.Fatalf("MarkEpoch moved words: %+v", s)
+	}
+}

@@ -1,0 +1,63 @@
+package perf
+
+// Pipelined steady-state bounds for the continuous-streaming fabric: a
+// resident session streams images back-to-back, so a batch of b images
+// costs one pipeline fill (the single-image latency L) plus b-1 initiation
+// intervals (the bottleneck stage II) — the classic streaming-architecture
+// bound fpgaConvNet-style toolflows design to. AmortizedSpeedup is that
+// bound normalized to image-at-a-time execution (b·L), the quantity the
+// utilization gate compares measured throughput against.
+
+// SteadyStateBatchCycles returns the pipelined cost of b back-to-back
+// images: L + (b-1)·II. It equals BatchCyclesClosedForm exactly when one
+// stage dominates every other transition, and lower-bounds it in general
+// (the recurrence may add skew when the bottleneck is interior).
+func SteadyStateBatchCycles(stages []Stage, batch int) int64 {
+	if batch <= 0 || len(stages) == 0 {
+		return 0
+	}
+	return Latency(stages) + int64(batch-1)*Bottleneck(stages)
+}
+
+// AmortizedSpeedup is the modeled device speedup of streaming a batch of b
+// images through the resident pipeline over running them image-at-a-time
+// with a full drain in between: b·L / (L + (b-1)·II). It tends to L/II as b
+// grows — the stage count's worth of concurrency, discounted by how
+// unbalanced the stages are.
+func AmortizedSpeedup(stages []Stage, batch int) float64 {
+	ss := SteadyStateBatchCycles(stages, batch)
+	if ss <= 0 {
+		return 1
+	}
+	return float64(batch) * float64(Latency(stages)) / float64(ss)
+}
+
+// HostSteadyStateSpeedup is AmortizedSpeedup with the host simulator's
+// compute budget folded in: the fabric's stage concurrency is realized by
+// goroutines, so on a host with procs processors a batch can never finish
+// faster than the serial work divided by procs — b·L/procs cycles' worth of
+// wall time. The modeled speedup is therefore
+//
+//	b·L / max(L + (b-1)·II, ⌈b·L/procs⌉)
+//
+// On procs=1 this is exactly 1 (no pipelining is realizable), and with
+// procs ≥ the stage count it reduces to the device bound. The benchmark
+// harness records this value next to the measured batch throughput, and the
+// CI utilization gate tracks the measured/modeled ratio.
+func HostSteadyStateSpeedup(stages []Stage, batch, procs int) float64 {
+	if batch <= 0 || len(stages) == 0 {
+		return 1
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	work := float64(batch) * float64(Latency(stages))
+	bound := float64(SteadyStateBatchCycles(stages, batch))
+	if hostBound := work / float64(procs); hostBound > bound {
+		bound = hostBound
+	}
+	if bound <= 0 {
+		return 1
+	}
+	return work / bound
+}

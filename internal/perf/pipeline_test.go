@@ -1,0 +1,81 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSteadyStateBatchCycles(t *testing.T) {
+	stages := []Stage{{Cycles: 5}, {Cycles: 50}, {Cycles: 5}}
+	// L = 60, II = 50: batch b costs 60 + (b-1)*50.
+	if got := SteadyStateBatchCycles(stages, 1); got != 60 {
+		t.Fatalf("batch 1 = %d, want 60", got)
+	}
+	if got := SteadyStateBatchCycles(stages, 8); got != 60+7*50 {
+		t.Fatalf("batch 8 = %d, want %d", got, 60+7*50)
+	}
+	if got := SteadyStateBatchCycles(stages, 0); got != 0 {
+		t.Fatalf("batch 0 = %d, want 0", got)
+	}
+	if got := SteadyStateBatchCycles(nil, 4); got != 0 {
+		t.Fatalf("no stages = %d, want 0", got)
+	}
+}
+
+// The steady-state bound must agree with the discrete-event simulation when
+// the bottleneck is the first stage (no interior skew) and lower-bound it in
+// general.
+func TestSteadyStateBoundVsSimulation(t *testing.T) {
+	front := []Stage{{Cycles: 50}, {Cycles: 5}, {Cycles: 5}}
+	for _, b := range []int{1, 2, 8, 33} {
+		if bound, sim := SteadyStateBatchCycles(front, b), SimulateBatch(front, b); bound != sim {
+			t.Fatalf("front-bottleneck batch %d: bound %d != sim %d", b, bound, sim)
+		}
+	}
+	interior := []Stage{{Cycles: 7}, {Cycles: 50}, {Cycles: 13}, {Cycles: 29}}
+	for _, b := range []int{1, 2, 8, 33} {
+		if bound, sim := SteadyStateBatchCycles(interior, b), SimulateBatch(interior, b); bound > sim {
+			t.Fatalf("batch %d: bound %d exceeds simulation %d", b, bound, sim)
+		}
+	}
+}
+
+func TestAmortizedSpeedup(t *testing.T) {
+	stages := []Stage{{Cycles: 10}, {Cycles: 10}, {Cycles: 10}}
+	// Perfectly balanced 3-stage pipeline: speedup(b) = 3b/(b+2) → 3.
+	if got := AmortizedSpeedup(stages, 1); got != 1 {
+		t.Fatalf("batch 1 speedup = %v, want 1", got)
+	}
+	if got, want := AmortizedSpeedup(stages, 4), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("batch 4 speedup = %v, want %v", got, want)
+	}
+	if got := AmortizedSpeedup(stages, 1<<20); got >= 3 || got < 2.99 {
+		t.Fatalf("asymptotic speedup = %v, want just under 3", got)
+	}
+}
+
+func TestHostSteadyStateSpeedup(t *testing.T) {
+	stages := []Stage{{Cycles: 10}, {Cycles: 10}, {Cycles: 10}}
+	// One processor realizes no pipelining: the model must say exactly 1,
+	// whatever the batch.
+	for _, b := range []int{1, 2, 8, 64} {
+		if got := HostSteadyStateSpeedup(stages, b, 1); got != 1 {
+			t.Fatalf("procs=1 batch %d: %v, want 1", b, got)
+		}
+	}
+	// Enough processors for every stage: the device bound applies.
+	if got, want := HostSteadyStateSpeedup(stages, 4, 8), AmortizedSpeedup(stages, 4); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("procs=8: %v, want device bound %v", got, want)
+	}
+	// Two processors cap the speedup at 2 even when the device bound is ~3.
+	if got := HostSteadyStateSpeedup(stages, 1<<20, 2); got > 2 || got < 1.99 {
+		t.Fatalf("procs=2 asymptote: %v, want ~2", got)
+	}
+	// Degenerate inputs behave.
+	if got := HostSteadyStateSpeedup(nil, 8, 4); got != 1 {
+		t.Fatalf("no stages: %v, want 1", got)
+	}
+	if got := HostSteadyStateSpeedup(stages, 8, 0); got != 1 {
+		t.Fatalf("procs=0 clamps to 1: %v", got)
+	}
+}

@@ -46,9 +46,13 @@ type Device struct {
 // computeUnit is one kernel instance of the programmed design: a cloned
 // fabric sharing the device's sealed weight store, an execution lock (one
 // kernel at a time per unit, as in hardware) and private dispatch counters.
+// Dispatches run through a resident streaming session, so back-to-back
+// batches on the same unit pipeline at the fabric's steady-state initiation
+// interval instead of draining between kernels.
 type computeUnit struct {
-	mu  sync.Mutex // execution lock: held for the duration of one kernel run
-	acc *dataflow.Accelerator
+	mu   sync.Mutex // execution lock: held for the duration of one kernel run
+	acc  *dataflow.Accelerator
+	sess *dataflow.Session // resident session; opened lazily, nil when closed
 
 	// Counters live behind their own lock so metric scrapes read them
 	// mid-kernel instead of stalling behind a running dispatch.
@@ -56,6 +60,25 @@ type computeUnit struct {
 	kernels  int64
 	images   int64
 	kernelMs float64
+}
+
+// session returns the unit's resident streaming session, opening it on first
+// dispatch. Caller holds cu.mu.
+func (cu *computeUnit) session() *dataflow.Session {
+	if cu.sess == nil {
+		cu.sess = cu.acc.OpenSession()
+	}
+	return cu.sess
+}
+
+// closeSession joins and drops the resident session (no-op when none is
+// open). The teardown error, if any, was already reported by the dispatch
+// that failed, so it is discarded here. Caller holds cu.mu.
+func (cu *computeUnit) closeSession() {
+	if cu.sess != nil {
+		_ = cu.sess.Close()
+		cu.sess = nil
+	}
 }
 
 func (cu *computeUnit) counters() DeviceCounters {
@@ -139,9 +162,12 @@ func (d *Device) SetTracer(t obs.Tracer) {
 	cus := d.cus
 	d.mu.Unlock()
 	// Take each unit's execution lock so the tracer swap cannot race a
-	// running kernel.
+	// running kernel, and retire the resident session: fabric tracks are
+	// registered when a session opens, so the next dispatch reopens one
+	// against the new tracer.
 	for _, cu := range cus {
 		cu.mu.Lock()
+		cu.closeSession()
 		cu.acc.SetTracer(t)
 		cu.mu.Unlock()
 	}
@@ -227,9 +253,14 @@ func (d *Device) program(data []byte) error {
 }
 
 // retireLocked archives the live compute units' counters into the device
-// totals and drops the units. Caller holds d.mu.
+// totals and drops the units, joining each unit's resident session first
+// (taking the execution lock waits out any in-flight kernel). Caller holds
+// d.mu.
 func (d *Device) retireLocked() {
 	for _, cu := range d.cus {
+		cu.mu.Lock()
+		cu.closeSession()
+		cu.mu.Unlock()
 		d.archived.add(cu.counters())
 	}
 	d.cus = nil
@@ -381,7 +412,10 @@ func (c *Context) EnqueueRead(b *Buffer, dst []float32) {
 
 // EnqueueKernel launches the accelerator on batch images stored
 // back-to-back in the input buffer, writing outputs back-to-back into the
-// output buffer.
+// output buffer. The dispatch streams the batch through the compute unit's
+// resident session, so consecutive kernels on the same unit pipeline
+// back-to-back; the RunStats recorded into RunInfo.LastStats are cumulative
+// over the session's lifetime, matching what one continuous run reports.
 func (c *Context) EnqueueKernel(in, out *Buffer, batch int) {
 	c.queue = append(c.queue, func() error {
 		dev := c.dev
@@ -415,8 +449,11 @@ func (c *Context) EnqueueKernel(in, out *Buffer, batch int) {
 		if err != nil {
 			return err
 		}
-		outs, stats, err := cu.acc.Run(imgs)
+		outs, stats, err := cu.session().RunBatch(imgs)
 		if err != nil {
+			// A failed session is sticky; retire it so the next dispatch
+			// reopens a fresh fabric instead of failing forever.
+			cu.closeSession()
 			cu.mu.Unlock()
 			return err
 		}

@@ -42,6 +42,13 @@ type FabricConfig struct {
 	// (PushSlice splits transfers by free space), which impose no minimum
 	// beyond one slot.
 	BurstWords int
+
+	// BatchStreaming declares the continuous-streaming deployment: batches
+	// run through a resident session, so consecutive images pipeline
+	// back-to-back and frames from two adjacent epochs interleave inside
+	// the FIFOs. Enables the CND024 frame-interleaving capacity rule, which
+	// bounds every edge's two-epochs-in-flight occupancy.
+	BatchStreaming bool
 }
 
 func (c FabricConfig) normalized() FabricConfig {
@@ -65,8 +72,14 @@ type FIFOEdge struct {
 	// Depth is the declared capacity in words (0 = auto-sized: the
 	// simulator allocates the worst case, so the edge cannot violate it).
 	Depth int
-	// WorstCase is the occupancy bound the configuration can reach.
+	// WorstCase is the occupancy bound the configuration can reach with one
+	// image in flight (drain-between-images execution).
 	WorstCase int
+	// InterleavedWorstCase is the occupancy bound with two adjacent epochs
+	// in flight, the batch-streaming regime: the tail of image e is still
+	// resident when the head of image e+1 (frame-control words included)
+	// arrives. CND024 checks it when FabricConfig.BatchStreaming is set.
+	InterleavedWorstCase int
 }
 
 // FabricEdges constructs the static FIFO network graph of spec under cfg.
@@ -82,6 +95,12 @@ func FabricEdges(spec *dataflow.Spec, cfg FabricConfig) []FIFOEdge {
 	if cfg.BurstWords > 0 {
 		streamWorst = cfg.BurstWords
 	}
+	// Under batch streaming two adjacent epochs share the FIFO: the last
+	// burst of image e awaits drain while image e+1's first burst — behind
+	// its frame-control words (epoch header, plus the scale word on the
+	// packed datapath) — lands. Conservative bound: two full bursts plus
+	// one frame's control words.
+	streamInterleaved := 2*streamWorst + spec.FrameHeaderWords()
 	for i := 0; i <= len(spec.PEs); i++ {
 		from, to := "datamover", "datamover"
 		if i > 0 {
@@ -91,11 +110,12 @@ func FabricEdges(spec *dataflow.Spec, cfg FabricConfig) []FIFOEdge {
 			to = spec.PEs[i].ID
 		}
 		edges = append(edges, FIFOEdge{
-			Name:      fmt.Sprintf("stream%d", i),
-			From:      from,
-			To:        to,
-			Depth:     spec.InterPEFIFODepth,
-			WorstCase: streamWorst,
+			Name:                 fmt.Sprintf("stream%d", i),
+			From:                 from,
+			To:                   to,
+			Depth:                spec.InterPEFIFODepth,
+			WorstCase:            streamWorst,
+			InterleavedWorstCase: streamInterleaved,
 		})
 	}
 
@@ -105,25 +125,32 @@ func FabricEdges(spec *dataflow.Spec, cfg FabricConfig) []FIFOEdge {
 		if pe.Chain == nil {
 			continue
 		}
-		worst := 0
+		worst, interleaved := 0, 0
 		for i := range pe.Layers {
 			l := &pe.Layers[i]
 			if !l.Kind.IsFeatureExtraction() {
 				continue
 			}
-			if w := dataflow.TapWorstCaseWords(l); w > worst {
+			w := dataflow.TapWorstCaseWords(l)
+			if w > worst {
 				worst = w
+			}
+			// Back-to-back epochs: the closing windows of image e still hold
+			// their rows when image e+1's leading row enters the chain.
+			if iw := w + l.OutShape.Width; iw > interleaved {
+				interleaved = iw
 			}
 		}
 		for port := 0; port < pe.Par.In; port++ {
 			for _, tap := range pe.Chain.Taps {
 				edges = append(edges, FIFOEdge{
-					Name:      fmt.Sprintf("%s/tap%d(%d,%d)", pe.ID, port, tap.M, tap.N),
-					From:      pe.ID + "/chain",
-					To:        pe.ID + "/window",
-					PE:        pe.ID,
-					Depth:     pe.Chain.TapFIFODepth,
-					WorstCase: worst,
+					Name:                 fmt.Sprintf("%s/tap%d(%d,%d)", pe.ID, port, tap.M, tap.N),
+					From:                 pe.ID + "/chain",
+					To:                   pe.ID + "/window",
+					PE:                   pe.ID,
+					Depth:                pe.Chain.TapFIFODepth,
+					WorstCase:            worst,
+					InterleavedWorstCase: interleaved,
 				})
 			}
 		}
@@ -133,8 +160,9 @@ func FabricEdges(spec *dataflow.Spec, cfg FabricConfig) []FIFOEdge {
 
 // VerifyFabric checks one execution configuration of a design: the
 // configuration itself (CND022), the capacity bound of every FIFO network
-// edge (CND020) and the replicated-CU resource totals (CND021). b, when
-// nil, is resolved from spec.Board. Diagnostics are sorted errors-first; an
+// edge (CND020, plus the two-epochs-in-flight bound CND024 when
+// cfg.BatchStreaming is set) and the replicated-CU resource totals
+// (CND021). b, when nil, is resolved from spec.Board. Diagnostics are sorted errors-first; an
 // empty slice proves the configuration deadlock-free under the conservative
 // capacity bound and within the board budget.
 func VerifyFabric(spec *dataflow.Spec, cfg FabricConfig, b *board.Board) []*Diagnostic {
@@ -172,6 +200,16 @@ func VerifyFabric(spec *dataflow.Spec, cfg FabricConfig, b *board.Board) []*Diag
 			report(diag.Errorf(diag.RuleFIFOOccupancy, e.PE, "",
 				"FIFO %s (%s -> %s) holds %d words but the schedule drives it to %d: the fabric deadlocks",
 				e.Name, e.From, e.To, e.Depth, e.WorstCase))
+			continue // CND024 would only repeat the finding with a larger bound
+		}
+		// CND024: under batch streaming, two adjacent epochs share every FIFO
+		// (the tail of image e drains while the head of image e+1 lands), so
+		// the interleaved bound must fit too — a depth adequate for the
+		// drain-between-images regime can still stall the resident pipeline.
+		if cfg.BatchStreaming && e.InterleavedWorstCase > e.Depth {
+			report(diag.Errorf(diag.RuleFrameInterleave, e.PE, "",
+				"FIFO %s (%s -> %s) holds %d words but two in-flight epochs drive it to %d: back-to-back streaming stalls the pipeline (deepen the FIFO or disable batch streaming)",
+				e.Name, e.From, e.To, e.Depth, e.InterleavedWorstCase))
 		}
 	}
 

@@ -125,6 +125,102 @@ func TestFabricBurstExceedsStreamDepth(t *testing.T) {
 	}
 }
 
+// maxTapInterleaved returns the two-epochs-in-flight tap occupancy bound —
+// the depth CND024 proves against under batch streaming.
+func maxTapInterleaved(pe *dataflow.PE) int {
+	interleaved := 0
+	for i := range pe.Layers {
+		l := &pe.Layers[i]
+		if !l.Kind.IsFeatureExtraction() {
+			continue
+		}
+		if iw := dataflow.TapWorstCaseWords(l) + l.OutShape.Width; iw > interleaved {
+			interleaved = iw
+		}
+	}
+	return interleaved
+}
+
+// TestFabricBatchStreamingTapInterleave: a tap depth that satisfies the
+// one-image bound (CND020) but not the two-epochs-in-flight bound passes the
+// drain-between-images configuration and is rejected with CND024 once batch
+// streaming is declared; deepening to the interleaved bound passes both.
+func TestFabricBatchStreamingTapInterleave(t *testing.T) {
+	spec, _, _ := freshTC1(t)
+	pe := featurePE(t, spec)
+	worst, interleaved := maxTapWorstCase(pe), maxTapInterleaved(pe)
+	if interleaved <= worst {
+		t.Fatalf("interleaved bound %d not above one-image bound %d", interleaved, worst)
+	}
+
+	pe.Chain.TapFIFODepth = interleaved - 1
+	if ds := VerifyFabric(spec, FabricConfig{}, nil); diag.HasErrors(ds) {
+		t.Fatalf("depth %d must satisfy the drain-between-images regime: %v", interleaved-1, ds)
+	}
+	ds := VerifyFabric(spec, FabricConfig{BatchStreaming: true}, nil)
+	if !rules(ds)[diag.RuleFrameInterleave] {
+		t.Fatalf("tap depth %d (interleaved bound %d) not caught under batch streaming: %v", interleaved-1, interleaved, ds)
+	}
+	if err := diag.Err(ds); err == nil {
+		t.Fatal("CND024 must be error severity")
+	} else if !strings.Contains(err.Error(), pe.ID+"/tap") || !strings.Contains(err.Error(), "two in-flight epochs") {
+		t.Errorf("diagnostic does not name the tap edge and regime: %v", err)
+	}
+
+	pe.Chain.TapFIFODepth = interleaved
+	if ds := VerifyFabric(spec, FabricConfig{BatchStreaming: true}, nil); diag.HasErrors(ds) {
+		t.Fatalf("declared depth equal to the interleaved bound must pass: %v", ds)
+	}
+}
+
+// TestFabricBatchStreamingStreamInterleave: stream FIFOs deep enough for one
+// host-chunked transfer but not for two adjacent frames plus their control
+// words fire CND024 on every stream edge; the exact interleaved bound passes.
+func TestFabricBatchStreamingStreamInterleave(t *testing.T) {
+	spec, _, _ := freshTC1(t)
+	interleaved := 2 + spec.FrameHeaderWords() // host-chunked: streamWorst = 1
+
+	spec.InterPEFIFODepth = interleaved - 1
+	if ds := VerifyFabric(spec, FabricConfig{}, nil); diag.HasErrors(ds) {
+		t.Fatalf("depth %d must satisfy the drain-between-images regime: %v", interleaved-1, ds)
+	}
+	ds := VerifyFabric(spec, FabricConfig{BatchStreaming: true}, nil)
+	n := 0
+	for _, d := range ds {
+		if d.Rule == diag.RuleFrameInterleave {
+			n++
+		}
+	}
+	if want := len(spec.PEs) + 1; n != want {
+		t.Fatalf("%d stream edges flagged by CND024, want %d: %v", n, want, ds)
+	}
+	if err := diag.Err(ds); err == nil || !strings.Contains(err.Error(), "stream0") {
+		t.Errorf("diagnostic does not name the stream edge: %v", err)
+	}
+
+	spec.InterPEFIFODepth = interleaved
+	if ds := VerifyFabric(spec, FabricConfig{BatchStreaming: true}, nil); diag.HasErrors(ds) {
+		t.Fatalf("depth equal to the interleaved bound must pass: %v", ds)
+	}
+}
+
+// TestFabricInterleaveSubsumedByOccupancy: an edge already violating the
+// one-image bound reports CND020 alone — CND024 would only restate the same
+// undersized FIFO with a larger number.
+func TestFabricInterleaveSubsumedByOccupancy(t *testing.T) {
+	spec, _, _ := freshTC1(t)
+	pe := featurePE(t, spec)
+	pe.Chain.TapFIFODepth = 1
+	ds := VerifyFabric(spec, FabricConfig{BatchStreaming: true}, nil)
+	r := rules(ds)
+	if !r[diag.RuleFIFOOccupancy] {
+		t.Fatalf("undersized tap not caught: %v", ds)
+	}
+	if r[diag.RuleFrameInterleave] {
+		t.Errorf("CND024 duplicated a CND020 finding: %v", ds)
+	}
+}
+
 // TestFabricCUOvercommit: replicating the kernel past the board budget is
 // rejected with CND021; the single-CU configuration of a clean model fits.
 func TestFabricCUOvercommit(t *testing.T) {
