@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet condorlint staticcheck govulncheck lint test race race-serve race-fleet stream-stress smoke-serve smoke-fleet bench bench-fabric bench-check profile-fabric ci
+.PHONY: all build vet condorlint staticcheck govulncheck lint test race race-serve race-fleet stream-stress smoke-serve smoke-fleet bench bench-fabric bench-algo bench-check profile-fabric ci
 
 all: build lint test
 
@@ -101,6 +101,14 @@ bench:
 bench-fabric:
 	$(GO) run ./cmd/condor-bench -json BENCH_fabric.json -cus 1,2 -dtype float32,int8
 
+# bench-algo sweeps the per-layer convolution algorithms (direct vs
+# im2col+GEMM vs Winograd F(2,3)) on the two LeNet-class single-conv
+# workloads, per dtype — the host-side view of the per-layer algorithm
+# datapaths. The same legs ride bench-fabric's JSON, where benchdiff gates
+# the derived <algo>_speedup_x rows.
+bench-algo:
+	$(GO) test -run '^$$' -bench 'BenchmarkFabricThroughput/conv' -benchtime 20x .
+
 # bench-check is the throughput-regression gate: regenerate the fabric
 # microbenchmarks and diff them against the committed baseline, failing on a
 # >25% drop — then the tighter utilization gate diffs only the derived
@@ -113,6 +121,7 @@ bench-fabric:
 bench-check: bench-fabric
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_fabric.json -max-regression 0.25
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_fabric.json -only pipeline_efficiency -max-regression 0.10
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_fabric.json -only '(gemm|winograd)_speedup_x' -max-regression 0.25
 
 # profile-fabric captures a CPU profile of the functional fabric benchmark;
 # inspect it with `go tool pprof fabric.cpu.prof`.

@@ -11,6 +11,7 @@ package condor
 
 import (
 	"fmt"
+	"math/rand"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -372,6 +373,82 @@ func BenchmarkFabricThroughput(b *testing.B) {
 		})
 	}
 	benchStreamingLegs(b, dep8, "/dtype=int8")
+	benchAlgoLegs(b)
+}
+
+// benchAlgoLegs measures the per-layer convolution algorithms on two
+// LeNet-class single-conv workloads: conv5 (a 5×5 layer in LeNet-conv2's
+// class, direct vs im2col+GEMM) and conv3 (a 3×3/stride-1 layer where
+// Winograd F(2,3) also qualifies). benchdiff derives algo speedup rows from
+// these legs against their algo=direct siblings and gates them, so the
+// non-direct lowerings' host advantage is a tracked baseline figure.
+func benchAlgoLegs(b *testing.B) {
+	cases := []struct {
+		name  string
+		input condorir.InputShape
+		layer condorir.Layer
+		algos []string
+	}{
+		{"conv5", condorir.InputShape{Channels: 20, Height: 12, Width: 12},
+			condorir.Layer{Name: "conv", Type: "Convolution", KernelSize: 5, Stride: 1, NumOutput: 50, PEGroup: -1},
+			[]string{"direct", "im2col_gemm"}},
+		{"conv3", condorir.InputShape{Channels: 16, Height: 16, Width: 16},
+			condorir.Layer{Name: "conv", Type: "Convolution", KernelSize: 3, Stride: 1, Pad: 1, NumOutput: 16, PEGroup: -1},
+			[]string{"direct", "im2col_gemm", "winograd_f23"}},
+	}
+	short := map[string]string{"direct": "direct", "im2col_gemm": "gemm", "winograd_f23": "winograd"}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(19))
+		imgs := make([]*tensor.Tensor, 16)
+		for i := range imgs {
+			img := tensor.New(tc.input.Channels, tc.input.Height, tc.input.Width)
+			img.FillRandom(rng, 1)
+			imgs[i] = img
+		}
+		for _, bits := range []int{32, 8} {
+			suffix := ""
+			if bits == 8 {
+				suffix = "/dtype=int8"
+			}
+			for _, algo := range tc.algos {
+				b.Run(fmt.Sprintf("%s/algo=%s%s", tc.name, short[algo], suffix), func(b *testing.B) {
+					acc := algoBenchFabric(b, tc.input, tc.layer, algo, bits)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, _, err := acc.Run(imgs); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(len(imgs))*float64(b.N)/b.Elapsed().Seconds(), "img/s")
+				})
+			}
+		}
+	}
+}
+
+// algoBenchFabric instantiates a single-conv fabric with seeded random
+// weights, the given convolution algorithm, and word width.
+func algoBenchFabric(b *testing.B, input condorir.InputShape, layer condorir.Layer, algo string, bits int) *dataflow.Accelerator {
+	b.Helper()
+	layer.Algorithm = algo
+	ir := &condorir.Network{
+		Name: "algobench", Board: "aws-f1-vu9p", FrequencyMHz: 100,
+		Input: input, Layers: []condorir.Layer{layer},
+	}
+	w := tensor.New(layer.NumOutput, input.Channels, layer.KernelSize, layer.KernelSize)
+	w.FillRandom(rand.New(rand.NewSource(23)), 0.5)
+	ws := condorir.NewWeightSet()
+	ws.Put(layer.Name, condorir.EntryWeights, w)
+	spec, err := dataflow.BuildSpec(ir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.WordBits = bits
+	acc, err := dataflow.Instantiate(spec, ws)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return acc
 }
 
 // benchStreamingLegs contrasts the two batch execution regimes on one

@@ -160,6 +160,44 @@ func speedupRows(rows []metricRow) []metricRow {
 	return out
 }
 
+// algoSpeedupRows derives one gated metric per algo-suffixed bench leg: the
+// ratio of its throughput to the same leg with algo=direct (any /dtype=
+// suffix stays on both sides, so the int8 gemm leg compares against the
+// int8 direct leg). Like the dtype rows, gating the ratio keeps the
+// non-direct lowerings' advantage from silently eroding.
+func algoSpeedupRows(rows []metricRow) []metricRow {
+	byName := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		byName[r.Name] = r.Value
+	}
+	var out []metricRow
+	for _, r := range rows {
+		i := strings.Index(r.Name, "/algo=")
+		if i < 0 {
+			continue
+		}
+		rest := r.Name[i+len("/algo="):]
+		algo := rest
+		if j := strings.Index(rest, "/"); j >= 0 {
+			algo = rest[:j]
+		}
+		if algo == "direct" {
+			continue
+		}
+		direct := strings.Replace(r.Name, "/algo="+algo, "/algo=direct", 1)
+		dv, ok := byName[direct]
+		if !ok || dv <= 0 || r.Value <= 0 {
+			continue
+		}
+		out = append(out, metricRow{
+			Name:  strings.Replace(r.Name, "/algo="+algo, "", 1) + "/" + algo + "_speedup_x",
+			Value: r.Value / dv,
+			Unit:  "x",
+		})
+	}
+	return out
+}
+
 // pipelineRows derives the utilization-gate metric from each batch-streaming
 // leg pair: pipeline_efficiency = (batch=8 img/s ÷ batch=1 img/s) ÷ the
 // modeled steady-state speedup condor-bench recorded for the host it ran on.
@@ -234,7 +272,11 @@ func readResults(path string) (resultFile, error) {
 		for _, b := range probe.Benchmarks {
 			f.Rows = append(f.Rows, metricRow{Name: b.Name, Value: b.ImgPerS, Unit: "img/s"})
 		}
-		f.Rows = append(f.Rows, speedupRows(f.Rows)...)
+		// Both derived sets come from the raw img/s rows — deriving one from
+		// the other would gate meaningless ratio-of-ratio rows.
+		raw := f.Rows
+		f.Rows = append(f.Rows, speedupRows(raw)...)
+		f.Rows = append(f.Rows, algoSpeedupRows(raw)...)
 		f.Rows = append(f.Rows, pipelineRows(probe.Benchmarks)...)
 	default:
 		return resultFile{}, fmt.Errorf("%s: unknown result kind %q", path, probe.Kind)

@@ -3,17 +3,40 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"time"
 
 	"condor"
+	"condor/internal/condorir"
 	"condor/internal/dataflow"
 	"condor/internal/models"
 	"condor/internal/perf"
 	"condor/internal/quant"
 	"condor/internal/tensor"
 )
+
+// algoFabric instantiates a single-conv fabric with seeded random weights,
+// the given convolution algorithm and word width (the workload of the
+// algo bench legs; mirrors algoBenchFabric in bench_test.go).
+func algoFabric(input condorir.InputShape, layer condorir.Layer, algo string, bits int) (*dataflow.Accelerator, error) {
+	layer.Algorithm = algo
+	ir := &condorir.Network{
+		Name: "algobench", Board: "aws-f1-vu9p", FrequencyMHz: 100,
+		Input: input, Layers: []condorir.Layer{layer},
+	}
+	w := tensor.New(layer.NumOutput, input.Channels, layer.KernelSize, layer.KernelSize)
+	w.FillRandom(rand.New(rand.NewSource(23)), 0.5)
+	ws := condorir.NewWeightSet()
+	ws.Put(layer.Name, condorir.EntryWeights, w)
+	spec, err := dataflow.BuildSpec(ir)
+	if err != nil {
+		return nil, err
+	}
+	spec.WordBits = bits
+	return dataflow.Instantiate(spec, ws)
+}
 
 // benchResult is one machine-readable microbenchmark row. The names mirror
 // the go-test benchmarks in bench_test.go so CI dashboards can join the two
@@ -168,6 +191,55 @@ func benchJSON(path string, cus []int, dtypes []quant.Precision) error {
 				return err
 			},
 		})
+	}
+
+	// Per-layer convolution-algorithm legs: two LeNet-class single-conv
+	// workloads (a 5×5 layer where im2col+GEMM applies, and a 3×3/stride-1
+	// layer where Winograd F(2,3) also qualifies), per requested dtype.
+	// benchdiff derives <algo>_speedup_x rows against the algo=direct
+	// siblings and gates them.
+	algoWorkloads := []struct {
+		name  string
+		input condorir.InputShape
+		layer condorir.Layer
+		algos []string
+	}{
+		{"conv5", condorir.InputShape{Channels: 20, Height: 12, Width: 12},
+			condorir.Layer{Name: "conv", Type: "Convolution", KernelSize: 5, Stride: 1, NumOutput: 50, PEGroup: -1},
+			[]string{"direct", "im2col_gemm"}},
+		{"conv3", condorir.InputShape{Channels: 16, Height: 16, Width: 16},
+			condorir.Layer{Name: "conv", Type: "Convolution", KernelSize: 3, Stride: 1, Pad: 1, NumOutput: 16, PEGroup: -1},
+			[]string{"direct", "im2col_gemm", "winograd_f23"}},
+	}
+	algoShort := map[string]string{"direct": "direct", "im2col_gemm": "gemm", "winograd_f23": "winograd"}
+	for _, wl := range algoWorkloads {
+		rng := rand.New(rand.NewSource(19))
+		imgs := make([]*tensor.Tensor, 16)
+		for i := range imgs {
+			img := tensor.New(wl.input.Channels, wl.input.Height, wl.input.Width)
+			img.FillRandom(rng, 1)
+			imgs[i] = img
+		}
+		for _, p := range dtypes {
+			suffix := ""
+			if p != quant.Float32 {
+				suffix = "/dtype=" + p.String()
+			}
+			for _, algo := range wl.algos {
+				acc, err := algoFabric(wl.input, wl.layer, algo, p.Bits())
+				if err != nil {
+					return err
+				}
+				cases = append(cases, benchCase{
+					name:   fmt.Sprintf("BenchmarkFabricThroughput/%s/algo=%s%s", wl.name, algoShort[algo], suffix),
+					images: len(imgs),
+					fn: func() error {
+						_, _, err := acc.Run(imgs)
+						return err
+					},
+				})
+			}
+		}
 	}
 
 	var results []benchResult

@@ -7,6 +7,7 @@ import (
 	"condor"
 	"condor/internal/condorir"
 	"condor/internal/models"
+	"condor/internal/perf"
 	"condor/internal/tensor"
 )
 
@@ -61,5 +62,23 @@ func layerTable(model string, batch int) error {
 	}
 	fmt.Printf("total: %d modeled PE cycles across %d images (%d cycles/img bottleneck)\n\n",
 		totalCycles, stats.Images, stats.BottleneckCycles())
+
+	// Per-layer convolution-algorithm comparison: modeled cycles of each
+	// conv layer under every applicable algorithm, with the deployed choice.
+	rows := perf.ConvAlgoTable(bld.Spec)
+	if len(rows) > 0 {
+		fmt.Printf("Per-layer convolution algorithms (modeled cycles/img per mode)\n")
+		fmt.Printf("%-10s %-10s %-12s %12s %12s %12s\n",
+			"pe", "layer", "selected", "direct", "im2col_gemm", "winograd")
+		for _, r := range rows {
+			wg := "-"
+			if r.WinogradCycles > 0 {
+				wg = fmt.Sprintf("%d", r.WinogradCycles)
+			}
+			fmt.Printf("%-10s %-10s %-12s %12d %12d %12s\n",
+				r.PE, r.Layer, string(r.Selected), r.DirectCycles, r.GEMMCycles, wg)
+		}
+		fmt.Println()
+	}
 	return nil
 }

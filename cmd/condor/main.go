@@ -344,7 +344,9 @@ func cmdCosim(args []string) error {
 // CND020–CND022 statically reject a configuration whose worst-case FIFO
 // occupancy exceeds a declared depth or whose replicated compute units
 // overcommit the board, and -batch adds the CND024 continuous-streaming
-// bound (two in-flight epochs per FIFO).
+// bound (two in-flight epochs per FIFO). -algo proves a per-layer
+// convolution-algorithm deployment: CND025 rejects winograd_f23 on layers
+// its F(2,3) tiling cannot cover.
 func cmdLint(args []string) error {
 	fs := flag.NewFlagSet("lint", flag.ExitOnError)
 	network := fs.String("network", "", "Condor network representation (JSON)")
@@ -356,6 +358,7 @@ func cmdLint(args []string) error {
 	fifoDepth := fs.Int("fifo-depth", 0, "inter-PE stream FIFO depth override in words (0 = default)")
 	precision := fs.String("precision", "float32", "fabric numeric format to prove: float32 | int16 | int8")
 	strictLanes := fs.Bool("strict-lanes", false, "reject padded tail lanes (CND023 becomes an error) on the packed int8 datapath")
+	algo := fs.String("algo", "", "convolution algorithm override for every conv layer: direct | im2col_gemm | winograd_f23 (CND025 rejects non-qualifying layers)")
 	batchStream := fs.Bool("batch", false, "prove the continuous-streaming deployment (CND024: two in-flight epochs must fit every FIFO)")
 	quiet := fs.Bool("q", false, "suppress the success line")
 	if err := fs.Parse(args); err != nil {
@@ -407,6 +410,7 @@ func cmdLint(args []string) error {
 		Precision:        p,
 		StrictLanes:      *strictLanes,
 		BatchStreaming:   *batchStream,
+		Algo:             *algo,
 	})
 	if err != nil {
 		return err
@@ -422,6 +426,19 @@ func cmdLint(args []string) error {
 		return fmt.Errorf("%s: %d design error(s)", ir.Name, errors)
 	}
 	if !*quiet {
+		for _, l := range ir.Layers {
+			if l.Type != "Convolution" {
+				continue
+			}
+			a := l.Algorithm
+			if *algo != "" {
+				a = *algo
+			}
+			if a == "" {
+				a = "direct"
+			}
+			fmt.Printf("%s: conv layer %s: algorithm %s\n", ir.Name, l.Name, a)
+		}
 		fmt.Printf("%s: design verification passed (%d warning(s))\n", ir.Name, len(diags))
 	}
 	return nil

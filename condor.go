@@ -30,6 +30,7 @@ import (
 	"condor/internal/diag"
 	"condor/internal/dse"
 	"condor/internal/hls"
+	"condor/internal/nn"
 	"condor/internal/onnx"
 	"condor/internal/perf"
 	"condor/internal/power"
@@ -337,6 +338,12 @@ type LintOptions struct {
 	// volumes the packed lane count does not divide are rejected instead of
 	// falling back to zero-padded tail lanes.
 	StrictLanes bool
+
+	// Algo, when non-empty, overrides the convolution algorithm of every
+	// conv layer before verification ("direct", "im2col_gemm",
+	// "winograd_f23"), so a proposed per-layer-algorithm deployment can be
+	// checked — and rejected by CND025 — without editing the network.
+	Algo string
 }
 
 // Lint runs the pre-synthesis design verifier standalone: the IR is mapped
@@ -364,6 +371,19 @@ func (f *Framework) LintWith(ir *condorir.Network, ws *condorir.WeightSet, opts 
 	}
 	spec.WordBits = opts.Precision.Bits()
 	spec.StrictLanes = opts.StrictLanes
+	if opts.Algo != "" {
+		algo, err := dataflow.ParseConvAlgo(opts.Algo)
+		if err != nil {
+			return nil, err
+		}
+		for _, pe := range spec.PEs {
+			for i := range pe.Layers {
+				if pe.Layers[i].Kind == nn.Conv {
+					pe.Layers[i].ConvAlgo = algo
+				}
+			}
+		}
+	}
 	if opts.InterPEFIFODepth > 0 {
 		spec.InterPEFIFODepth = opts.InterPEFIFODepth
 	}

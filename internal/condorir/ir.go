@@ -53,6 +53,12 @@ type Layer struct {
 	// runs on.
 	Parallelism Parallelism `json:"parallelism"`
 
+	// Algorithm selects the convolution algorithm for Convolution layers:
+	// "direct" (default when empty), "im2col_gemm" or "winograd_f23".
+	// Design-space exploration writes its per-layer choice back here, so a
+	// serialized network reproduces a DSE-selected build deterministically.
+	Algorithm string `json:"algorithm,omitempty"`
+
 	// PEGroup assigns the layer to a physical PE. Layers sharing a group are
 	// fused onto one PE (time-multiplexed with an outer layer loop);
 	// distinct groups are separate concurrently-active PEs. -1 selects the
@@ -152,6 +158,16 @@ func (n *Network) Validate() error {
 		p := l.Parallelism.Normalize()
 		if p.In < 1 || p.Out < 1 {
 			return fmt.Errorf("condorir: layer %q has invalid parallelism %+v", l.Name, l.Parallelism)
+		}
+		if l.Algorithm != "" {
+			if kind != nn.Conv {
+				return fmt.Errorf("condorir: layer %q: algorithm %q is only valid on Convolution layers", l.Name, l.Algorithm)
+			}
+			switch l.Algorithm {
+			case "direct", "im2col_gemm", "winograd_f23":
+			default:
+				return fmt.Errorf("condorir: layer %q: unknown algorithm %q (want direct, im2col_gemm or winograd_f23)", l.Name, l.Algorithm)
+			}
 		}
 	}
 	// Check shape propagation by building a weightless skeleton.

@@ -28,6 +28,13 @@ type Accelerator struct {
 	// read-only by clones. Nil on float32/int16 fabrics.
 	qweights map[string]int8LayerWeights
 
+	// wgweights holds the Winograd-transformed weights (U = G g Gᵀ, f·c·16
+	// words per layer) of every winograd_f23 conv layer, built at
+	// Instantiate time after the store is sealed and shared read-only by
+	// clones — the same lifecycle as qweights. Nil when no layer uses the
+	// algorithm.
+	wgweights map[string][]float32
+
 	// trackPrefix namespaces this unit's trace tracks ("cu1/feeder", …).
 	// Empty for a standalone fabric and for unit 0 of a single-unit pool, so
 	// existing track names are unchanged; CUPool assigns per-unit prefixes
@@ -99,6 +106,14 @@ func Instantiate(spec *Spec, ws *condorir.WeightSet) (*Accelerator, error) {
 		}
 		a.qweights = qw
 	}
+	// Winograd-mode layers get their weights pre-transformed into the
+	// sealed store once per design (the on-chip transform runs at
+	// configuration-load time, not per image), shared by every CU clone.
+	wg, err := winogradWeightStore(spec, a.dm)
+	if err != nil {
+		return nil, err
+	}
+	a.wgweights = wg
 	return a, nil
 }
 
@@ -110,7 +125,7 @@ func Instantiate(spec *Spec, ws *condorir.WeightSet) (*Accelerator, error) {
 // load stays accounted on the original unit. The tracer attachment carries
 // over; CUPool assigns per-unit track prefixes.
 func (a *Accelerator) Clone() *Accelerator {
-	return &Accelerator{Spec: a.Spec, dm: a.dm.Clone(), tracer: a.tracer, trackPrefix: a.trackPrefix, qweights: a.qweights}
+	return &Accelerator{Spec: a.Spec, dm: a.dm.Clone(), tracer: a.tracer, trackPrefix: a.trackPrefix, qweights: a.qweights, wgweights: a.wgweights}
 }
 
 // Datamover exposes the on-board memory interface (used by tests and the
@@ -144,6 +159,25 @@ func (s *RunStats) QuantErrorBound() float64 {
 		sum += s.PEs[i].MaxRequantScale
 	}
 	return 8 * sum
+}
+
+// WinogradErrorBound derives the admissible element-wise deviation of a run
+// with winograd_f23 layers from the direct-convolution oracle, out of the
+// per-PE output magnitudes the run recorded: the F(2,3) transforms evaluate
+// each output through a short chain of exactly-representable ±1/±½
+// combinations, so the rounding deviation stays within a small multiple of
+// the float32 epsilon at the output's own magnitude, amplified as it
+// propagates through downstream layers — the bound takes a conservative
+// multiple of the summed per-PE magnitudes (the same accounting pattern as
+// QuantErrorBound). Zero when no layer ran in winograd mode; on mixed int8
+// + winograd runs, add QuantErrorBound for the total tolerance.
+func (s *RunStats) WinogradErrorBound() float64 {
+	const eps32 = 1.0 / (1 << 23)
+	var sum float64
+	for i := range s.PEs {
+		sum += s.PEs[i].MaxWinogradMag
+	}
+	return 256 * eps32 * sum
 }
 
 // BottleneckCycles returns the largest per-image cycle count among the PEs:

@@ -1,0 +1,360 @@
+package dataflow
+
+// This file implements the alternate convolution algorithms of the burst
+// datapath: the im2col+GEMM lowering and the Winograd F(2,3) transform-
+// domain convolution. Both ride the same FIFOs, frame protocol and tracing
+// as the direct path in pe.go — only the intra-PE compute schedule changes.
+//
+// Contract:
+//   - im2col_gemm (float32) is BIT-IDENTICAL to the direct path and to the
+//     RunWords oracle: every output cell still accumulates its input
+//     channels ci-major with the same ascending K²-tap order; the panel
+//     and the register-tiled microkernel only reorder *independent* cells.
+//   - winograd_f23 is bounded-error: the transform-domain rounding
+//     deviation is bounded by RunStats.WinogradErrorBound, derived from
+//     the per-PE output magnitudes the run itself records (the same
+//     accounting pattern as the int8 path's QuantErrorBound).
+
+import (
+	"fmt"
+
+	"condor/internal/nn"
+)
+
+// gemmPosTile is the output-position register-tile width of the GEMM
+// microkernel: one weight load feeds this many accumulating positions.
+const gemmPosTile = 4
+
+// padChannelF copies one float channel map into the zero-padded scratch
+// plane. With no padding the input slice is returned directly.
+func padChannelF(buf *[]float32, l *LayerHW, chmap []float32) []float32 {
+	if l.Pad == 0 {
+		return chmap
+	}
+	ph, pw := l.PaddedHeight(), l.PaddedWidth()
+	w := l.InShape.Width
+	*buf = growSlice(*buf, ph*pw)
+	padded := *buf
+	clear(padded)
+	for y := 0; y < l.InShape.Height; y++ {
+		copy(padded[(y+l.Pad)*pw+l.Pad:], chmap[y*w:(y+1)*w])
+	}
+	return padded
+}
+
+// buildIm2ColPanel unrolls one padded channel plane into the tap-major
+// im2col panel: row t = (m·K+n) holds the input element under tap (m,n) of
+// every output position, so panel[t*outHW+pos] is the same value the direct
+// path's window gather would deliver as win[t] at pos. For stride 1 every
+// row is outH contiguous copies — the cheap gather that makes the lowering
+// profitable.
+func buildIm2ColPanel(panel, padded []float32, l *LayerHW) {
+	k, stride, pw := l.Kernel, l.Stride, l.PaddedWidth()
+	outH, outW := l.OutShape.Height, l.OutShape.Width
+	outHW := outH * outW
+	for m := 0; m < k; m++ {
+		for n := 0; n < k; n++ {
+			dst := panel[(m*k+n)*outHW:]
+			for oy := 0; oy < outH; oy++ {
+				src := padded[(oy*stride+m)*pw+n:]
+				if stride == 1 {
+					copy(dst[oy*outW:(oy+1)*outW], src[:outW])
+				} else {
+					for ox := 0; ox < outW; ox++ {
+						dst[oy*outW+ox] = src[ox*stride]
+					}
+				}
+			}
+		}
+	}
+}
+
+// runConvGEMM is the im2col+GEMM convolution schedule: each input channel's
+// padded plane is unrolled once into the tap-major panel, then the
+// register-tiled microkernel drives every output channel band over it. Per
+// output cell the accumulation chain is identical to runConv — ci-major
+// over input channels, ascending tap order within a channel — so float32
+// results are bit-identical to the direct path and the RunWords oracle at
+// every parallelism setting. Stats accounting mirrors runConv exactly.
+func (x *peExec) runConvGEMM(l *LayerHW, st *peLayerState, cur, out []float32) error {
+	c, f, k := l.InShape.Channels, l.OutShape.Channels, l.Kernel
+	outHW := l.OutShape.Height * l.OutShape.Width
+	inHW := l.InShape.Height * l.InShape.Width
+	w := st.w
+	if st.streamWords > 0 {
+		x.dm.AccountWeightStream(st.streamWords)
+	}
+	x.partial = growSlice(x.partial, f*outHW)
+	partial := x.partial
+	clear(partial)
+	kk := k * k
+	x.panel = growSlice(x.panel, kk*outHW)
+	panel := x.panel
+	outBands := x.pe.Par.Normalize().Out
+	for ci := 0; ci < c; ci++ {
+		padded := padChannelF(&x.padBuf, l, cur[ci*inHW:(ci+1)*inHW])
+		buildIm2ColPanel(panel, padded, l)
+		x.pool.bands(f, outBands, func(_, lo, hi int) {
+			for fi := lo; fi < hi; fi++ {
+				base := (fi*c + ci) * kk
+				acc := partial[fi*outHW : (fi+1)*outHW]
+				pos := 0
+				for ; pos+gemmPosTile <= outHW; pos += gemmPosTile {
+					a0, a1, a2, a3 := acc[pos], acc[pos+1], acc[pos+2], acc[pos+3]
+					for t := 0; t < kk; t++ {
+						wv := w[base+t]
+						row := panel[t*outHW+pos : t*outHW+pos+gemmPosTile]
+						a0 += wv * row[0]
+						a1 += wv * row[1]
+						a2 += wv * row[2]
+						a3 += wv * row[3]
+					}
+					acc[pos], acc[pos+1], acc[pos+2], acc[pos+3] = a0, a1, a2, a3
+				}
+				for ; pos < outHW; pos++ {
+					a := acc[pos]
+					for t := 0; t < kk; t++ {
+						a += w[base+t] * panel[t*outHW+pos]
+					}
+					acc[pos] = a
+				}
+			}
+		})
+		x.stats.WindowsRead += int64(outHW)
+		x.stats.MACs += int64(f) * int64(kk) * int64(outHW)
+		if !x.pe.PartialsOnChip {
+			x.dm.AccountPartialSpill(int64(f * outHW))
+			x.stats.SpilledPartial += int64(f * outHW)
+		}
+	}
+	x.convBiasActTail(l, st.b, partial, out, f, outHW, outBands)
+	return nil
+}
+
+// convBiasActTail applies the pointwise bias + folded activation stage of a
+// conv layer, banded over output channels — the same tail as runConv.
+func (x *peExec) convBiasActTail(l *LayerHW, b, partial, out []float32, f, outHW, outBands int) {
+	x.pool.bands(f, outBands, func(_, lo, hi int) {
+		for fi := lo; fi < hi; fi++ {
+			var bias float32
+			if len(b) > 0 {
+				bias = b[fi]
+			}
+			for pos := 0; pos < outHW; pos++ {
+				out[fi*outHW+pos] = applyActivation(l.Activation, partial[fi*outHW+pos]+bias)
+			}
+		}
+	})
+}
+
+// --- Winograd F(2,3) ---
+//
+// F(2×2, 3×3): each 2×2 output tile is computed from a 4×4 input tile as
+// Y = Aᵀ[(G g Gᵀ) ⊙ (Bᵀ d B)]A with the standard small-integer transforms
+//
+//	G  = [1 0 0; ½ ½ ½; ½ −½ ½; 0 0 1]          (4×3, weights)
+//	Bᵀ = [1 0 −1 0; 0 1 1 0; 0 −1 1 0; 0 1 0 −1] (4×4, input)
+//	Aᵀ = [1 1 1 0; 0 1 −1 −1]                    (2×4, inverse)
+//
+// 16 multiplies produce 4 outputs where the direct path spends 36 — the
+// 2.25× arithmetic reduction the cycle/resource models encode.
+
+// winogradTransformWeights computes U = G g Gᵀ for every (filter, channel)
+// 3×3 kernel of a flat OIHW weight slice, returning f·c·16 transformed
+// words in (fi·c+ci)·16 layout.
+func winogradTransformWeights(w []float32, c, f int) []float32 {
+	out := make([]float32, f*c*16)
+	for fi := 0; fi < f; fi++ {
+		for ci := 0; ci < c; ci++ {
+			g := w[(fi*c+ci)*9 : (fi*c+ci)*9+9]
+			u := out[(fi*c+ci)*16 : (fi*c+ci)*16+16]
+			// t = G g  (4×3)
+			var t [12]float32
+			for col := 0; col < 3; col++ {
+				g0, g1, g2 := g[col], g[3+col], g[6+col]
+				t[col] = g0
+				t[3+col] = 0.5 * (g0 + g1 + g2)
+				t[6+col] = 0.5 * (g0 - g1 + g2)
+				t[9+col] = g2
+			}
+			// u = t Gᵀ  (4×4)
+			for row := 0; row < 4; row++ {
+				t0, t1, t2 := t[row*3], t[row*3+1], t[row*3+2]
+				u[row*4] = t0
+				u[row*4+1] = 0.5 * (t0 + t1 + t2)
+				u[row*4+2] = 0.5 * (t0 - t1 + t2)
+				u[row*4+3] = t2
+			}
+		}
+	}
+	return out
+}
+
+// winogradInputTransform computes V = Bᵀ d B for one 4×4 input tile d.
+func winogradInputTransform(d *[16]float32, v []float32) {
+	// t = Bᵀ d  (4×4)
+	var t [16]float32
+	for col := 0; col < 4; col++ {
+		d0, d1, d2, d3 := d[col], d[4+col], d[8+col], d[12+col]
+		t[col] = d0 - d2
+		t[4+col] = d1 + d2
+		t[8+col] = d2 - d1
+		t[12+col] = d1 - d3
+	}
+	// v = t B  (4×4); B's columns are Bᵀ's rows.
+	for row := 0; row < 4; row++ {
+		t0, t1, t2, t3 := t[row*4], t[row*4+1], t[row*4+2], t[row*4+3]
+		v[row*4] = t0 - t2
+		v[row*4+1] = t1 + t2
+		v[row*4+2] = t2 - t1
+		v[row*4+3] = t1 - t3
+	}
+}
+
+// winogradInverse computes Y = Aᵀ m A for one transform-domain 4×4 tile,
+// returning the 2×2 output tile.
+func winogradInverse(m []float32) (y [4]float32) {
+	// t = Aᵀ m  (2×4)
+	var t [8]float32
+	for col := 0; col < 4; col++ {
+		m0, m1, m2, m3 := m[col], m[4+col], m[8+col], m[12+col]
+		t[col] = m0 + m1 + m2
+		t[4+col] = m1 - m2 - m3
+	}
+	// y = t A  (2×2)
+	for row := 0; row < 2; row++ {
+		t0, t1, t2, t3 := t[row*4], t[row*4+1], t[row*4+2], t[row*4+3]
+		y[row*2] = t0 + t1 + t2
+		y[row*2+1] = t1 - t2 - t3
+	}
+	return y
+}
+
+// runConvWinograd is the F(2,3) convolution schedule: per input channel the
+// padded plane is cut into overlapping 4×4 tiles, each transformed once
+// (V = BᵀdB) and multiplied element-wise against the pre-transformed
+// weights, accumulating in the transform domain; after the last input
+// channel the inverse transform produces the 2×2 output tiles, then the
+// shared bias/activation tail runs. Banding shards output channels, never
+// an accumulation chain, so results are deterministic at every parallelism
+// setting (though not bit-identical to the direct path — see the file
+// comment for the error contract).
+func (x *peExec) runConvWinograd(l *LayerHW, st *peLayerState, cur, out []float32) error {
+	c, f := l.InShape.Channels, l.OutShape.Channels
+	outH, outW := l.OutShape.Height, l.OutShape.Width
+	outHW := outH * outW
+	inHW := l.InShape.Height * l.InShape.Width
+	if !WinogradOK(l.Kernel, l.Stride, l.OutShape) {
+		return fmt.Errorf("winograd_f23: layer %q does not qualify (k=%d s=%d out %dx%d)",
+			l.Name, l.Kernel, l.Stride, outH, outW)
+	}
+	if st.streamWords > 0 {
+		x.dm.AccountWeightStream(st.streamWords)
+	}
+	tH, tW := outH/2, outW/2
+	tiles := tH * tW
+	pw := l.PaddedWidth()
+	x.vBuf = growSlice(x.vBuf, tiles*16)
+	x.mBuf = growSlice(x.mBuf, f*tiles*16)
+	vBuf, mBuf := x.vBuf, x.mBuf
+	clear(mBuf)
+	outBands := x.pe.Par.Normalize().Out
+	for ci := 0; ci < c; ci++ {
+		padded := padChannelF(&x.padBuf, l, cur[ci*inHW:(ci+1)*inHW])
+		// Transform every input tile once per channel pass.
+		var d [16]float32
+		for ty := 0; ty < tH; ty++ {
+			for tx := 0; tx < tW; tx++ {
+				for r := 0; r < 4; r++ {
+					copy(d[r*4:r*4+4], padded[(2*ty+r)*pw+2*tx:(2*ty+r)*pw+2*tx+4])
+				}
+				winogradInputTransform(&d, vBuf[(ty*tW+tx)*16:])
+			}
+		}
+		// Element-wise multiply-accumulate in the transform domain.
+		x.pool.bands(f, outBands, func(_, lo, hi int) {
+			for fi := lo; fi < hi; fi++ {
+				u := st.wg[(fi*c+ci)*16 : (fi*c+ci)*16+16]
+				for ti := 0; ti < tiles; ti++ {
+					m := mBuf[(fi*tiles+ti)*16 : (fi*tiles+ti)*16+16]
+					v := vBuf[ti*16 : ti*16+16]
+					for j := 0; j < 16; j++ {
+						m[j] += u[j] * v[j]
+					}
+				}
+			}
+		})
+		x.stats.WindowsRead += int64(tiles)
+		x.stats.MACs += int64(f) * 16 * int64(tiles)
+		if !x.pe.PartialsOnChip {
+			x.dm.AccountPartialSpill(int64(f * outHW))
+			x.stats.SpilledPartial += int64(f * outHW)
+		}
+	}
+	// Inverse transform into the partial buffer, tracking the output
+	// magnitude that parameterises the error bound, then the shared tail.
+	x.partial = growSlice(x.partial, f*outHW)
+	partial := x.partial
+	mags := make([]float64, outBands)
+	x.pool.bands(f, outBands, func(band, lo, hi int) {
+		mag := mags[band]
+		for fi := lo; fi < hi; fi++ {
+			for ti := 0; ti < tiles; ti++ {
+				y := winogradInverse(mBuf[(fi*tiles+ti)*16 : (fi*tiles+ti)*16+16])
+				ty, tx := ti/tW, ti%tW
+				base := fi*outHW + (2*ty)*outW + 2*tx
+				partial[base], partial[base+1] = y[0], y[1]
+				partial[base+outW], partial[base+outW+1] = y[2], y[3]
+				for _, v := range y {
+					if a := abs64(float64(v)); a > mag {
+						mag = a
+					}
+				}
+			}
+		}
+		mags[band] = mag
+	})
+	for _, m := range mags {
+		if m > x.stats.MaxWinogradMag {
+			x.stats.MaxWinogradMag = m
+		}
+	}
+	x.convBiasActTail(l, st.b, partial, out, f, outHW, outBands)
+	return nil
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// winogradWeightStore pre-transforms the weights of every winograd_f23 conv
+// layer in the spec, keyed by layer name. Built at Instantiate time, after
+// the weight store is sealed, and shared read-only across CU clones — the
+// same lifecycle as the int8 code store. Returns nil when no layer uses the
+// algorithm.
+func winogradWeightStore(spec *Spec, dm *Datamover) (map[string][]float32, error) {
+	var store map[string][]float32
+	for _, pe := range spec.PEs {
+		for _, l := range pe.Layers {
+			if l.Kind != nn.Conv || l.Algo() != AlgoWinograd {
+				continue
+			}
+			if !WinogradOK(l.Kernel, l.Stride, l.OutShape) {
+				return nil, fmt.Errorf("dataflow: layer %q: winograd_f23 requires a 3×3/stride-1 kernel and 2×2-tile-aligned output, got k=%d s=%d out %dx%d",
+					l.Name, l.Kernel, l.Stride, l.OutShape.Height, l.OutShape.Width)
+			}
+			w, _, err := dm.WeightsRef(l.Name)
+			if err != nil {
+				return nil, err
+			}
+			if store == nil {
+				store = make(map[string][]float32)
+			}
+			store[l.Name] = winogradTransformWeights(w, l.InShape.Channels, l.OutShape.Channels)
+		}
+	}
+	return store, nil
+}

@@ -251,6 +251,9 @@ func (s *RunStats) Merge(o *RunStats) {
 		if b.MaxRequantScale > a.MaxRequantScale {
 			a.MaxRequantScale = b.MaxRequantScale
 		}
+		if b.MaxWinogradMag > a.MaxWinogradMag {
+			a.MaxWinogradMag = b.MaxWinogradMag
+		}
 	}
 	if o.InputScale > s.InputScale {
 		s.InputScale = o.InputScale

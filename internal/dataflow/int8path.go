@@ -115,6 +115,7 @@ type peExecInt8 struct {
 	pe    *PE
 	dm    *Datamover
 	qw    map[string]int8LayerWeights // Instantiate-time weight codes (nil → quantize in prepare)
+	wg    map[string][]float32        // Winograd-transformed float weights (winograd_f23 layers)
 	in    *fifo.FIFO
 	out   *fifo.FIFO
 	stats *PEStats
@@ -135,6 +136,10 @@ type peExecInt8 struct {
 	partial  []int32
 	padBuf   []int8
 	wordBuf  []fifo.Word
+	panel    []int8    // im2col panel (GEMM mode), K² tap-major rows
+	padF     []float32 // dequantized padded channel plane (Winograd mode)
+	vBuf     []float32 // Winograd transformed input tiles
+	mBuf     []float32 // Winograd transform-domain accumulators
 }
 
 // peLayerInt8 is one fused layer's batch-resolved state: weight codes on the
@@ -144,7 +149,8 @@ type peLayerInt8 struct {
 	w           []int8
 	wScale      float64
 	b           []float32
-	streamBytes int64 // weight+bias bytes re-read from DDR per image (0 when on-chip)
+	wg          []float32 // Winograd-transformed float weights (winograd_f23 layers only)
+	streamBytes int64     // weight+bias bytes re-read from DDR per image (0 when on-chip)
 }
 
 func (x *peExecInt8) prepare() error {
@@ -174,6 +180,23 @@ func (x *peExecInt8) prepare() error {
 		}
 		if !x.pe.WeightsOnChip {
 			st.streamBytes = int64(len(st.w) + len(st.b))
+		}
+		if l.Kind == nn.Conv && l.Algo() == AlgoWinograd {
+			// The transform domain stays float on the packed datapath (the
+			// ±½ combinations do not survive the int8 grid): the EWMM runs
+			// on dequantized tiles against the float transformed weights.
+			if !WinogradOK(l.Kernel, l.Stride, l.OutShape) {
+				return fmt.Errorf("layer %q: winograd_f23 requires a 3×3/stride-1 kernel and 2×2-tile-aligned output, got k=%d s=%d out %dx%d",
+					l.Name, l.Kernel, l.Stride, l.OutShape.Height, l.OutShape.Width)
+			}
+			st.wg = x.wg[l.Name]
+			if st.wg == nil {
+				w, _, err := x.dm.WeightsRef(l.Name)
+				if err != nil {
+					return fmt.Errorf("layer %q: %w", l.Name, err)
+				}
+				st.wg = winogradTransformWeights(w, l.InShape.Channels, l.OutShape.Channels)
+			}
 		}
 	}
 	width := x.pe.Par.Normalize()
@@ -252,7 +275,14 @@ func (x *peExecInt8) runImage(img int) error {
 		var outScale float64
 		switch l.Kind {
 		case nn.Conv:
-			outScale, err = x.runConv(l, st, cur, scale, out)
+			switch l.Algo() {
+			case AlgoGEMM:
+				outScale, err = x.runConvGEMM(l, st, cur, scale, out)
+			case AlgoWinograd:
+				outScale, err = x.runConvWinograd(l, st, cur, scale, out)
+			default:
+				outScale, err = x.runConv(l, st, cur, scale, out)
+			}
 		case nn.MaxPool, nn.AvgPool:
 			outScale, err = x.runPool(l, cur, scale, out)
 		case nn.FullyConnected:

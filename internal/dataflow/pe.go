@@ -26,6 +26,13 @@ type PEStats struct {
 	// zero on the float paths). The bounded-error equivalence harness uses
 	// it to derive the admissible deviation from the float oracle.
 	MaxRequantScale float64
+
+	// MaxWinogradMag is the largest pre-activation output magnitude any
+	// Winograd-mode layer of this PE produced over the batch; zero when no
+	// layer ran in winograd_f23 mode. RunStats.WinogradErrorBound scales it
+	// into the admissible transform-domain rounding deviation from the
+	// direct-convolution oracle.
+	MaxWinogradMag float64
 }
 
 // CyclesPerImage returns the average modeled busy cycles per image.
@@ -63,9 +70,28 @@ func LayerCyclesAt(l *LayerHW, par condorir.Parallelism, lanes int) int64 {
 	case l.Kind == nn.Conv:
 		groups := ceilDiv(l.InShape.Channels, par.In)
 		outHW := int64(l.OutShape.Height) * int64(l.OutShape.Width)
-		compute := outHW * int64(ceilDiv(l.OutShape.Channels, par.Out))
+		outGroups := int64(ceilDiv(l.OutShape.Channels, par.Out))
 		stream := ceilDiv64(int64(l.PaddedHeight())*int64(l.PaddedWidth()), int64(lanes))
-		return int64(groups)*maxI64(compute, stream) + chainFill(l)
+		switch l.Algo() {
+		case AlgoGEMM:
+			// The padded map is unrolled once into the on-chip im2col
+			// panel (one stream traversal total, not one per input-channel
+			// group), and the dual-ported panel BRAM feeds the MAC array
+			// two output positions per cycle.
+			compute := ceilDiv64(outHW, 2) * outGroups
+			return maxI64(int64(groups)*compute, stream) + hlsPipelineDepth
+		case AlgoWinograd:
+			// One 2×2 output tile per cycle per output-channel group: the
+			// 16-lane element-wise multiply stage retires a whole
+			// transformed tile each cycle. Input tiles are gathered from
+			// the same padded-map traversal as the direct path; the extra
+			// fill term covers the input/inverse transform pipelines.
+			tiles := int64((l.OutShape.Height/2)*(l.OutShape.Width/2)) * outGroups
+			return int64(groups)*maxI64(tiles, stream) + chainFill(l) + winogradXformFill
+		default:
+			compute := outHW * outGroups
+			return int64(groups)*maxI64(compute, stream) + chainFill(l)
+		}
 	case l.Kind == nn.MaxPool || l.Kind == nn.AvgPool:
 		groups := ceilDiv(l.InShape.Channels, par.In)
 		outHW := int64(l.OutShape.Height) * int64(l.OutShape.Width)
@@ -91,6 +117,9 @@ func chainFill(l *LayerHW) int64 {
 const (
 	hlsPipelineDepth = 64 // floating-point MAC pipeline depth at target clocks
 	fcPipelineFill   = 64
+	// winogradXformFill is the extra fill latency of the Winograd input
+	// transform (BᵀdB) and inverse transform (AᵀMA) pipeline stages.
+	winogradXformFill = 16
 )
 
 // PECyclesPerImage models the total busy cycles per image of a PE: the sum
@@ -177,20 +206,31 @@ type peExec struct {
 	// and the fused-handoff buffer key (hoisted out of per-image Sprintf).
 	layers []peLayerState
 
+	// wg is the accelerator's pre-transformed Winograd weight cache
+	// (layer name → f·c·16 transformed words), shared read-only across CU
+	// clones like the int8 code store. Nil when no layer runs in
+	// winograd_f23 mode; prepare falls back to transforming in place.
+	wg map[string][]float32
+
 	// Scratch buffers reused across layers and images to avoid the append
 	// churn of the original per-word emit path.
 	inBuf   []float32
 	outBuf  []float32
 	partial []float32
 	winBuf  []float32 // one channel pass's windows, for Out-banded MACs
+	padBuf  []float32 // zero-padded channel plane (GEMM/Winograd modes)
+	panel   []float32 // im2col panel, K² tap-major rows of OH·OW positions
+	vBuf    []float32 // Winograd transformed input tiles, 16 words per tile
+	mBuf    []float32 // Winograd transform-domain accumulators, f·tiles·16
 }
 
 // peLayerState is the execution state of one fused layer, resolved once per
 // batch instead of once per image.
 type peLayerState struct {
 	w, b        []float32
-	streamWords int64  // weight+bias words re-read from DDR per image (0 when on-chip)
-	fusedKey    string // datamover buffer key for the fused-layer handoff
+	wg          []float32 // Winograd-transformed weights (winograd_f23 layers only)
+	streamWords int64     // weight+bias words re-read from DDR per image (0 when on-chip)
+	fusedKey    string    // datamover buffer key for the fused-layer handoff
 }
 
 // growSlice returns s resized to n, reallocating only when capacity is
@@ -224,6 +264,18 @@ func (x *peExec) prepare() error {
 		st.w, st.b = w, b
 		if !x.pe.WeightsOnChip {
 			st.streamWords = int64(len(w) + len(b))
+		}
+		if l.Kind == nn.Conv && l.Algo() == AlgoWinograd {
+			if !WinogradOK(l.Kernel, l.Stride, l.OutShape) {
+				return fmt.Errorf("layer %q: winograd_f23 requires a 3×3/stride-1 kernel and 2×2-tile-aligned output, got k=%d s=%d out %dx%d",
+					l.Name, l.Kernel, l.Stride, l.OutShape.Height, l.OutShape.Width)
+			}
+			st.wg = x.wg[l.Name]
+			if st.wg == nil {
+				// Spec mutated after Instantiate (tests do this): derive
+				// the transformed weights locally instead.
+				st.wg = winogradTransformWeights(w, l.InShape.Channels, l.OutShape.Channels)
+			}
 		}
 	}
 	width := x.pe.Par.Normalize()
@@ -318,7 +370,14 @@ func (x *peExec) runImage(img int) error {
 		var err error
 		switch l.Kind {
 		case nn.Conv:
-			err = x.runConv(l, st, cur, out)
+			switch l.Algo() {
+			case AlgoGEMM:
+				err = x.runConvGEMM(l, st, cur, out)
+			case AlgoWinograd:
+				err = x.runConvWinograd(l, st, cur, out)
+			default:
+				err = x.runConv(l, st, cur, out)
+			}
 		case nn.MaxPool, nn.AvgPool:
 			err = x.runPool(l, cur, out)
 		case nn.FullyConnected:

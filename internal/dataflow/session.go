@@ -107,10 +107,10 @@ func (a *Accelerator) OpenSession() *Session {
 		elem := 1 + i
 		var exec interface{ runStream() error }
 		if s.packed {
-			exec = &peExecInt8{pe: pe, dm: a.dm, qw: a.qweights, in: s.fifos[i], out: s.fifos[i+1],
+			exec = &peExecInt8{pe: pe, dm: a.dm, qw: a.qweights, wg: a.wgweights, in: s.fifos[i], out: s.fifos[i+1],
 				stats: &s.peStats[i], track: peTracks[i], onImage: func() { s.imageDone(elem) }, onErr: s.fail}
 		} else {
-			exec = &peExec{pe: pe, dm: a.dm, in: s.fifos[i], out: s.fifos[i+1],
+			exec = &peExec{pe: pe, dm: a.dm, wg: a.wgweights, in: s.fifos[i], out: s.fifos[i+1],
 				stats: &s.peStats[i], track: peTracks[i], onImage: func() { s.imageDone(elem) }, onErr: s.fail}
 		}
 		s.wg.Add(1)

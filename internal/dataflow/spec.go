@@ -19,6 +19,51 @@ import (
 // NoActivation marks the absence of a folded activation on a hardware layer.
 const NoActivation nn.Kind = -1
 
+// ConvAlgo selects the convolution algorithm a PE uses for one layer. The
+// algorithms trade resources for cycles: direct is the paper's sliding
+// window over the filter chain; im2col+GEMM lowers the window set into an
+// on-chip panel feeding a register-tiled GEMM microkernel; Winograd F(2,3)
+// computes 2×2 output tiles from 4×4 transformed input tiles, cutting the
+// multiply count 2.25× on qualifying 3×3/stride-1 layers.
+type ConvAlgo string
+
+const (
+	// AlgoDirect is the sliding-window convolution of the source paper.
+	// The zero value ("") of LayerHW.ConvAlgo means direct as well.
+	AlgoDirect ConvAlgo = "direct"
+	// AlgoGEMM is the im2col+GEMM lowering: the padded input map is
+	// unrolled once into a K²×(OH·OW) panel held in dual-ported BRAM, so
+	// the MAC array streams two output positions per cycle instead of
+	// waiting on the filter chain's one-window-per-cycle gather.
+	AlgoGEMM ConvAlgo = "im2col_gemm"
+	// AlgoWinograd is the Winograd F(2,3) transform-domain convolution,
+	// valid only for 3×3/stride-1 layers whose output tiles align (even
+	// output height and width). Weights are pre-transformed at instantiate
+	// time into the sealed store, shared read-only across CU clones.
+	AlgoWinograd ConvAlgo = "winograd_f23"
+)
+
+// ParseConvAlgo maps an external algorithm string ("" = direct) onto the
+// enum, rejecting unknown names.
+func ParseConvAlgo(s string) (ConvAlgo, error) {
+	switch ConvAlgo(s) {
+	case "", AlgoDirect:
+		return AlgoDirect, nil
+	case AlgoGEMM:
+		return AlgoGEMM, nil
+	case AlgoWinograd:
+		return AlgoWinograd, nil
+	}
+	return "", fmt.Errorf("dataflow: unknown conv algorithm %q (want %s, %s or %s)", s, AlgoDirect, AlgoGEMM, AlgoWinograd)
+}
+
+// WinogradOK reports whether a conv layer geometry qualifies for the
+// F(2,3) fast algorithm: 3×3 kernel, unit stride, and an output tile grid
+// that divides evenly into 2×2 tiles.
+func WinogradOK(kernel, stride int, out nn.Shape) bool {
+	return kernel == 3 && stride == 1 && out.Height%2 == 0 && out.Width%2 == 0
+}
+
 // LayerHW is one logical CNN layer as mapped onto hardware: geometry, the
 // shapes it transforms, and the pointwise stages folded into its PE
 // (activation and/or final normalisation).
@@ -39,6 +84,19 @@ type LayerHW struct {
 	Activation nn.Kind
 	// Normalize is a folded LogSoftMax/SoftMax output stage, or NoActivation.
 	Normalize nn.Kind
+
+	// ConvAlgo selects the convolution algorithm for nn.Conv layers; the
+	// zero value means AlgoDirect. Ignored on non-conv layers.
+	ConvAlgo ConvAlgo
+}
+
+// Algo returns the layer's effective convolution algorithm, mapping the
+// zero value to AlgoDirect.
+func (l *LayerHW) Algo() ConvAlgo {
+	if l.ConvAlgo == "" {
+		return AlgoDirect
+	}
+	return l.ConvAlgo
 }
 
 // PaddedHeight returns the input height including zero padding, the extent
@@ -353,6 +411,13 @@ func BuildSpec(ir *condorir.Network) (*Spec, error) {
 					OutShape:   shapes[li+1],
 					Activation: NoActivation,
 					Normalize:  NoActivation,
+				}
+				if kind == nn.Conv {
+					algo, err := ParseConvAlgo(irl.Algorithm)
+					if err != nil {
+						return nil, fmt.Errorf("dataflow: layer %q: %w", irl.Name, err)
+					}
+					hw.ConvAlgo = algo
 				}
 				pe.Layers = append(pe.Layers, hw)
 				// The PE port parallelism is the maximum requested by its

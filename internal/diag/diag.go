@@ -43,6 +43,7 @@ const (
 	RuleFabricConfig    = "CND022" // the (parallelism, CUs, burst) execution configuration must be sane
 	RuleLanePacking     = "CND023" // packed lanes must divide streamed-edge volumes (else padded tail lanes)
 	RuleFrameInterleave = "CND024" // two-epochs-in-flight occupancy must fit FIFO depths under batch streaming
+	RuleConvAlgo        = "CND025" // conv algorithm must be known; winograd_f23 needs a qualifying 3x3/stride-1 layer
 )
 
 // Severity classifies a diagnostic.

@@ -14,6 +14,7 @@ import (
 	"condor/internal/condorir"
 	"condor/internal/dataflow"
 	"condor/internal/hls"
+	"condor/internal/nn"
 	"condor/internal/perf"
 	"condor/internal/quant"
 )
@@ -38,6 +39,12 @@ type Options struct {
 	// overall configuration wins. Empty means float32 only — the legacy
 	// parallelism-only exploration.
 	Precisions []quant.Precision
+
+	// Algorithms restricts the per-layer convolution algorithms the
+	// explorer may assign (Winograd is additionally gated by the layer's
+	// F(2,3) qualification). Empty means the full set — direct,
+	// im2col_gemm, winograd_f23.
+	Algorithms []dataflow.ConvAlgo
 }
 
 func (o Options) withDefaults() Options {
@@ -66,14 +73,21 @@ type Result struct {
 	// (Float32 unless Options.Precisions widened the space).
 	Precision quant.Precision
 
+	// Algorithms maps every convolution layer to its chosen algorithm. The
+	// same choices are written back into IR.Layers[i].Algorithm, so saving
+	// the result IR reproduces the configuration exactly.
+	Algorithms map[string]string
+
 	// Trace records the accepted moves for inspection.
 	Trace []Move
 }
 
-// Move is one accepted exploration step.
+// Move is one accepted exploration step: a parallelism increase (Algorithm
+// empty) or a convolution-algorithm switch.
 type Move struct {
 	Layer       string
 	Parallelism condorir.Parallelism
+	Algorithm   string
 	Bottleneck  int64
 }
 
@@ -136,7 +150,11 @@ func exploreAt(ir *condorir.Network, opts Options, p quant.Precision) (*Result, 
 		// equally-slow PEs is progress even before the global maximum moves).
 		for _, mv := range candidateMoves(res, opts) {
 			trial := cloneIR(res.IR)
-			trial.Layers[mv.layerIdx].Parallelism = mv.par
+			if mv.algo != "" {
+				trial.Layers[mv.layerIdx].Algorithm = string(mv.algo)
+			} else {
+				trial.Layers[mv.layerIdx].Parallelism = mv.par
+			}
 			spec, rep, sc, err := evaluate(trial, opts, p)
 			if err != nil || !rep.Fits || !sc.betterThan(best) {
 				continue
@@ -145,7 +163,8 @@ func exploreAt(ir *condorir.Network, opts Options, p quant.Precision) (*Result, 
 			best = sc
 			res.Trace = append(res.Trace, Move{
 				Layer:       trial.Layers[mv.layerIdx].Name,
-				Parallelism: mv.par,
+				Parallelism: trial.Layers[mv.layerIdx].Parallelism.Normalize(),
+				Algorithm:   string(mv.algo),
 				Bottleneck:  sc.bottleneck,
 			})
 			improved = true
@@ -155,7 +174,22 @@ func exploreAt(ir *condorir.Network, opts Options, p quant.Precision) (*Result, 
 			break
 		}
 	}
+	res.Algorithms = chosenAlgorithms(res.Spec)
 	return res, best, nil
+}
+
+// chosenAlgorithms collects the per-conv-layer algorithm of a configured
+// spec, normalised ("" reads as direct).
+func chosenAlgorithms(spec *dataflow.Spec) map[string]string {
+	out := make(map[string]string)
+	for _, pe := range spec.PEs {
+		for _, l := range pe.Layers {
+			if l.Kind == nn.Conv {
+				out[l.Name] = string(l.Algo())
+			}
+		}
+	}
+	return out
 }
 
 // score orders configurations: primarily by the pipeline bottleneck, then
@@ -175,11 +209,21 @@ func (s score) betterThan(o score) bool {
 type move struct {
 	layerIdx int
 	par      condorir.Parallelism
+	algo     dataflow.ConvAlgo // non-empty: an algorithm switch, not a parallelism move
 }
 
-// candidateMoves proposes parallelism increases for the layers of every PE
-// tied at the current bottleneck: double the output ports, then the input
-// ports.
+// allowedAlgos resolves Options.Algorithms, defaulting to the full set.
+func allowedAlgos(opts Options) []dataflow.ConvAlgo {
+	if len(opts.Algorithms) > 0 {
+		return opts.Algorithms
+	}
+	return []dataflow.ConvAlgo{dataflow.AlgoDirect, dataflow.AlgoGEMM, dataflow.AlgoWinograd}
+}
+
+// candidateMoves proposes moves for the layers of every PE tied at the
+// current bottleneck: convolution-algorithm switches first (they cost
+// bounded MAC lanes and scratch BRAM, versus the multiplicative cost of a
+// port doubling), then output-port and input-port doublings.
 func candidateMoves(res *Result, opts Options) []move {
 	stages := objectiveStages(res.Spec, opts)
 	var worst int64
@@ -206,6 +250,17 @@ func candidateMoves(res *Result, opts Options) []move {
 		for _, l := range pe.Layers {
 			irl := &res.IR.Layers[l.Index]
 			p := irl.Parallelism.Normalize()
+			if l.Kind == nn.Conv {
+				for _, algo := range allowedAlgos(opts) {
+					if algo == l.Algo() {
+						continue
+					}
+					if algo == dataflow.AlgoWinograd && !dataflow.WinogradOK(l.Kernel, l.Stride, l.OutShape) {
+						continue
+					}
+					out = append(out, move{layerIdx: l.Index, algo: algo})
+				}
+			}
 			outCap := min(opts.MaxPortParallelism, maxOutPorts(&l))
 			inCap := min(opts.MaxPortParallelism, shapes[l.Index].Channels)
 			if 2*p.Out <= outCap {

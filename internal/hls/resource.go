@@ -195,9 +195,17 @@ func estimatePE(pe *dataflow.PE, freqMHz float64, wordBits int) (PEReport, error
 	}
 	add("control", ctrl)
 
-	// Datapath: sized by the most demanding fused layer.
+	// Datapath: sized by the most demanding fused layer. The MAC bank of a
+	// conv layer depends on its algorithm: direct needs the K² window lanes,
+	// im2col+GEMM doubles the bank (the dual-ported panel BRAM feeds two
+	// output positions per cycle, which is where its 2× cycle advantage
+	// comes from), and Winograd F(2,3) needs the 16 element-wise lanes of
+	// the 4×4 transform-domain tile regardless of K.
 	maxK := 0
+	convLanes := 0
 	hasConv, hasMaxPool, hasAvgPool, hasFC := false, false, false, false
+	hasWinograd := false
+	var wgWeightWords, panelWords int64
 	var act, norm nn.Kind = dataflow.NoActivation, dataflow.NoActivation
 	for _, l := range pe.Layers {
 		if l.Kind == nn.FullyConnected && int64(l.OutShape.Channels)*int64(l.InShape.Volume()) > maxHLSArrayWords {
@@ -210,6 +218,21 @@ func estimatePE(pe *dataflow.PE, freqMHz float64, wordBits int) (PEReport, error
 		switch l.Kind {
 		case nn.Conv:
 			hasConv = true
+			lanes := l.Kernel * l.Kernel
+			switch l.Algo() {
+			case dataflow.AlgoGEMM:
+				lanes *= 2
+				if w := int64(l.Kernel*l.Kernel) * int64(l.OutShape.Height) * int64(l.OutShape.Width); w > panelWords {
+					panelWords = w
+				}
+			case dataflow.AlgoWinograd:
+				lanes = 16
+				hasWinograd = true
+				wgWeightWords += int64(l.OutShape.Channels) * int64(l.InShape.Channels) * 16
+			}
+			if lanes > convLanes {
+				convLanes = lanes
+			}
 		case nn.MaxPool:
 			hasMaxPool = true
 		case nn.AvgPool:
@@ -228,11 +251,22 @@ func estimatePE(pe *dataflow.PE, freqMHz float64, wordBits int) (PEReport, error
 	adder := fadd(freqMHz)
 	mac := macCost(freqMHz, wordBits)
 	if hasConv {
-		// K² MAC lanes (multiplier + adder-tree slot + accumulator),
-		// replicated per parallel input/output port pair.
-		lanes := maxK * maxK * par.In * par.Out
+		// MAC lanes (multiplier + adder-tree slot + accumulator), replicated
+		// per parallel input/output port pair.
+		lanes := convLanes * par.In * par.Out
 		pr.MACs += lanes
 		add("conv-mac", mac.Scale(float64(lanes)))
+	}
+	if panelWords > 0 {
+		// im2col scratch panel, dual-ported; layers on one PE run
+		// sequentially, so the largest panel is shared.
+		add("im2col-bram", board.Resources{BRAM: bramForWords(panelWords, wordBits)})
+	}
+	if hasWinograd {
+		// Transformed-weight cache (always resident, float32 like the
+		// partials) plus the input/inverse tile-transform adder networks.
+		add("winograd-weight-bram", board.Resources{BRAM: bramForWords(wgWeightWords, 32)})
+		add("winograd-xform", adder.Scale(float64(32*par.In+24*par.Out)))
 	}
 	if hasFC {
 		// Single-input/single-output 1x1-conv PE: one MAC per output port.
@@ -329,6 +363,24 @@ func PlanMemory(spec *dataflow.Spec) error {
 	for _, pe := range spec.PEs {
 		pe.WeightsOnChip = false
 		pe.PartialsOnChip = false
+		// Algorithm-mode scratch and caches are unconditionally resident:
+		// the im2col panel (largest gemm layer on the PE) and the Winograd
+		// transformed-weight store (float32, all winograd layers).
+		var panelWords, wgWords int64
+		for _, l := range pe.Layers {
+			if l.Kind != nn.Conv {
+				continue
+			}
+			switch l.Algo() {
+			case dataflow.AlgoGEMM:
+				if w := int64(l.Kernel*l.Kernel) * int64(l.OutShape.Height) * int64(l.OutShape.Width); w > panelWords {
+					panelWords = w
+				}
+			case dataflow.AlgoWinograd:
+				wgWords += int64(l.OutShape.Channels) * int64(l.InShape.Channels) * 16
+			}
+		}
+		fixed += bramForWords(panelWords, bits) + bramForWords(wgWords, 32)
 		if pe.Chain == nil {
 			continue
 		}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"condor/internal/dataflow"
+	"condor/internal/nn"
 	"condor/internal/sim"
 )
 
@@ -167,4 +168,47 @@ func Latency(stages []Stage) int64 {
 		sum += s.Cycles
 	}
 	return sum
+}
+
+// ConvAlgoRow compares the modeled per-image cycles of one conv layer under
+// every applicable algorithm — the evidence the DSE's per-layer algorithm
+// moves act on, and the table the experiments report.
+type ConvAlgoRow struct {
+	PE       string
+	Layer    string
+	Selected dataflow.ConvAlgo
+
+	// Cycles under each algorithm, at the layer's PE parallelism and the
+	// spec's lane packing. WinogradCycles is 0 when the layer does not
+	// qualify for F(2,3).
+	DirectCycles   int64
+	GEMMCycles     int64
+	WinogradCycles int64
+}
+
+// ConvAlgoTable evaluates every conv layer of the spec under each
+// algorithm (Winograd only where it qualifies). The spec is not modified:
+// each row re-evaluates a copy of the layer with its ConvAlgo overridden.
+func ConvAlgoTable(spec *dataflow.Spec) []ConvAlgoRow {
+	var out []ConvAlgoRow
+	lanes := spec.Lanes()
+	for _, pe := range spec.PEs {
+		for _, l := range pe.Layers {
+			if l.Kind != nn.Conv {
+				continue
+			}
+			row := ConvAlgoRow{PE: pe.ID, Layer: l.Name, Selected: l.Algo()}
+			trial := l
+			trial.ConvAlgo = dataflow.AlgoDirect
+			row.DirectCycles = dataflow.LayerCyclesAt(&trial, pe.Par, lanes)
+			trial.ConvAlgo = dataflow.AlgoGEMM
+			row.GEMMCycles = dataflow.LayerCyclesAt(&trial, pe.Par, lanes)
+			if dataflow.WinogradOK(l.Kernel, l.Stride, l.OutShape) {
+				trial.ConvAlgo = dataflow.AlgoWinograd
+				row.WinogradCycles = dataflow.LayerCyclesAt(&trial, pe.Par, lanes)
+			}
+			out = append(out, row)
+		}
+	}
+	return out
 }

@@ -63,6 +63,11 @@
 //	                         indivisible edge falls back to zero-padded tail
 //	                         lanes (warning), or is rejected when the spec
 //	                         demands strict lane packing (error).
+//	CND024 frame-interleave  two-epochs-in-flight occupancy must fit the FIFO
+//	                         depths under batch streaming (fabric.go).
+//	CND025 conv-algorithm    a conv layer's algorithm must be a known mode,
+//	                         and winograd_f23 requires a 3x3/stride-1 layer
+//	                         whose output tiles align (even height and width).
 package verify
 
 import (
@@ -93,6 +98,7 @@ func Verify(spec *dataflow.Spec, ir *condorir.Network, b *board.Board) []*Diagno
 
 	checkWordBits(spec, report)
 	checkLanePacking(spec, report)
+	checkConvAlgo(spec, report)
 	if spec.InterPEFIFODepth < 1 {
 		report(diag.Errorf(diag.RuleInterPEFIFO, "", "",
 			"inter-PE FIFO depth %d < 1: blocking pushes would deadlock the fabric", spec.InterPEFIFODepth))
@@ -205,6 +211,39 @@ func checkLanePacking(spec *dataflow.Spec, report func(*Diagnostic)) {
 			if vol := l.OutShape.Volume(); vol%lanes != 0 {
 				report(diag.New(diag.RuleLanePacking, sev, pe.ID, l.Name,
 					"streamed output volume %d is not a multiple of the %d packed lanes: %s", vol, lanes, verdict))
+			}
+		}
+	}
+}
+
+// checkConvAlgo enforces CND025: every conv layer's algorithm must be one of
+// the known modes, and the winograd_f23 mode is only legal on layers its
+// F(2,3) tiling can cover — 3x3 kernel, stride 1, and an output whose height
+// and width are even (each transform-domain tile produces a 2x2 output
+// block, so an odd edge would leave uncovered pixels). Non-conv layers must
+// not carry an algorithm at all.
+func checkConvAlgo(spec *dataflow.Spec, report func(*Diagnostic)) {
+	for _, pe := range spec.PEs {
+		for i := range pe.Layers {
+			l := &pe.Layers[i]
+			switch l.ConvAlgo {
+			case "", dataflow.AlgoDirect, dataflow.AlgoGEMM, dataflow.AlgoWinograd:
+			default:
+				report(diag.Errorf(diag.RuleConvAlgo, pe.ID, l.Name,
+					"unknown convolution algorithm %q", l.ConvAlgo))
+				continue
+			}
+			if l.Kind != nn.Conv {
+				if l.ConvAlgo != "" {
+					report(diag.Errorf(diag.RuleConvAlgo, pe.ID, l.Name,
+						"algorithm %q set on non-convolution layer", l.ConvAlgo))
+				}
+				continue
+			}
+			if l.Algo() == dataflow.AlgoWinograd && !dataflow.WinogradOK(l.Kernel, l.Stride, l.OutShape) {
+				report(diag.Errorf(diag.RuleConvAlgo, pe.ID, l.Name,
+					"winograd_f23 requires a 3x3/stride-1 layer with even output tiles; layer has k=%d stride=%d out %dx%d",
+					l.Kernel, l.Stride, l.OutShape.Height, l.OutShape.Width))
 			}
 		}
 	}

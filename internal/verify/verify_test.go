@@ -331,6 +331,29 @@ func TestBrokenSpecs(t *testing.T) {
 			rule: diag.RuleStageOrder,
 		},
 		{
+			name: "conv-algo-unknown",
+			breakIt: func(t *testing.T, spec *dataflow.Spec, ir *condorir.Network, ws *condorir.WeightSet) {
+				featurePE(t, spec).Layers[0].ConvAlgo = dataflow.ConvAlgo("systolic")
+			},
+			rule: diag.RuleConvAlgo,
+		},
+		{
+			name: "conv-algo-winograd-on-5x5",
+			breakIt: func(t *testing.T, spec *dataflow.Spec, ir *condorir.Network, ws *condorir.WeightSet) {
+				// TC1's convs are 5x5, outside the F(2,3) qualification.
+				featurePE(t, spec).Layers[0].ConvAlgo = dataflow.AlgoWinograd
+			},
+			rule: diag.RuleConvAlgo,
+		},
+		{
+			name: "conv-algo-on-non-conv",
+			breakIt: func(t *testing.T, spec *dataflow.Spec, ir *condorir.Network, ws *condorir.WeightSet) {
+				pe := classifierPE(t, spec)
+				pe.Layers[len(pe.Layers)-1].ConvAlgo = dataflow.AlgoGEMM
+			},
+			rule: diag.RuleConvAlgo,
+		},
+		{
 			name: "ir-coverage-renamed-layer",
 			breakIt: func(t *testing.T, spec *dataflow.Spec, ir *condorir.Network, ws *condorir.WeightSet) {
 				featurePE(t, spec).Layers[0].Name = "conv1-detached"
